@@ -1,0 +1,73 @@
+package sentinel
+
+import "sentinel/internal/ir"
+
+// MIR opcodes, re-exported for program construction.
+const (
+	Nop       = ir.Nop
+	Add       = ir.Add
+	Sub       = ir.Sub
+	Mul       = ir.Mul
+	Div       = ir.Div
+	Rem       = ir.Rem
+	And       = ir.And
+	Or        = ir.Or
+	Xor       = ir.Xor
+	Shl       = ir.Shl
+	Shr       = ir.Shr
+	Slt       = ir.Slt
+	Li        = ir.Li
+	Mov       = ir.Mov
+	Ld        = ir.Ld
+	Ldb       = ir.Ldb
+	Fld       = ir.Fld
+	St        = ir.St
+	Stb       = ir.Stb
+	Fst       = ir.Fst
+	Fadd      = ir.Fadd
+	Fsub      = ir.Fsub
+	Fmul      = ir.Fmul
+	Fdiv      = ir.Fdiv
+	Fmov      = ir.Fmov
+	Fneg      = ir.Fneg
+	Fabs      = ir.Fabs
+	Cvif      = ir.Cvif
+	Cvfi      = ir.Cvfi
+	Feq       = ir.Feq
+	Flt       = ir.Flt
+	Fle       = ir.Fle
+	Beq       = ir.Beq
+	Bne       = ir.Bne
+	Blt       = ir.Blt
+	Bge       = ir.Bge
+	Jmp       = ir.Jmp
+	Jsr       = ir.Jsr
+	Halt      = ir.Halt
+	Check     = ir.Check
+	ConfirmSt = ir.ConfirmSt
+	ClearTag  = ir.ClearTag
+)
+
+// Register and instruction constructors, re-exported for program
+// construction. See package ir for documentation.
+var (
+	R        = ir.R
+	F        = ir.F
+	ALU      = ir.ALU
+	ALUI     = ir.ALUI
+	LI       = ir.LI
+	MOV      = ir.MOV
+	FMOV     = ir.FMOV
+	UN       = ir.UN
+	LOAD     = ir.LOAD
+	STORE    = ir.STORE
+	BR       = ir.BR
+	BRI      = ir.BRI
+	JMP      = ir.JMP
+	JSR      = ir.JSR
+	HALT     = ir.HALT
+	NOP      = ir.NOP
+	CHECK    = ir.CHECK
+	CONFIRM  = ir.CONFIRM
+	CLEARTAG = ir.CLEARTAG
+)

@@ -1,0 +1,109 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation on the simulated machine:
+//
+//	paperfigs -fig4 -fig5          # the two headline figures
+//	paperfigs -table3              # machine latencies
+//	paperfigs -overhead            # sentinel-insertion ablation
+//	paperfigs -recovery            # recovery-constraint cost (extension)
+//	paperfigs -buffer              # store-buffer size sweep (extension)
+//	paperfigs -all                 # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sentinel/internal/eval"
+	"sentinel/internal/machine"
+	"sentinel/internal/superblock"
+)
+
+func main() {
+	fig4 := flag.Bool("fig4", false, "Figure 4: sentinel vs restricted percolation")
+	fig5 := flag.Bool("fig5", false, "Figure 5: general vs sentinel vs sentinel+stores")
+	table3 := flag.Bool("table3", false, "Table 3: instruction latencies")
+	overhead := flag.Bool("overhead", false, "sentinel overhead ablation")
+	recovery := flag.Bool("recovery", false, "recovery-constraint cost (extension)")
+	buffer := flag.Bool("buffer", false, "store-buffer size sweep (extension)")
+	faults := flag.Bool("faults", false, "fault-injection study (extension)")
+	sharing := flag.Bool("sharing", false, "shared-sentinel ablation (extension)")
+	boosting := flag.Bool("boosting", false, "instruction boosting vs sentinel (extension)")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	if *all {
+		*fig4, *fig5, *table3, *overhead, *recovery, *buffer, *faults, *sharing, *boosting = true, true, true, true, true, true, true, true, true
+	}
+	if !*fig4 && !*fig5 && !*table3 && !*overhead && !*recovery && !*buffer && !*faults && !*sharing && !*boosting {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table3 {
+		fmt.Println(eval.Table3())
+	}
+
+	var results []*eval.BenchResult
+	need := *fig4 || *fig5 || *overhead
+	if need {
+		var err error
+		results, err = eval.RunAll(
+			[]machine.Model{machine.Restricted, machine.General,
+				machine.Sentinel, machine.SentinelStores},
+			eval.Widths, superblock.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+	if *fig4 {
+		fmt.Println(eval.Figure4(results))
+	}
+	if *fig5 {
+		fmt.Println(eval.Figure5(results))
+	}
+	if *overhead {
+		fmt.Println(eval.SentinelOverheadTable(results, 8))
+	}
+	if *recovery {
+		s, err := eval.RecoveryCost()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	if *buffer {
+		s, err := eval.StoreBufferSweep()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	if *faults {
+		s, err := eval.FaultInjection()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	if *sharing {
+		s, err := eval.SharingAblation()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+	if *boosting {
+		s, err := eval.BoostingComparison()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s)
+	}
+}

@@ -1,0 +1,126 @@
+// Command sentinelsim compiles and runs a MIR program (or a built-in
+// benchmark kernel) on the cycle simulator, reporting cycles, instructions
+// and IPC, and verifying the result against the sequential reference
+// interpreter.
+//
+//	sentinelsim -model sentinel -width 8 prog.s
+//	sentinelsim -workload cmp -model restricted -width 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sentinel/internal/asm"
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", "sentinel", "speculation model: restricted, general, sentinel, sentinel+stores")
+	width := flag.Int("width", 8, "issue width")
+	form := flag.Bool("superblock", true, "profile and form superblocks before scheduling")
+	wl := flag.String("workload", "", "run a built-in benchmark kernel instead of a source file")
+	verify := flag.Bool("verify", true, "compare against the reference interpreter")
+	flag.Parse()
+
+	md, err := parseMachine(*model, *width)
+	if err != nil {
+		fatal(err)
+	}
+
+	var p *prog.Program
+	var m *mem.Memory
+	switch {
+	case *wl != "":
+		b, ok := workload.ByName(*wl)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *wl))
+		}
+		p, m = b.Build()
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if p, m, err = asm.Parse(string(src)); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	p.Layout()
+
+	var ref *prog.Result
+	if *verify || *form {
+		if ref, err = prog.Run(p, m.Clone(), prog.Options{Collect: true}); err != nil {
+			fatal(fmt.Errorf("reference run: %w", err))
+		}
+	}
+	if *form {
+		p = superblock.Form(p, ref.Profile, superblock.Options{})
+		p.Layout()
+	}
+	sched, _, err := core.Schedule(p, md)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(sched, md, m, sim.Options{})
+	if err != nil {
+		if exc, ok := sim.Unhandled(err); ok {
+			in, blk, _ := sched.InstrAt(exc.ReportedPC)
+			fmt.Printf("EXCEPTION: %v\n  cause: pc %d: %v (block %s)\n  signalled by pc %d at cycle %d\n",
+				exc.Kind, exc.ReportedPC, in, blk.Label, exc.ByPC, exc.Cycle)
+			os.Exit(3)
+		}
+		fatal(err)
+	}
+
+	fmt.Printf("machine:  %v, issue %d, %d-entry store buffer\n", md.Model, md.IssueWidth, md.StoreBuffer)
+	fmt.Printf("cycles:   %d\n", res.Cycles)
+	fmt.Printf("instrs:   %d (IPC %.2f)\n", res.Instrs, float64(res.Instrs)/float64(res.Cycles))
+	fmt.Printf("stalls:   %d\n", res.Stalls)
+	fmt.Printf("output:   %v\n", res.Out)
+	if *verify {
+		switch {
+		case res.MemSum != ref.MemSum:
+			fatal(fmt.Errorf("VERIFICATION FAILED: memory checksum mismatch"))
+		case fmt.Sprint(res.Out) != fmt.Sprint(ref.Out):
+			fatal(fmt.Errorf("VERIFICATION FAILED: output %v != reference %v", res.Out, ref.Out))
+		default:
+			fmt.Println("verified: matches the sequential reference")
+		}
+	}
+}
+
+func parseMachine(model string, width int) (machine.Desc, error) {
+	var m machine.Model
+	switch model {
+	case "restricted":
+		m = machine.Restricted
+	case "general":
+		m = machine.General
+	case "sentinel":
+		m = machine.Sentinel
+	case "sentinel+stores", "stores":
+		m = machine.SentinelStores
+	case "boosting":
+		m = machine.Boosting
+	default:
+		return machine.Desc{}, fmt.Errorf("unknown model %q", model)
+	}
+	md := machine.Base(width, m)
+	return md, md.Validate()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sentinelsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Quickstart: build a small MIR program, compile it with sentinel
+// scheduling for an 8-issue processor, simulate it, and compare against the
+// baseline speculation models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sentinel "sentinel"
+)
+
+func main() {
+	// A counted loop summing 64 array elements, with a data-dependent branch
+	// skipping negative values — the kind of loop where speculative loads pay.
+	p := sentinel.NewProgram()
+	p.AddBlock("entry",
+		sentinel.LI(sentinel.R(1), 0x1000), // array base
+		sentinel.LI(sentinel.R(2), 64),     // length
+		sentinel.LI(sentinel.R(3), 0),      // sum
+		sentinel.LI(sentinel.R(4), 0),      // i
+	)
+	p.AddBlock("loop",
+		sentinel.BR(sentinel.Bge, sentinel.R(4), sentinel.R(2), "done"),
+	)
+	p.AddBlock("body",
+		sentinel.LOAD(sentinel.Ld, sentinel.R(5), sentinel.R(1), 0),
+		sentinel.BRI(sentinel.Blt, sentinel.R(5), 0, "skip"),
+	)
+	p.AddBlock("acc",
+		sentinel.ALU(sentinel.Add, sentinel.R(3), sentinel.R(3), sentinel.R(5)),
+	)
+	p.AddBlock("skip",
+		sentinel.ALUI(sentinel.Add, sentinel.R(1), sentinel.R(1), 8),
+		sentinel.ALUI(sentinel.Add, sentinel.R(4), sentinel.R(4), 1),
+		sentinel.JMP("loop"),
+	)
+	p.AddBlock("done",
+		sentinel.JSR("putint", sentinel.R(3)),
+		sentinel.HALT(),
+	)
+
+	// Input data: mostly positive values, a few negative.
+	m := sentinel.NewMemory()
+	m.Map("array", 0x1000, 65*8)
+	for i := 0; i < 64; i++ {
+		v := int64(i * 3)
+		if i%11 == 0 {
+			v = -v
+		}
+		m.Write(0x1000+int64(i)*8, 8, uint64(v))
+	}
+
+	// Reference run (sequential interpreter): the ground truth.
+	ref, err := sentinel.ProfileRun(p, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reference result: %v (%d instructions)\n\n", ref.Out, ref.Instrs)
+
+	// Compile and simulate under each speculation model.
+	fmt.Printf("%-16s %8s %9s\n", "model", "cycles", "speedup")
+	var base int64
+	for _, model := range []sentinel.Model{
+		sentinel.Restricted, sentinel.General,
+		sentinel.Sentinel, sentinel.SentinelStores, sentinel.Boosting,
+	} {
+		md := sentinel.BaseMachine(8, model)
+		sched, stats, err := sentinel.Compile(p, m, md, sentinel.SuperblockOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sentinel.Simulate(sched, md, m.Clone(), sentinel.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.MemSum != ref.MemSum || res.Out[0] != ref.Out[0] {
+			log.Fatalf("%v: result mismatch!", model)
+		}
+		if model == sentinel.Restricted {
+			base = res.Cycles
+		}
+		fmt.Printf("%-16v %8d %8.2fx", model, res.Cycles, float64(base)/float64(res.Cycles))
+		if stats.Sentinels > 0 || stats.Confirms > 0 {
+			fmt.Printf("   (%d speculative, %d checks, %d confirms)",
+				stats.Speculative, stats.Sentinels, stats.Confirms)
+		} else if stats.Speculative > 0 {
+			fmt.Printf("   (%d speculative)", stats.Speculative)
+		}
+		fmt.Println()
+	}
+}

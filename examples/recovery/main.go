@@ -1,0 +1,98 @@
+// Recovery: the paper's Figure 3 scenario plus an end-to-end page-fault
+// retry (§3.7). The program is scheduled with the restartable-sequence
+// constraints (renaming transformation for the self-modifying increment,
+// irreversible-call barrier, operand preservation), then run against a
+// paged-out heap segment: the sentinel reports the speculative load's PC,
+// the "operating system" maps the page in, and re-execution from the
+// reported PC completes the program with the correct result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sentinel "sentinel"
+)
+
+// figure3 builds the fragment of Figure 3(a):
+//
+//	A: jsr            (irreversible)
+//	B: r5 = mem(r3+0)
+//	C: if (r5==0) goto L1
+//	D: r1 = mem(r6+0) (the speculative candidate)
+//	E: r2 = r2+1      (self-modifying: split by the renaming transformation)
+//	F: mem(r4+0) = r7 (may alias B's location: must follow D's sentinel)
+//	G: r8 = r1+1      (D's sentinel)
+//	H: r9 = mem(r2+0)
+func figure3() (*sentinel.Program, *sentinel.Memory) {
+	p := sentinel.NewProgram()
+	p.AddBlock("entry",
+		sentinel.LI(sentinel.R(3), 0x1000),
+		sentinel.LI(sentinel.R(6), 0x2000),
+		sentinel.LI(sentinel.R(4), 0x3000),
+		sentinel.LI(sentinel.R(2), 0x3FF0),
+		sentinel.LI(sentinel.R(7), 7),
+	)
+	sb := p.AddBlock("main",
+		sentinel.JSR("putint", sentinel.R(7)),                        // A
+		sentinel.LOAD(sentinel.Ld, sentinel.R(5), sentinel.R(3), 0),  // B
+		sentinel.BRI(sentinel.Beq, sentinel.R(5), 0, "L1"),           // C
+		sentinel.LOAD(sentinel.Ld, sentinel.R(1), sentinel.R(6), 0),  // D
+		sentinel.ALUI(sentinel.Add, sentinel.R(2), sentinel.R(2), 1), // E
+		sentinel.STORE(sentinel.St, sentinel.R(4), 0, sentinel.R(7)), // F
+		sentinel.ALUI(sentinel.Add, sentinel.R(8), sentinel.R(1), 1), // G
+		sentinel.LOAD(sentinel.Ld, sentinel.R(9), sentinel.R(2), 0),  // H
+		sentinel.ALU(sentinel.Add, sentinel.R(8), sentinel.R(8), sentinel.R(9)),
+		sentinel.JSR("putint", sentinel.R(8)),
+		sentinel.HALT(),
+	)
+	sb.Superblock = true
+	p.AddBlock("L1", sentinel.HALT())
+	m := sentinel.NewMemory()
+	m.Map("b-data", 0x1000, 8)
+	m.Map("heap", 0x2000, 8)
+	m.Map("f-data", 0x3000, 0x1000)
+	m.Write(0x1000, 8, 1)   // r5 != 0: fall through
+	m.Write(0x2000, 8, 500) // D's datum
+	return p, m
+}
+
+func main() {
+	p, m := figure3()
+	md := sentinel.BaseMachine(8, sentinel.Sentinel).WithRecovery()
+
+	sched, stats, err := sentinel.Schedule(p, md)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Figure 3: recovery-constrained schedule ===")
+	fmt.Printf("renaming transformations applied: %d (E split into add+move)\n", stats.Renamed)
+	fmt.Printf("forced constraint violations: %d (must be 0 for restartability)\n\n", stats.ForcedIssues)
+	main := sched.Block("main")
+	for _, in := range main.Instrs {
+		fmt.Printf("  [%d.%d] %v\n", in.Cycle, in.Slot, in)
+	}
+
+	fmt.Println("\n=== Page-fault retry ===")
+	heap := m.Segment("heap")
+	heap.Present = false // page D's target out
+	fmt.Println("heap segment paged out; running...")
+
+	recoveries := 0
+	res, err := sentinel.Simulate(sched, md, m, sentinel.SimOptions{
+		Handler: func(exc sentinel.Exception, cpu *sentinel.CPU) bool {
+			recoveries++
+			in, _, _ := sched.InstrAt(exc.ReportedPC)
+			fmt.Printf("  %v reported for pc %d: %v\n", exc.Kind, exc.ReportedPC, in)
+			fmt.Println("  handler: mapping the page in and requesting re-execution")
+			heap.Present = true
+			return true
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecovered %d time(s); output = %v (want [7 501]: the speculative load's 500+1)\n",
+		recoveries, res.Out)
+	fmt.Printf("cycles = %d, dynamic instructions = %d\n", res.Cycles, res.Instrs)
+}

@@ -1,0 +1,136 @@
+package alias
+
+import (
+	"testing"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/prog"
+)
+
+func analyze(instrs ...*ir.Instr) *Provenance {
+	p := prog.NewProgram()
+	instrs = append(instrs, ir.HALT())
+	p.AddBlock("main", instrs...)
+	return Analyze(p)
+}
+
+func TestLIRoots(t *testing.T) {
+	pv := analyze(
+		ir.LI(ir.R(1), 0x1000),
+		ir.LI(ir.R(2), 0x2000),
+	)
+	if !pv.Of(ir.R(1)).Known || pv.Of(ir.R(1)).ID != 0x1000 {
+		t.Errorf("r1 = %+v", pv.Of(ir.R(1)))
+	}
+	if !pv.Disjoint(ir.R(1), ir.R(2)) {
+		t.Error("distinct LI roots must be disjoint")
+	}
+	if pv.Disjoint(ir.R(1), ir.R(1)) {
+		t.Error("a register is never disjoint from itself")
+	}
+}
+
+func TestConstantArithmeticPreservesRoot(t *testing.T) {
+	pv := analyze(
+		ir.LI(ir.R(1), 0x1000),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(1), 8),
+		ir.ALUI(ir.Sub, ir.R(4), ir.R(3), 16),
+		ir.MOV(ir.R(5), ir.R(4)),
+		ir.LI(ir.R(2), 0x2000),
+	)
+	for _, r := range []ir.Reg{ir.R(3), ir.R(4), ir.R(5)} {
+		if root := pv.Of(r); !root.Known || root.ID != 0x1000 {
+			t.Errorf("%v = %+v, want root 0x1000", r, root)
+		}
+		if !pv.Disjoint(r, ir.R(2)) {
+			t.Errorf("%v must be disjoint from the 0x2000 root", r)
+		}
+	}
+}
+
+func TestBasePlusIndexPattern(t *testing.T) {
+	// r9 = (unknown index) + (rooted base): takes the base's root.
+	pv := analyze(
+		ir.LI(ir.R(3), 0x8000),               // table base
+		ir.LOAD(ir.Ld, ir.R(5), ir.R(3), 0),  // r5 unknown (loaded)
+		ir.ALUI(ir.Shl, ir.R(6), ir.R(5), 3), // r6 unknown
+		ir.ALU(ir.Add, ir.R(9), ir.R(6), ir.R(3)),
+		ir.LI(ir.R(1), 0x1000),
+	)
+	if root := pv.Of(ir.R(9)); !root.Known || root.ID != 0x8000 {
+		t.Errorf("r9 = %+v, want table root", root)
+	}
+	if !pv.Disjoint(ir.R(9), ir.R(1)) {
+		t.Error("indexed table access must be disjoint from another array")
+	}
+}
+
+func TestTwoRootsDegradeToUnknown(t *testing.T) {
+	pv := analyze(
+		ir.LI(ir.R(1), 0x1000),
+		ir.LI(ir.R(2), 0x2000),
+		ir.ALU(ir.Add, ir.R(3), ir.R(1), ir.R(2)), // pointer + pointer
+	)
+	if pv.Of(ir.R(3)).Known {
+		t.Error("adding two rooted values must degrade to unknown")
+	}
+	if pv.Disjoint(ir.R(3), ir.R(1)) {
+		t.Error("unknown provenance must never be disjoint")
+	}
+}
+
+func TestConflictingDefsDegrade(t *testing.T) {
+	// r1 is assigned two different roots on different paths (modelled
+	// flow-insensitively as two defs).
+	pv := analyze(
+		ir.LI(ir.R(1), 0x1000),
+		ir.LI(ir.R(1), 0x2000),
+		ir.LI(ir.R(2), 0x3000),
+	)
+	if pv.Of(ir.R(1)).Known {
+		t.Error("two different roots must join to unknown")
+	}
+}
+
+func TestLoadedPointerUnknown(t *testing.T) {
+	pv := analyze(
+		ir.LI(ir.R(1), 0x1000),
+		ir.LOAD(ir.Ld, ir.R(2), ir.R(1), 0), // pointer loaded from memory
+	)
+	if pv.Of(ir.R(2)).Known {
+		t.Error("loaded values have unknown provenance")
+	}
+	if pv.Disjoint(ir.R(2), ir.R(1)) {
+		t.Error("unknown vs rooted must not be disjoint")
+	}
+}
+
+func TestZeroRegisterBase(t *testing.T) {
+	// add r3, r0, r1 is a move from r1 in disguise.
+	pv := analyze(
+		ir.LI(ir.R(1), 0x1000),
+		ir.ALU(ir.Add, ir.R(3), ir.R(0), ir.R(1)),
+		ir.LI(ir.R(2), 0x2000),
+	)
+	if root := pv.Of(ir.R(3)); !root.Known || root.ID != 0x1000 {
+		t.Errorf("r3 = %+v, want r1's root", root)
+	}
+}
+
+func TestFixpointAcrossLoop(t *testing.T) {
+	// A pointer incremented around a loop keeps its root.
+	p := prog.NewProgram()
+	p.AddBlock("entry", ir.LI(ir.R(1), 0x1000), ir.LI(ir.R(9), 0x2000))
+	p.AddBlock("loop",
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.BRI(ir.Blt, ir.R(1), 0x1100, "loop"),
+	)
+	p.AddBlock("done", ir.HALT())
+	pv := Analyze(p)
+	if root := pv.Of(ir.R(1)); !root.Known || root.ID != 0x1000 {
+		t.Errorf("loop-carried pointer = %+v, want root preserved", root)
+	}
+	if !pv.Disjoint(ir.R(1), ir.R(9)) {
+		t.Error("loop pointer must stay disjoint from the other array")
+	}
+}

@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+)
+
+// figure1 builds the paper's Figure 1(a) fragment as a superblock program,
+// with an entry block supplying live-in registers. The store offset is 8
+// (not the paper's 4) so it provably does not overlap B's 8-byte load.
+func figure1() (*prog.Program, *mem.Memory) {
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(2), 0x1000),
+		ir.LI(ir.R(4), 0x2000),
+	)
+	sb := p.AddBlock("main",
+		ir.BRI(ir.Beq, ir.R(2), 0, "L1"),     // A
+		ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0),  // B
+		ir.LOAD(ir.Ld, ir.R(3), ir.R(4), 0),  // C
+		ir.ALUI(ir.Add, ir.R(4), ir.R(1), 1), // D
+		ir.ALUI(ir.Mul, ir.R(5), ir.R(3), 9), // E
+		ir.STORE(ir.St, ir.R(2), 8, ir.R(4)), // F
+		ir.HALT(),
+	)
+	sb.Superblock = true
+	p.AddBlock("L1", ir.JSR("putint", ir.R(0)), ir.HALT())
+	m := mem.New()
+	m.Map("b", 0x1000, 64)
+	m.Map("c", 0x2000, 64)
+	m.Write(0x1000, 8, 11)
+	m.Write(0x2000, 8, 22)
+	return p, m
+}
+
+func find(b *prog.Block, op ir.Op) []*ir.Instr {
+	var out []*ir.Instr
+	for _, in := range b.Instrs {
+		if in.Op == op {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+func position(b *prog.Block, in *ir.Instr) int {
+	for i, x := range b.Instrs {
+		if x == in {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestFigure1Sentinel checks the structural properties of the paper's
+// Figure 1(b) schedule under the sentinel model: the loads are speculated
+// above the branch, an explicit check_exception protects any speculated
+// unprotected instruction, sentinels stay in the home block (after the
+// branch), and the store is not speculated.
+func TestFigure1Sentinel(t *testing.T) {
+	p, _ := figure1()
+	md := machine.Base(8, machine.Sentinel)
+	sched, stats, err := Schedule(p, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := sched.Block("main")
+	branch := find(main, ir.Beq)[0]
+	loads := find(main, ir.Ld)
+	store := find(main, ir.St)[0]
+
+	for _, ld := range loads {
+		if !ld.Spec {
+			t.Errorf("load %v must be speculative", ld)
+		}
+		if position(main, ld) > position(main, branch) {
+			t.Errorf("speculated load %v must precede the branch in schedule order", ld)
+		}
+	}
+	if store.Spec {
+		t.Error("store must not be speculative under the sentinel model")
+	}
+	if bp, sp := position(main, branch), position(main, store); sp < bp {
+		t.Error("store must remain below the branch")
+	}
+	// Every inserted check must sit in the home block: after the branch,
+	// before the halt.
+	checks := find(main, ir.Check)
+	if len(checks) != stats.Sentinels {
+		t.Errorf("found %d checks, stats say %d", len(checks), stats.Sentinels)
+	}
+	halt := find(main, ir.Halt)[0]
+	for _, c := range checks {
+		cp := position(main, c)
+		if cp < position(main, branch) || cp > position(main, halt) {
+			t.Errorf("check %v escaped the home block", c)
+		}
+	}
+	if stats.Speculative < 2 {
+		t.Errorf("expected at least the two loads speculated, got %d", stats.Speculative)
+	}
+}
+
+// TestFigure1ModelContrasts: restricted speculates no trapping instruction;
+// general inserts no sentinels; sentinel+stores speculates the store and
+// inserts a confirm.
+func TestFigure1ModelContrasts(t *testing.T) {
+	p, _ := figure1()
+
+	r, rstats, err := Schedule(p, machine.Base(8, machine.Restricted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range r.Block("main").Instrs {
+		if in.Spec && ir.Traps(in.Op) {
+			t.Errorf("restricted percolation speculated trapping %v", in)
+		}
+	}
+	if rstats.Sentinels != 0 || rstats.Confirms != 0 {
+		t.Errorf("restricted must insert no sentinels: %+v", rstats)
+	}
+
+	g, gstats, err := Schedule(p, machine.Base(8, machine.General))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(find(g.Block("main"), ir.Check)); n != 0 || gstats.Sentinels != 0 {
+		t.Errorf("general percolation must insert no checks (%d, %+v)", n, gstats)
+	}
+
+	// For the speculative-store contrast, the branch condition must come
+	// from a load (otherwise the branch issues immediately and nothing
+	// needs to speculate): ld r5; beq r5,0; st r7.
+	ps := prog.NewProgram()
+	ps.AddBlock("entry",
+		ir.LI(ir.R(2), 0x1000),
+		ir.LI(ir.R(4), 0x2000),
+		ir.LI(ir.R(7), 7),
+	)
+	sb := ps.AddBlock("main",
+		ir.LOAD(ir.Ld, ir.R(5), ir.R(2), 0),
+		ir.BRI(ir.Beq, ir.R(5), 0, "L1"),
+		ir.STORE(ir.St, ir.R(4), 0, ir.R(7)),
+		ir.HALT(),
+	)
+	sb.Superblock = true
+	ps.AddBlock("L1", ir.HALT())
+
+	ts, tstats, err := Schedule(ps, machine.Base(8, machine.SentinelStores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := ts.Block("main")
+	store := find(main, ir.St)[0]
+	if !store.Spec {
+		t.Fatalf("store must be speculated under sentinel+stores:\n%s", ts)
+	}
+	confirms := find(main, ir.ConfirmSt)
+	if len(confirms) != 1 || tstats.Confirms != 1 {
+		t.Fatalf("want exactly one confirm, got %d (%+v)", len(confirms), tstats)
+	}
+	cf := confirms[0]
+	if cf.Imm < 0 {
+		t.Error("confirm index must be resolved")
+	}
+	branch := find(main, ir.Beq)[0]
+	if position(main, cf) < position(main, branch) {
+		t.Error("confirm must stay in the store's home block (after the branch)")
+	}
+	// The resolved index must equal the number of buffered stores between
+	// the store and its confirm.
+	n := int64(0)
+	for i := position(main, store) + 1; i < position(main, cf); i++ {
+		if ir.BufferedStore(main.Instrs[i].Op) {
+			n++
+		}
+	}
+	if cf.Imm != n {
+		t.Errorf("confirm index %d, want %d", cf.Imm, n)
+	}
+}
+
+// figure3 builds the paper's Figure 3(a) fragment:
+//
+//	A: jsr
+//	B: r5 = mem(r3+0)
+//	C: if (r5==0) goto L1
+//	D: r1 = mem(r6+0)
+//	E: r2 = r2+1
+//	F: mem(r4+0) = r7
+//	G: r8 = r1+1
+//	H: r9 = mem(r2+0)
+func figure3() *prog.Program {
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(3), 0x1000),
+		ir.LI(ir.R(6), 0x2000),
+		ir.LI(ir.R(4), 0x3000),
+		ir.LI(ir.R(2), 0x3FF0),
+		ir.LI(ir.R(7), 7),
+	)
+	sb := p.AddBlock("main",
+		ir.JSR("putint", ir.R(7)),            // A
+		ir.LOAD(ir.Ld, ir.R(5), ir.R(3), 0),  // B
+		ir.BRI(ir.Beq, ir.R(5), 0, "L1"),     // C
+		ir.LOAD(ir.Ld, ir.R(1), ir.R(6), 0),  // D
+		ir.ALUI(ir.Add, ir.R(2), ir.R(2), 1), // E: self-modifying
+		ir.STORE(ir.St, ir.R(4), 0, ir.R(7)), // F
+		ir.ALUI(ir.Add, ir.R(8), ir.R(1), 1), // G: sentinel for D
+		ir.LOAD(ir.Ld, ir.R(9), ir.R(2), 0),  // H
+		ir.HALT(),
+	)
+	sb.Superblock = true
+	p.AddBlock("L1", ir.HALT())
+	return p
+}
+
+// TestFigure3Recovery checks the §3.7 scheduling constraints: the renaming
+// transformation splits E, nothing crosses the irreversible jsr, and the
+// schedule stays architecturally correct.
+func TestFigure3Recovery(t *testing.T) {
+	p := figure3()
+	md := machine.Base(8, machine.Sentinel).WithRecovery()
+	sched, stats, err := Schedule(p, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Renamed != 1 {
+		t.Errorf("Renamed = %d, want 1 (instruction E split)", stats.Renamed)
+	}
+	if stats.ForcedIssues != 0 {
+		t.Errorf("ForcedIssues = %d: Figure 3 must schedule without violations", stats.ForcedIssues)
+	}
+	main := sched.Block("main")
+	// The jsr is an irreversible barrier: it must stay the first
+	// instruction in schedule order.
+	if main.Instrs[0].Op != ir.Jsr {
+		t.Errorf("first scheduled instruction is %v, want jsr (irreversible barrier)", main.Instrs[0])
+	}
+	// E was split: there must be a mov restoring r2 from the rename
+	// register, scheduled after D's sentinel-carrying use (G).
+	movs := find(main, ir.Mov)
+	if len(movs) != 1 {
+		t.Fatalf("want 1 rename move, got %d:\n%s", len(movs), main.Instrs)
+	}
+	if movs[0].Dest != ir.R(2) {
+		t.Errorf("rename move writes %v, want r2", movs[0].Dest)
+	}
+
+	// Execute: the result must match the reference interpreter.
+	run := mem.New()
+	run.Map("b", 0x1000, 8)
+	run.Map("d", 0x2000, 8)
+	run.Map("f", 0x3000, 0x1000)
+	run.Write(0x1000, 8, 1) // r5 != 0: fall through
+	ref, err := prog.Run(p, run.Clone(), prog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(sched, md, run, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MemSum != ref.MemSum || len(got.Out) != len(ref.Out) {
+		t.Errorf("architectural mismatch after recovery scheduling")
+	}
+}
+
+// TestRecoveryEndToEnd: under a recovery schedule, a page fault on a
+// speculative load is reported by its sentinel, repaired, re-executed, and
+// the program result is correct.
+func TestRecoveryEndToEnd(t *testing.T) {
+	p := figure3()
+	md := machine.Base(8, machine.Sentinel).WithRecovery()
+	sched, _, err := Schedule(p, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := mem.New()
+	run.Map("b", 0x1000, 8)
+	dseg := run.Map("d", 0x2000, 8)
+	run.Map("f", 0x3000, 0x1000)
+	run.Write(0x1000, 8, 1)
+	run.Write(0x2000, 8, 500)
+	dseg.Present = false // D will page-fault
+
+	ref, err := prog.Run(p, mustPresentClone(run, "d"), prog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := 0
+	got, err := sim.Run(sched, md, run, sim.Options{
+		Handler: func(exc sim.Exception, m *sim.Machine) bool {
+			recovered++
+			if exc.Kind != ir.ExcPageFault {
+				t.Errorf("kind = %v", exc.Kind)
+			}
+			dseg.Present = true
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	if recovered == 0 {
+		t.Fatal("the page fault was never signalled")
+	}
+	if got.MemSum != ref.MemSum {
+		t.Error("memory diverged after recovery")
+	}
+	for i := range ref.Out {
+		if got.Out[i] != ref.Out[i] {
+			t.Errorf("out[%d] = %d, want %d", i, got.Out[i], ref.Out[i])
+		}
+	}
+}
+
+func mustPresentClone(m *mem.Memory, seg string) *mem.Memory {
+	c := m.Clone()
+	c.Segment(seg).Present = true
+	return c
+}
+
+// TestClearTagInsertion: a register read before any write gets a ClearTag
+// at program entry under tag-using models only (§3.5).
+func TestClearTagInsertion(t *testing.T) {
+	build := func() *prog.Program {
+		p := prog.NewProgram()
+		p.AddBlock("main",
+			ir.ALUI(ir.Add, ir.R(1), ir.R(9), 1), // r9 never defined
+			ir.JSR("putint", ir.R(1)),
+			ir.HALT(),
+		)
+		return p
+	}
+	s, stats, err := Schedule(build(), machine.Base(2, machine.Sentinel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ClearTags != 1 {
+		t.Errorf("ClearTags = %d, want 1", stats.ClearTags)
+	}
+	ct := find(s.Block("main"), ir.ClearTag)
+	if len(ct) != 1 || ct[0].Dest != ir.R(9) {
+		t.Errorf("cleartag instrs: %v", ct)
+	}
+
+	g, gstats, err := Schedule(build(), machine.Base(2, machine.General))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gstats.ClearTags != 0 || len(find(g.Block("main"), ir.ClearTag)) != 0 {
+		t.Error("general percolation needs no tag resets")
+	}
+}
+
+// TestScheduleLegality: for random superblocks, the emitted schedule must
+// respect issue width and every dependence-graph edge.
+func TestScheduleLegality(t *testing.T) {
+	for seed := uint32(1); seed <= 40; seed++ {
+		p, m := randomProgram(seed)
+		for _, model := range []machine.Model{machine.Restricted, machine.General,
+			machine.Sentinel, machine.SentinelStores, machine.Boosting} {
+			for _, w := range []int{1, 2, 4, 8} {
+				md := machine.Base(w, model)
+				sched, _, err := Schedule(p, md)
+				if err != nil {
+					t.Fatalf("seed %d %v w%d: %v", seed, model, w, err)
+				}
+				// Issue-width legality.
+				for _, b := range sched.Blocks {
+					perCycle := map[int]int{}
+					for _, in := range b.Instrs {
+						perCycle[in.Cycle]++
+						if perCycle[in.Cycle] > w {
+							t.Fatalf("seed %d %v w%d: cycle %d over-subscribed", seed, model, w, in.Cycle)
+						}
+					}
+				}
+				// Differential correctness.
+				ref, err := prog.Run(p, m.Clone(), prog.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sim.Run(sched, md, m.Clone(), sim.Options{})
+				if err != nil {
+					t.Fatalf("seed %d %v w%d: %v\n%s", seed, model, w, err, sched)
+				}
+				if got.MemSum != ref.MemSum {
+					t.Fatalf("seed %d %v w%d: memory mismatch", seed, model, w)
+				}
+				for i := range ref.Out {
+					if got.Out[i] != ref.Out[i] {
+						t.Fatalf("seed %d %v w%d: out[%d] %d != %d", seed, model, w, i, got.Out[i], ref.Out[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// randomProgram builds a deterministic pseudo-random superblock program
+// with loads, stores, ALU ops and side exits, plus an input memory.
+func randomProgram(seed uint32) (*prog.Program, *mem.Memory) {
+	s := seed
+	rnd := func(n int) int {
+		s = s*1664525 + 1013904223
+		return int(s>>16) % n
+	}
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), 0x1000), // array a
+		ir.LI(ir.R(2), 0x2000), // array b
+		ir.LI(ir.R(3), 0),      // accumulator
+		ir.LI(ir.R(4), 1),
+	)
+	var instrs []*ir.Instr
+	nexits := 0
+	for i := 0; i < 20+rnd(20); i++ {
+		switch rnd(6) {
+		case 0:
+			instrs = append(instrs, ir.LOAD(ir.Ld, ir.R(5+rnd(3)), ir.R(1), int64(rnd(8)*8)))
+		case 1:
+			instrs = append(instrs, ir.LOAD(ir.Ld, ir.R(5+rnd(3)), ir.R(2), int64(rnd(8)*8)))
+		case 2:
+			instrs = append(instrs, ir.ALU(ir.Add, ir.R(3), ir.R(3), ir.R(5+rnd(3))))
+		case 3:
+			instrs = append(instrs, ir.STORE(ir.St, ir.R(2), int64(rnd(8)*8), ir.R(3)))
+		case 4:
+			instrs = append(instrs, ir.ALUI(ir.Mul, ir.R(5+rnd(3)), ir.R(3), int64(rnd(9)+1)))
+		case 5:
+			if nexits < 3 {
+				instrs = append(instrs, ir.BRI(ir.Blt, ir.R(3), int64(-1-rnd(4)), fmt.Sprintf("x%d", nexits)))
+				nexits++
+			} else {
+				instrs = append(instrs, ir.ALUI(ir.Add, ir.R(3), ir.R(3), 1))
+			}
+		}
+	}
+	instrs = append(instrs, ir.JSR("putint", ir.R(3)), ir.HALT())
+	sb := p.AddBlock("main", instrs...)
+	sb.Superblock = true
+	for i := 0; i < 3; i++ {
+		p.AddBlock(fmt.Sprintf("x%d", i),
+			ir.JSR("putint", ir.R(5)),
+			ir.HALT())
+	}
+	m := mem.New()
+	m.Map("a", 0x1000, 128)
+	m.Map("b", 0x2000, 128)
+	for i := 0; i < 16; i++ {
+		m.Write(0x1000+int64(i)*8, 8, uint64(rnd(100)))
+		m.Write(0x2000+int64(i)*8, 8, uint64(rnd(100)))
+	}
+	return p, m
+}
+
+// TestScheduleRejectsBadMachine: invalid configurations must be refused.
+func TestScheduleRejectsBadMachine(t *testing.T) {
+	p, _ := figure1()
+	if _, _, err := Schedule(p, machine.Desc{IssueWidth: 0, StoreBuffer: 8}); err == nil {
+		t.Error("invalid machine accepted")
+	}
+}
+
+// TestSplitSelfModifyingUnit exercises the renaming transformation directly.
+func TestSplitSelfModifyingUnit(t *testing.T) {
+	p := prog.NewProgram()
+	b := p.AddBlock("sb",
+		ir.ALUI(ir.Add, ir.R(2), ir.R(2), 1),      // split
+		ir.ALU(ir.Add, ir.R(3), ir.R(2), ir.R(2)), // uses renamed r2
+		ir.BRI(ir.Beq, ir.R(3), 0, "out"),
+		ir.ALU(ir.Add, ir.R(4), ir.R(2), ir.R(3)), // next home block: uses r2 via move
+		ir.HALT(),
+	)
+	b.Superblock = true
+	p.AddBlock("out", ir.HALT())
+	n := splitSelfModifying(p, b)
+	if n != 1 {
+		t.Fatalf("split = %d, want 1", n)
+	}
+	// First instruction now writes a fresh register, not r2.
+	if b.Instrs[0].Dest == ir.R(2) {
+		t.Error("dest must be renamed")
+	}
+	tmp := b.Instrs[0].Dest
+	if b.Instrs[1].Src1 != tmp || b.Instrs[1].Src2 != tmp {
+		t.Errorf("uses inside home block must read %v: %v", tmp, b.Instrs[1])
+	}
+	// A move r2 = tmp must appear before the branch (end of home block).
+	mv := b.Instrs[2]
+	if mv.Op != ir.Mov || mv.Dest != ir.R(2) || mv.Src1 != tmp {
+		t.Errorf("expected move before home block end, got %v", mv)
+	}
+	// The use in the next home block still reads r2.
+	var later *ir.Instr
+	for _, in := range b.Instrs {
+		if in.Dest == ir.R(4) {
+			later = in
+		}
+	}
+	if later.Src1 != ir.R(2) {
+		t.Errorf("later home block must read the original register: %v", later)
+	}
+}

@@ -1,0 +1,648 @@
+// Package core implements sentinel superblock scheduling (Mahlke et al.,
+// ASPLOS 1992) and the speculative code-motion models it is compared
+// against: restricted percolation, general percolation, sentinel scheduling
+// with speculative stores, and instruction boosting (§2.3, with shadow
+// register files).
+//
+// Scheduling consists of dependence-graph construction and reduction
+// (package depgraph) followed by the modified list scheduling of the
+// paper's Appendix: when an unprotected instruction is moved above a branch,
+// an explicit sentinel (check_exception for register-writing instructions,
+// confirm_store for stores) is inserted into its home block and added to the
+// unscheduled set; the speculative modifier is set on every instruction that
+// moved above a branch.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/alias"
+	"sentinel/internal/dataflow"
+	"sentinel/internal/depgraph"
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+)
+
+// Stats reports what scheduling did, for the paper's ablation experiments.
+type Stats struct {
+	// Speculative counts instructions whose speculative modifier was set.
+	Speculative int
+	// Sentinels counts explicit check_exception instructions inserted.
+	Sentinels int
+	// Confirms counts confirm_store instructions inserted.
+	Confirms int
+	// RemovedControl counts control dependences removed by reduction.
+	RemovedControl int
+	// ClearTags counts exception-tag resets inserted for possibly
+	// uninitialized registers (§3.5).
+	ClearTags int
+	// Renamed counts self-modifying instructions split by the recovery
+	// renaming transformation (§3.7).
+	Renamed int
+	// ForcedIssues counts instructions issued in violation of a recovery
+	// deferral to break a scheduling deadlock; a nonzero value means the
+	// schedule is not fully restartable (it is still architecturally
+	// correct).
+	ForcedIssues int
+}
+
+func (s *Stats) add(o Stats) {
+	s.Speculative += o.Speculative
+	s.Sentinels += o.Sentinels
+	s.Confirms += o.Confirms
+	s.RemovedControl += o.RemovedControl
+	s.ClearTags += o.ClearTags
+	s.Renamed += o.Renamed
+	s.ForcedIssues += o.ForcedIssues
+}
+
+// Schedule compiles p for the machine md: every block is list-scheduled
+// under md's speculation model. It returns a new scheduled program (p is not
+// modified) with Cycle/Slot assigned on every instruction and sentinels
+// inserted as needed.
+func Schedule(p *prog.Program, md machine.Desc) (*prog.Program, Stats, error) {
+	var stats Stats
+	if err := md.Validate(); err != nil {
+		return nil, stats, err
+	}
+	p = p.Clone()
+
+	if md.Recovery {
+		for _, b := range p.Blocks {
+			if b.Superblock {
+				stats.Renamed += splitSelfModifying(p, b)
+			}
+		}
+	}
+
+	lv := dataflow.Compute(p)
+	if md.Model.UsesTags() {
+		stats.ClearTags += insertClearTags(p, lv)
+		lv = dataflow.Compute(p) // ClearTags define registers
+	}
+	pv := alias.Analyze(p)
+
+	for _, b := range p.Blocks {
+		if len(b.Instrs) == 0 {
+			continue
+		}
+		s, err := scheduleBlock(b, lv, pv, md)
+		if err != nil {
+			return nil, stats, fmt.Errorf("core: block %q: %w", b.Label, err)
+		}
+		stats.add(s)
+	}
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("core: scheduled program invalid: %w", err)
+	}
+	return p, stats, nil
+}
+
+// insertClearTags prepends ClearTag instructions to the entry block for
+// every register that may be read before being written (§3.5): such a
+// register could carry a stale exception tag and cause a spurious signal.
+func insertClearTags(p *prog.Program, lv *dataflow.Liveness) int {
+	uninit := lv.UninitializedAtEntry()
+	regs := uninit.Regs()
+	if len(regs) == 0 {
+		return 0
+	}
+	entry := p.Block(p.Entry)
+	pre := make([]*ir.Instr, 0, len(regs))
+	for _, r := range regs {
+		pre = append(pre, ir.CLEARTAG(r))
+	}
+	entry.Instrs = append(pre, entry.Instrs...)
+	return len(regs)
+}
+
+// region tracks one open restartable sequence (§3.7): from a speculative
+// trapping instruction until its sentinel executes, the register AND memory
+// inputs of every instruction issued in between must be preserved, or the
+// sequence could not be re-executed.
+type region struct {
+	spec *depgraph.Node
+	// watch is the set of registers currently carrying the speculative
+	// exception condition; the first non-speculative reader of any of them
+	// is the sentinel and closes the region. Speculative readers propagate
+	// the condition to their destinations.
+	watch dataflow.RegSet
+	// confirm closes the region instead, for speculative stores (§4).
+	confirm *depgraph.Node
+	// homeEnd is the original index of the control instruction ending the
+	// speculative instruction's home block: a backstop close (every
+	// sentinel is constrained to issue before it).
+	homeEnd int
+	// protected registers may not be overwritten while the region is open.
+	protected dataflow.RegSet
+	// loads records the memory references read inside the region; a store
+	// that may alias any of them must wait for the region to close
+	// (restriction 4 "for both register and memory operands").
+	loads []regionLoad
+	// poisoned registers were redefined inside the region, invalidating
+	// base-register disambiguation against recorded loads.
+	poisoned dataflow.RegSet
+}
+
+// regionLoad is a memory input recorded while a region is open.
+type regionLoad struct {
+	base     ir.Reg
+	lo, hi   int64
+	poisoned bool // base register value no longer comparable
+}
+
+// openStore tracks a speculative store awaiting its confirm (sentinel
+// model) or the branches that commit it (boosting model), for the
+// store-buffer separation constraint of §4.2 and its boosting analogue.
+type openStore struct {
+	store        *depgraph.Node
+	confirm      *depgraph.Node
+	branchesLeft int // boosting: commits when this many branches have issued
+	storesSince  int
+}
+
+type scheduler struct {
+	g       *depgraph.Graph
+	pv      *alias.Provenance
+	md      machine.Desc
+	cycleOf map[*depgraph.Node]int
+	slotOf  map[*depgraph.Node]int
+	height  map[*depgraph.Node]int
+	done    map[*depgraph.Node]bool
+	regions []*region
+	stores  []*openStore
+	pairs   map[*depgraph.Node]*depgraph.Node // spec store -> confirm
+	stats   Stats
+}
+
+func scheduleBlock(b *prog.Block, lv *dataflow.Liveness, pv *alias.Provenance, md machine.Desc) (Stats, error) {
+	g := depgraph.Build(b, lv, pv)
+	g.Reduce(md)
+	s := &scheduler{
+		g:       g,
+		pv:      pv,
+		md:      md,
+		cycleOf: map[*depgraph.Node]int{},
+		slotOf:  map[*depgraph.Node]int{},
+		height:  map[*depgraph.Node]int{},
+		done:    map[*depgraph.Node]bool{},
+		pairs:   map[*depgraph.Node]*depgraph.Node{},
+	}
+	s.stats.RemovedControl = g.RemovedControl
+	for _, nd := range g.Nodes {
+		s.computeHeight(nd)
+	}
+	if err := s.run(); err != nil {
+		return s.stats, err
+	}
+	s.emit(b)
+	return s.stats, nil
+}
+
+// computeHeight returns the latency-weighted critical-path height of nd.
+func (s *scheduler) computeHeight(nd *depgraph.Node) int {
+	if h, ok := s.height[nd]; ok {
+		return h
+	}
+	h := machine.Latency(nd.Instr.Op)
+	for _, e := range nd.Out {
+		if c := e.Delay + s.computeHeight(e.To); c > h {
+			h = c
+		}
+	}
+	s.height[nd] = h
+	return h
+}
+
+// ready reports whether nd can issue at the given cycle.
+func (s *scheduler) ready(nd *depgraph.Node, cycle int) bool {
+	for _, e := range nd.In {
+		if !s.done[e.From] || s.cycleOf[e.From]+e.Delay > cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// earliest returns the earliest cycle nd's scheduled predecessors allow, or
+// -1 if some predecessor is unscheduled.
+func (s *scheduler) earliest(nd *depgraph.Node) int {
+	at := 0
+	for _, e := range nd.In {
+		if !s.done[e.From] {
+			return -1
+		}
+		if c := s.cycleOf[e.From] + e.Delay; c > at {
+			at = c
+		}
+	}
+	return at
+}
+
+// deferred classifies why a ready candidate may not issue this cycle.
+type deferReason int
+
+const (
+	deferNo deferReason = iota
+	deferStoreSep
+	deferRecovery
+)
+
+func (s *scheduler) deferral(nd *depgraph.Node) deferReason {
+	in := nd.Instr
+	if ir.BufferedStore(in.Op) {
+		// §4.2: a speculative store may be separated from its confirm by at
+		// most StoreBuffer-1 stores, or the buffer could deadlock with a
+		// probationary entry at its head.
+		for _, os := range s.stores {
+			if os.storesSince >= s.md.StoreBuffer-1 {
+				return deferStoreSep
+			}
+		}
+	}
+	if s.md.Recovery && len(s.regions) > 0 {
+		if d, ok := in.Def(); ok {
+			for _, rg := range s.regions {
+				if rg.protected.Has(d) {
+					return deferRecovery
+				}
+			}
+		}
+		if in.SelfModifying() {
+			// Restriction 3: re-executing a self-modifying instruction
+			// inside a restartable sequence is wrong.
+			return deferRecovery
+		}
+		if ir.IsStore(in.Op) && s.storeAliasesRegionLoad(in) {
+			// Restriction 4 for memory operands: a store that may overwrite
+			// a location read inside an open region must wait for the
+			// sentinel (Figure 3: F scheduled after G).
+			return deferRecovery
+		}
+	}
+	return deferNo
+}
+
+// storeAliasesRegionLoad reports whether the store may alias any load
+// recorded in an open region. Disambiguation matches package depgraph: same
+// unpoisoned base register with disjoint offset ranges is independent;
+// anything else may alias.
+func (s *scheduler) storeAliasesRegionLoad(st *ir.Instr) bool {
+	lo := st.Imm
+	hi := st.Imm + int64(ir.MemSize(st.Op))
+	for _, rg := range s.regions {
+		for _, ld := range rg.loads {
+			// Pointer provenance is flow-insensitive, so it stays valid
+			// even when base registers were redefined inside the region.
+			if s.pv != nil && s.pv.Disjoint(st.Src1, ld.base) {
+				continue
+			}
+			if ld.poisoned || rg.poisoned.Has(st.Src1) || ld.base != st.Src1 ||
+				(lo < ld.hi && ld.lo < hi) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// speculative reports whether issuing nd now moves it above a branch: some
+// control instruction that precedes it in the original order is still
+// unscheduled.
+func (s *scheduler) speculative(nd *depgraph.Node) bool {
+	if nd.Sentinel || ir.IsControl(nd.Instr.Op) {
+		return false
+	}
+	for _, other := range s.g.Nodes {
+		if !other.Sentinel && ir.IsControl(other.Instr.Op) &&
+			other.Index < nd.Index && !s.done[other] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int) {
+	s.done[nd] = true
+	s.cycleOf[nd] = cycle
+	s.slotOf[nd] = slot
+	in := nd.Instr
+
+	willSpec := s.speculative(nd)
+
+	// Close recovery regions whose sentinel this instruction is: a
+	// confirm_store closing its speculative store's region, a
+	// non-speculative reader of a register carrying the exception
+	// condition, or (backstop) the control instruction ending the home
+	// block — every sentinel is constrained to issue before it.
+	if s.md.Recovery && len(s.regions) > 0 {
+		var keep []*region
+		for _, rg := range s.regions {
+			closed := rg.confirm == nd ||
+				(!nd.Sentinel && ir.IsControl(in.Op) && rg.homeEnd == nd.Index)
+			if !closed && !willSpec && !ir.IsControl(in.Op) {
+				for _, u := range in.Uses() {
+					if rg.watch.Has(u) {
+						closed = true // this instruction is the sentinel
+						break
+					}
+				}
+			}
+			if !closed {
+				keep = append(keep, rg)
+			}
+		}
+		s.regions = keep
+	}
+	if in.Op == ir.ConfirmSt {
+		var keep []*openStore
+		for _, os := range s.stores {
+			if os.confirm != nd {
+				keep = append(keep, os)
+			}
+		}
+		s.stores = keep
+	}
+	if s.md.Model == machine.Boosting && !nd.Sentinel && ir.IsBranch(in.Op) {
+		// A committing branch releases one shadow level: boosted stores
+		// with no branches left become ordinary (confirmable) entries.
+		var keep []*openStore
+		for _, os := range s.stores {
+			os.branchesLeft--
+			if os.branchesLeft > 0 {
+				keep = append(keep, os)
+			}
+		}
+		s.stores = keep
+	}
+	if ir.BufferedStore(in.Op) {
+		for _, os := range s.stores {
+			os.storesSince++
+		}
+	}
+
+	var confirm *depgraph.Node
+	if willSpec && s.md.Model == machine.Boosting {
+		in.Spec = true
+		s.stats.Speculative++
+		in.BoostLevel = s.pendingBranchesAbove(nd)
+		if ir.BufferedStore(in.Op) {
+			s.stores = append(s.stores, &openStore{store: nd, branchesLeft: in.BoostLevel})
+		}
+	} else if willSpec {
+		in.Spec = true
+		s.stats.Speculative++
+		usesTags := s.md.Model.UsesTags()
+		switch {
+		case ir.IsStore(in.Op):
+			// Only SentinelStores allows this; the confirm is the sentinel.
+			confirm = s.g.InsertConfirm(nd)
+			s.computeHeight(confirm)
+			s.pairs[nd] = confirm
+			s.stores = append(s.stores, &openStore{store: nd, confirm: confirm})
+			s.stats.Confirms++
+		case usesTags && nd.Unprotected:
+			chk := s.g.InsertSentinel(nd)
+			// The check examines dest(nd)'s exception tag: no later writer
+			// of that register (e.g. an unrolled copy reusing it) may be
+			// scheduled before the check reads it.
+			if d, ok := in.Def(); ok {
+				for _, w := range s.g.Nodes {
+					if w == nd || s.done[w] {
+						continue
+					}
+					if wd, wok := w.Instr.Def(); wok && wd == d {
+						s.g.AddAnti(chk, w)
+					}
+				}
+			}
+			s.computeHeight(chk)
+			s.stats.Sentinels++
+		}
+	}
+
+	if s.md.Recovery {
+		// Track X's effects in every open region: its inputs join the
+		// protected set, a speculative reader propagates the watched
+		// condition to its destination, redefinitions kill watched copies
+		// and poison base-register disambiguation, and loads record the
+		// memory inputs the region must preserve.
+		for _, rg := range s.regions {
+			readsWatch := false
+			for _, u := range in.Uses() {
+				rg.protected.Add(u)
+				if rg.watch.Has(u) {
+					readsWatch = true
+				}
+			}
+			if d, ok := in.Def(); ok {
+				if in.Spec && readsWatch {
+					rg.watch.Add(d)
+				} else if rg.watch.Has(d) {
+					rg.watch.Remove(d)
+				}
+				rg.poisoned.Add(d)
+			}
+			if ir.IsLoad(in.Op) {
+				rg.loads = append(rg.loads, regionLoad{
+					base:     in.Src1,
+					lo:       in.Imm,
+					hi:       in.Imm + int64(ir.MemSize(in.Op)),
+					poisoned: rg.poisoned.Has(in.Src1),
+				})
+			}
+		}
+		// A speculative trapping instruction opens a new restartable
+		// sequence ending at its sentinel.
+		if in.Spec && ir.Traps(in.Op) {
+			rg := &region{spec: nd, homeEnd: nd.HomeEnd, confirm: confirm}
+			if d, ok := in.Def(); ok {
+				rg.watch.Add(d)
+			}
+			for _, u := range in.Uses() {
+				rg.protected.Add(u)
+			}
+			if ir.IsLoad(in.Op) {
+				rg.loads = append(rg.loads, regionLoad{
+					base: in.Src1,
+					lo:   in.Imm,
+					hi:   in.Imm + int64(ir.MemSize(in.Op)),
+				})
+			}
+			s.regions = append(s.regions, rg)
+		}
+	}
+}
+
+// run performs the cycle-driven list scheduling loop.
+func (s *scheduler) run() error {
+	cycle := 0
+	guard := 0
+	for {
+		unscheduled := 0
+		for _, nd := range s.g.Nodes {
+			if !s.done[nd] {
+				unscheduled++
+			}
+		}
+		if unscheduled == 0 {
+			return nil
+		}
+		if guard++; guard > 1000000 {
+			return fmt.Errorf("scheduler did not converge")
+		}
+
+		issued := 0
+		for issued < s.md.IssueWidth {
+			cand := s.pick(cycle)
+			if cand == nil {
+				break
+			}
+			s.issue(cand, cycle, issued)
+			issued++
+		}
+		if issued > 0 {
+			cycle++
+			continue
+		}
+
+		// Nothing issued: either wait for latencies, or we are blocked on
+		// deferrals, or the graph is cyclic.
+		next := -1
+		for _, nd := range s.g.Nodes {
+			if s.done[nd] {
+				continue
+			}
+			if at := s.earliest(nd); at > cycle && (next == -1 || at < next) {
+				next = at
+			}
+		}
+		if next > cycle {
+			cycle = next
+			continue
+		}
+		// Deferred candidates are ready but held back. Force the
+		// highest-priority one to break the deadlock; for recovery this
+		// sacrifices restartability of the affected region (counted), never
+		// architectural correctness. A forced store-separation violation
+		// could deadlock the store buffer, so it is an error instead.
+		if cand := s.pickDeferred(cycle, deferRecovery); cand != nil {
+			s.stats.ForcedIssues++
+			s.issue(cand, cycle, 0)
+			cycle++
+			continue
+		}
+		if s.pickDeferred(cycle, deferStoreSep) != nil {
+			return fmt.Errorf("store-buffer separation constraint is unsatisfiable (buffer size %d)", s.md.StoreBuffer)
+		}
+		return fmt.Errorf("dependence cycle detected")
+	}
+}
+
+// pick returns the best ready, non-deferred candidate at cycle, or nil.
+// Under recovery constraints, ready control instructions go first within a
+// cycle: an instruction issued in a later slot of a branch's own cycle is
+// not speculative (a taken branch nullifies it), so fewer restartable
+// regions open — at identical performance.
+func (s *scheduler) pick(cycle int) *depgraph.Node {
+	var best *depgraph.Node
+	for _, nd := range s.g.Nodes {
+		if s.done[nd] || !s.ready(nd, cycle) || s.deferral(nd) != deferNo {
+			continue
+		}
+		if s.md.Recovery {
+			bc := best != nil && ir.IsControl(best.Instr.Op)
+			nc := ir.IsControl(nd.Instr.Op)
+			if nc != bc {
+				if nc {
+					best = nd
+				}
+				continue
+			}
+		}
+		if best == nil || s.better(nd, best) {
+			best = nd
+		}
+	}
+	return best
+}
+
+// pickDeferred returns the best ready candidate held back for the given
+// reason.
+func (s *scheduler) pickDeferred(cycle int, reason deferReason) *depgraph.Node {
+	var best *depgraph.Node
+	for _, nd := range s.g.Nodes {
+		if s.done[nd] || !s.ready(nd, cycle) || s.deferral(nd) != reason {
+			continue
+		}
+		if best == nil || s.better(nd, best) {
+			best = nd
+		}
+	}
+	return best
+}
+
+// pendingBranchesAbove counts the conditional branches that precede nd in
+// the original order but are not yet scheduled: the number of shadow levels
+// nd's result must survive (its boost level).
+func (s *scheduler) pendingBranchesAbove(nd *depgraph.Node) int {
+	n := 0
+	for _, other := range s.g.Nodes {
+		if !other.Sentinel && ir.IsBranch(other.Instr.Op) &&
+			other.Index < nd.Index && !s.done[other] {
+			n++
+		}
+	}
+	return n
+}
+
+// better orders candidates by critical-path height, then by original
+// program order for determinism.
+func (s *scheduler) better(a, b *depgraph.Node) bool {
+	ha, hb := s.height[a], s.height[b]
+	if ha != hb {
+		return ha > hb
+	}
+	if a.Index != b.Index {
+		return a.Index < b.Index
+	}
+	// A sentinel shares its protectee's index; schedule the protectee
+	// first (the sentinel depends on it anyway).
+	return !a.Sentinel && b.Sentinel
+}
+
+// emit rewrites the block's instructions in schedule order and resolves
+// confirm_store indices: the number of stores between a speculative store
+// and its confirm in the final schedule (§4.2).
+func (s *scheduler) emit(b *prog.Block) {
+	nodes := make([]*depgraph.Node, len(s.g.Nodes))
+	copy(nodes, s.g.Nodes)
+	sort.Slice(nodes, func(i, j int) bool {
+		ci, cj := s.cycleOf[nodes[i]], s.cycleOf[nodes[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return s.slotOf[nodes[i]] < s.slotOf[nodes[j]]
+	})
+	instrs := make([]*ir.Instr, len(nodes))
+	pos := map[*depgraph.Node]int{}
+	for i, nd := range nodes {
+		nd.Instr.Cycle = s.cycleOf[nd]
+		nd.Instr.Slot = s.slotOf[nd]
+		instrs[i] = nd.Instr
+		pos[nd] = i
+	}
+	for store, confirm := range s.pairs {
+		n := int64(0)
+		for i := pos[store] + 1; i < pos[confirm]; i++ {
+			if ir.BufferedStore(instrs[i].Op) {
+				n++
+			}
+		}
+		confirm.Instr.Imm = n
+	}
+	b.Instrs = instrs
+}

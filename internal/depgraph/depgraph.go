@@ -1,0 +1,514 @@
+// Package depgraph builds the dependence graph of a superblock and performs
+// the dependence-graph reduction of the sentinel paper's Appendix: removing
+// control dependences to enable speculative code motion under the selected
+// scheduling model and marking unprotected instructions.
+//
+// Edge semantics. Every edge carries a Delay:
+//
+//   - to.cycle >= from.cycle + Delay, and
+//   - when both end up in the same cycle (possible only for Delay 0), from
+//     must occupy an earlier slot than to.
+//
+// The simulated machine executes instructions in schedule order with
+// immediate architectural effect and scoreboard interlocks for timing, so
+// order-preserving 0-delay edges are sufficient for anti, output, memory and
+// control dependences, while flow edges carry the producer's latency as a
+// performance (not correctness) hint.
+package depgraph
+
+import (
+	"fmt"
+
+	"sentinel/internal/alias"
+	"sentinel/internal/dataflow"
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+)
+
+// Kind classifies a dependence edge.
+type Kind uint8
+
+const (
+	Flow    Kind = iota // read after write (register)
+	Anti                // write after read (register)
+	Output              // write after write (register)
+	Mem                 // memory ordering (may-alias pairs involving a store)
+	Control             // control dependence
+)
+
+var kindNames = [...]string{Flow: "flow", Anti: "anti", Output: "output",
+	Mem: "mem", Control: "control"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Edge is a dependence from From to To.
+type Edge struct {
+	From, To *Node
+	Kind     Kind
+	Delay    int
+}
+
+// Node wraps one instruction of the superblock.
+type Node struct {
+	Instr *ir.Instr
+	// Index is the original position within the superblock; inserted
+	// sentinel nodes get the index of the instruction they protect plus a
+	// large offset, and are distinguishable via Sentinel.
+	Index int
+	// Sentinel marks nodes inserted during scheduling (check_exception or
+	// confirm_store) rather than present in the original code.
+	Sentinel bool
+	// Protects is the node this sentinel was inserted for (nil otherwise).
+	Protects *Node
+
+	In  []*Edge // dependences that must be satisfied before this node
+	Out []*Edge
+
+	// Unprotected marks instructions whose exception condition has no use
+	// within their home block: speculating them requires an explicit
+	// sentinel (§3.1, Appendix).
+	Unprotected bool
+
+	// HomeStart is the index of the nearest control instruction before this
+	// node (-1 if none): the upper boundary of the home block. HomeEnd is
+	// the index of the first control instruction at or after this node
+	// (len(instrs) if none): the lower boundary.
+	HomeStart, HomeEnd int
+}
+
+// Graph is the dependence graph of one superblock.
+type Graph struct {
+	Block *prog.Block
+	Nodes []*Node
+
+	lv      *dataflow.Liveness
+	pv      *alias.Provenance
+	reduced bool
+	// RemovedControl counts control dependences removed by reduction
+	// (reported by ablation experiments).
+	RemovedControl int
+}
+
+// Build constructs the full dependence graph of superblock b (all data,
+// memory and control dependences, no reduction). lv must be liveness for the
+// program containing b; pv supplies pointer provenance for memory
+// disambiguation and may be nil (fully conservative aliasing).
+func Build(b *prog.Block, lv *dataflow.Liveness, pv *alias.Provenance) *Graph {
+	g := &Graph{Block: b, lv: lv, pv: pv}
+	n := len(b.Instrs)
+	g.Nodes = make([]*Node, n)
+	for i, in := range b.Instrs {
+		g.Nodes[i] = &Node{Instr: in, Index: i, HomeStart: -1, HomeEnd: n}
+	}
+	g.homeBlocks()
+	g.registerDeps()
+	g.memoryDeps()
+	g.controlDeps()
+	return g
+}
+
+func (g *Graph) homeBlocks() {
+	last := -1
+	for i, nd := range g.Nodes {
+		nd.HomeStart = last
+		if ir.IsControl(nd.Instr.Op) {
+			last = i
+		}
+	}
+	next := len(g.Nodes)
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		nd := g.Nodes[i]
+		if ir.IsControl(nd.Instr.Op) {
+			// A control instruction ends its own home block.
+			nd.HomeEnd = i
+		} else {
+			nd.HomeEnd = next
+		}
+		if ir.IsControl(nd.Instr.Op) {
+			next = i
+		}
+	}
+}
+
+func (g *Graph) addEdge(from, to *Node, kind Kind, delay int) *Edge {
+	e := &Edge{From: from, To: to, Kind: kind, Delay: delay}
+	from.Out = append(from.Out, e)
+	to.In = append(to.In, e)
+	return e
+}
+
+func (g *Graph) registerDeps() {
+	lastDef := map[ir.Reg]*Node{}
+	usesSinceDef := map[ir.Reg][]*Node{}
+	for _, nd := range g.Nodes {
+		in := nd.Instr
+		for _, u := range in.Uses() {
+			if d := lastDef[u]; d != nil {
+				g.addEdge(d, nd, Flow, machine.Latency(d.Instr.Op))
+			}
+			usesSinceDef[u] = append(usesSinceDef[u], nd)
+		}
+		if d, ok := in.Def(); ok {
+			if prev := lastDef[d]; prev != nil {
+				g.addEdge(prev, nd, Output, 0)
+			}
+			for _, r := range usesSinceDef[d] {
+				if r != nd {
+					g.addEdge(r, nd, Anti, 0)
+				}
+			}
+			lastDef[d] = nd
+			usesSinceDef[d] = nil
+		}
+	}
+}
+
+// memRef describes one memory access for disambiguation: base register, its
+// definition version at the access, the accumulated affine offset of that
+// version, and the byte range.
+type memRef struct {
+	base    ir.Reg
+	version int
+	lo, hi  int64
+}
+
+// disjoint reports whether two accesses provably do not overlap: the same
+// base register within the same affine version chain (constant increments
+// keep accesses comparable across unrolled copies) with non-overlapping
+// effective ranges, or bases with provably different pointer provenance.
+func (g *Graph) disjoint(a, b memRef) bool {
+	if a.base == b.base && a.version == b.version && (a.hi <= b.lo || b.hi <= a.lo) {
+		return true
+	}
+	return g.pv != nil && g.pv.Disjoint(a.base, b.base)
+}
+
+func (g *Graph) memoryDeps() {
+	type baseState struct {
+		version int
+		delta   int64 // accumulated affine offset within this version
+	}
+	state := map[ir.Reg]baseState{}
+	type access struct {
+		node *Node
+		ref  memRef
+	}
+	var loads, stores []access
+	for _, nd := range g.Nodes {
+		in := nd.Instr
+		if ir.IsMem(in.Op) {
+			st := state[in.Src1]
+			ref := memRef{base: in.Src1, version: st.version,
+				lo: in.Imm + st.delta, hi: in.Imm + st.delta + int64(ir.MemSize(in.Op))}
+			a := access{nd, ref}
+			if ir.IsStore(in.Op) {
+				for _, p := range append(loads, stores...) {
+					if !g.disjoint(p.ref, ref) {
+						g.addEdge(p.node, nd, Mem, 0)
+					}
+				}
+				stores = append(stores, a)
+			} else {
+				for _, p := range stores {
+					if !g.disjoint(p.ref, ref) {
+						g.addEdge(p.node, nd, Mem, 0)
+					}
+				}
+				loads = append(loads, a)
+			}
+		}
+		if d, ok := in.Def(); ok {
+			if (in.Op == ir.Add || in.Op == ir.Sub) && !in.Src2.Valid() && in.Src1 == d {
+				st := state[d]
+				if in.Op == ir.Add {
+					st.delta += in.Imm
+				} else {
+					st.delta -= in.Imm
+				}
+				state[d] = st
+			} else {
+				state[d] = baseState{version: state[d].version + 1}
+			}
+		}
+	}
+}
+
+func (g *Graph) controlDeps() {
+	for ci, c := range g.Nodes {
+		if !ir.IsControl(c.Instr.Op) {
+			continue
+		}
+		// Upward-motion restrictions: control dependence from the control
+		// instruction to every later instruction. Reduction may remove
+		// these for conditional branches.
+		//
+		// A non-speculative potentially-trapping instruction must wait for
+		// an older conditional branch to RESOLVE (branch latency, 1 cycle):
+		// were it issued in the branch's own group, a wrong-path exception
+		// would be signalled — precisely the hazard that requires sentinel
+		// hardware. Non-trapping instructions may share the branch's group;
+		// a taken branch nullifies younger slots cleanly.
+		for i := ci + 1; i < len(g.Nodes); i++ {
+			delay := 0
+			if ir.IsBranch(c.Instr.Op) && ir.Traps(g.Nodes[i].Instr.Op) {
+				delay = machine.Latency(c.Instr.Op)
+			}
+			g.addEdge(c, g.Nodes[i], Control, delay)
+		}
+		// Downward-motion restrictions: instructions whose effects must be
+		// architecturally visible if the exit is taken may not sink below
+		// it: stores, trapping instructions (their exception would be
+		// lost), and producers of values live on the taken path. Nothing
+		// may sink past an unconditional exit (Jmp/Halt): it could never
+		// execute, and blocks must stay well-formed.
+		live := g.lv.LiveAtTaken(g.Block, ci)
+		uncond := c.Instr.Op == ir.Jmp || c.Instr.Op == ir.Halt
+		for i := 0; i < ci; i++ {
+			nd := g.Nodes[i]
+			in := nd.Instr
+			if ir.IsControl(in.Op) {
+				continue // already ordered via the control edge above
+			}
+			need := uncond || ir.IsStore(in.Op) || ir.Traps(in.Op)
+			if !need {
+				if d, ok := in.Def(); ok && live.Has(d) {
+					need = true
+				}
+			}
+			if need {
+				g.addEdge(nd, c, Control, 0)
+			}
+		}
+	}
+}
+
+// Reduce performs dependence-graph reduction for the given machine (Appendix
+// algorithm): it removes control dependences BR -> I when the model allows I
+// to be speculative and dest(I) is not live when BR is taken, and it marks
+// unprotected instructions. Reduce may be called once per graph.
+func (g *Graph) Reduce(md machine.Desc) {
+	if g.reduced {
+		panic("depgraph: Reduce called twice")
+	}
+	g.reduced = true
+	if md.Model != machine.Boosting {
+		g.markUnprotected(md)
+	}
+
+	for _, nd := range g.Nodes {
+		in := nd.Instr
+		if !md.AllowSpeculative(in.Op) {
+			continue
+		}
+		var keep []*Edge
+		for _, e := range nd.In {
+			if e.Kind == Control && e.From.Index < nd.Index && ir.IsBranch(e.From.Instr.Op) {
+				if md.Model == machine.Boosting {
+					// Boosting enforces NEITHER restriction (§2.3): the
+					// shadow register file holds the result until the
+					// crossed branches commit, so even a live destination
+					// may be boosted — but only above at most BoostLevels
+					// branches (shadow storage is finite).
+					if g.branchesBetween(e.From.Index, nd.Index) <= md.BoostLevels {
+						g.RemovedControl++
+						e.From.Out = removeEdge(e.From.Out, e)
+						continue
+					}
+					keep = append(keep, e)
+					continue
+				}
+				// Restriction (1): dest(I) must not be used before being
+				// redefined when BR is taken. Stores have no destination:
+				// restriction (1) holds trivially and §4.2 removes the
+				// dependence outright (memory edges still apply).
+				d, hasDest := in.Def()
+				if !hasDest || !g.lv.LiveAtTaken(g.Block, e.From.Index).Has(d) {
+					g.RemovedControl++
+					e.From.Out = removeEdge(e.From.Out, e)
+					continue
+				}
+			}
+			keep = append(keep, e)
+		}
+		nd.In = keep
+	}
+}
+
+// branchesBetween counts conditional branches with original index in
+// [from, to): the number of branches an instruction at to crosses when
+// hoisted above the branch at from.
+func (g *Graph) branchesBetween(from, to int) int {
+	n := 0
+	for i := from; i < to && i < len(g.Nodes); i++ {
+		if ir.IsBranch(g.Nodes[i].Instr.Op) {
+			n++
+		}
+	}
+	return n
+}
+
+func removeEdge(edges []*Edge, e *Edge) []*Edge {
+	for i, x := range edges {
+		if x == e {
+			return append(edges[:i], edges[i+1:]...)
+		}
+	}
+	return edges
+}
+
+// markUnprotected implements the protected/unprotected classification of the
+// Appendix: an instruction is unprotected when its exception condition (its
+// own, or one inherited as sentinel duty from an earlier instruction) has no
+// consuming use within its home block; speculating it requires an explicit
+// sentinel. Stores are handled per §4.2: under the speculative-store model
+// every store is unprotected (its sentinel is a confirm_store).
+func (g *Graph) markUnprotected(md machine.Desc) {
+	duty := make([]bool, len(g.Nodes)) // carries an unchecked exception condition
+	for i, nd := range g.Nodes {
+		in := nd.Instr
+		if ir.IsStore(in.Op) {
+			// A store cannot pass sentinel duty on (it defines no register).
+			// It is unprotected when it carries inherited duty (it can still
+			// serve as a sentinel while non-speculative, cf. instruction F
+			// in Figure 1), and under the speculative-store model every
+			// store is unprotected: its sentinel is a confirm_store (§4.2),
+			// which also reports any inherited exception condition captured
+			// in the buffer entry (Table 2).
+			if duty[i] || md.Model == machine.SentinelStores {
+				nd.Unprotected = true
+			}
+			continue
+		}
+		if !ir.Traps(in.Op) && !duty[i] {
+			continue
+		}
+		if md.NoSharedSentinels && ir.Traps(in.Op) {
+			// Ablation: no instruction may serve as another's sentinel;
+			// every speculated trapping instruction needs its own check.
+			nd.Unprotected = true
+			continue
+		}
+		// Find the first use of dest(I) at or before the first succeeding
+		// control instruction (the control instruction itself may be the
+		// consuming use).
+		d, ok := in.Def()
+		if !ok {
+			nd.Unprotected = true
+			continue
+		}
+		carrier := -1
+		for j := i + 1; j <= nd.HomeEnd && j < len(g.Nodes); j++ {
+			if uses(g.Nodes[j].Instr, d) {
+				carrier = j
+				break
+			}
+			if d2, ok2 := g.Nodes[j].Instr.Def(); ok2 && d2 == d {
+				break // redefined before any use: no carrier in home block
+			}
+		}
+		if carrier >= 0 {
+			duty[carrier] = true
+		} else {
+			nd.Unprotected = true
+		}
+	}
+}
+
+func uses(in *ir.Instr, r ir.Reg) bool {
+	for _, u := range in.Uses() {
+		if u == r {
+			return true
+		}
+	}
+	return false
+}
+
+// InsertSentinel creates a check_exception node J for speculative
+// unprotected instruction I (Appendix):
+//
+//   - a flow dependence I -> J (J reads I's destination's exception tag),
+//   - a control dependence from the nearest control instruction preceding I
+//     in the original order (the lower bound of I's home block) to J, and
+//   - a control dependence from J to the first control instruction
+//     originally below I, keeping J inside the home block.
+//
+// The caller (the list scheduler) adds J to its unscheduled set.
+func (g *Graph) InsertSentinel(forNode *Node) *Node {
+	in := forNode.Instr
+	d, ok := in.Def()
+	if !ok {
+		panic(fmt.Sprintf("depgraph: sentinel for instruction without destination: %v", in))
+	}
+	chk := ir.CHECK(d)
+	j := &Node{
+		Instr:     chk,
+		Index:     forNode.Index,
+		Sentinel:  true,
+		Protects:  forNode,
+		HomeStart: forNode.HomeStart,
+		HomeEnd:   forNode.HomeEnd,
+	}
+	g.addEdge(forNode, j, Flow, machine.Latency(in.Op))
+	if forNode.HomeStart >= 0 {
+		g.addEdge(g.Nodes[forNode.HomeStart], j, Control, 0)
+	}
+	if forNode.HomeEnd < len(g.Nodes) {
+		g.addEdge(j, g.Nodes[forNode.HomeEnd], Control, 0)
+	}
+	g.Nodes = append(g.Nodes, j)
+	return j
+}
+
+// InsertConfirm creates a confirm_store node for speculative store I, with
+// the same home-block constraints as InsertSentinel. The confirm's index
+// operand is filled in after scheduling, when the number of intervening
+// stores is known (§4.2).
+func (g *Graph) InsertConfirm(forNode *Node) *Node {
+	if !ir.IsStore(forNode.Instr.Op) {
+		panic("depgraph: InsertConfirm on non-store")
+	}
+	cf := ir.CONFIRM(-1)
+	j := &Node{
+		Instr:     cf,
+		Index:     forNode.Index,
+		Sentinel:  true,
+		Protects:  forNode,
+		HomeStart: forNode.HomeStart,
+		HomeEnd:   forNode.HomeEnd,
+	}
+	// The confirm must follow the store's insertion into the buffer.
+	g.addEdge(forNode, j, Mem, machine.Latency(forNode.Instr.Op))
+	if forNode.HomeStart >= 0 {
+		g.addEdge(g.Nodes[forNode.HomeStart], j, Control, 0)
+	}
+	if forNode.HomeEnd < len(g.Nodes) {
+		g.addEdge(j, g.Nodes[forNode.HomeEnd], Control, 0)
+	}
+	g.Nodes = append(g.Nodes, j)
+	return j
+}
+
+// AddAnti records an anti dependence from -> to discovered during
+// scheduling. The list scheduler uses it to keep later writers of a checked
+// register from clobbering it before an inserted sentinel reads it.
+func (g *Graph) AddAnti(from, to *Node) { g.addEdge(from, to, Anti, 0) }
+
+// String renders the graph for debugging.
+func (g *Graph) String() string {
+	s := ""
+	for _, nd := range g.Nodes {
+		flag := ""
+		if nd.Unprotected {
+			flag = " [unprotected]"
+		}
+		if nd.Sentinel {
+			flag += " [sentinel]"
+		}
+		s += fmt.Sprintf("%3d: %v%s\n", nd.Index, nd.Instr, flag)
+		for _, e := range nd.In {
+			s += fmt.Sprintf("      <- %d (%v, delay %d)\n", e.From.Index, e.Kind, e.Delay)
+		}
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+// Package eval is the experiment harness that regenerates the paper's
+// evaluation: Figure 4 (sentinel scheduling vs restricted percolation) and
+// Figure 5 (general percolation vs sentinel scheduling vs sentinel
+// scheduling with speculative stores), for issue rates 2, 4 and 8, over the
+// 17 benchmark kernels — plus the extension experiments (recovery-constraint
+// cost, store-buffer size sweep, sentinel-overhead counts).
+//
+// As in the paper, the base machine for all speedup calculations has an
+// issue rate of 1 and supports the restricted percolation model (§5.2).
+package eval
+
+import (
+	"fmt"
+
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// Widths are the issue rates evaluated in the paper's figures.
+var Widths = []int{2, 4, 8}
+
+// Cell is one measurement: a benchmark compiled and simulated on one
+// machine configuration.
+type Cell struct {
+	Cycles  int64
+	Instrs  int64
+	Speedup float64 // vs the issue-1 restricted base of the same benchmark
+	Stats   core.Stats
+}
+
+// Measurement errors wrap the benchmark name.
+
+// Measure compiles benchmark b for machine md (profiling on the training
+// input, forming superblocks, scheduling) and simulates it, verifying that
+// the architectural result matches the reference interpreter.
+func Measure(b workload.Benchmark, md machine.Desc, sbo superblock.Options) (Cell, error) {
+	p, m := b.Build()
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		return Cell{}, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	ref, err := prog.Run(p, m.Clone(), prog.Options{Collect: true})
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s: reference: %w", b.Name, err)
+	}
+	f := superblock.Form(p, ref.Profile, sbo)
+	f.Layout()
+	if err := f.Validate(); err != nil {
+		return Cell{}, fmt.Errorf("%s: formation: %w", b.Name, err)
+	}
+	sched, stats, err := core.Schedule(f, md)
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s: schedule: %w", b.Name, err)
+	}
+	res, err := sim.Run(sched, md, m, sim.Options{})
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s: simulate: %w", b.Name, err)
+	}
+	if res.MemSum != ref.MemSum {
+		return Cell{}, fmt.Errorf("%s: memory checksum mismatch under %v w%d", b.Name, md.Model, md.IssueWidth)
+	}
+	if len(res.Out) != len(ref.Out) {
+		return Cell{}, fmt.Errorf("%s: output length mismatch", b.Name)
+	}
+	for i := range res.Out {
+		if res.Out[i] != ref.Out[i] {
+			return Cell{}, fmt.Errorf("%s: output[%d] mismatch: %d != %d", b.Name, i, res.Out[i], ref.Out[i])
+		}
+	}
+	return Cell{Cycles: res.Cycles, Instrs: res.Instrs, Stats: stats}, nil
+}
+
+// Key identifies a machine configuration within a benchmark's results.
+type Key struct {
+	Model machine.Model
+	Width int
+}
+
+// BenchResult holds all measurements of one benchmark.
+type BenchResult struct {
+	Name    string
+	Numeric bool
+	// Base is the issue-1 restricted-percolation measurement all speedups
+	// are relative to.
+	Base  Cell
+	Cells map[Key]Cell
+}
+
+// Speedup returns the speedup of a configuration over the base machine.
+func (r *BenchResult) Speedup(model machine.Model, width int) float64 {
+	return r.Cells[Key{model, width}].Speedup
+}
+
+// Run measures benchmark b under every model in models at every width,
+// plus the base machine.
+func Run(b workload.Benchmark, models []machine.Model, widths []int, sbo superblock.Options) (*BenchResult, error) {
+	base, err := Measure(b, machine.Base(1, machine.Restricted), sbo)
+	if err != nil {
+		return nil, err
+	}
+	base.Speedup = 1
+	out := &BenchResult{Name: b.Name, Numeric: b.Numeric, Base: base, Cells: map[Key]Cell{}}
+	for _, model := range models {
+		for _, w := range widths {
+			c, err := Measure(b, machine.Base(w, model), sbo)
+			if err != nil {
+				return nil, err
+			}
+			c.Speedup = float64(base.Cycles) / float64(c.Cycles)
+			out.Cells[Key{model, w}] = c
+		}
+	}
+	return out, nil
+}
+
+// RunAll measures every registered benchmark.
+func RunAll(models []machine.Model, widths []int, sbo superblock.Options) ([]*BenchResult, error) {
+	var out []*BenchResult
+	for _, b := range workload.All() {
+		r, err := Run(b, models, widths, sbo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// GroupAverage returns the arithmetic-mean speedup of a configuration over
+// the numeric or non-numeric group.
+func GroupAverage(rs []*BenchResult, numeric bool, model machine.Model, width int) float64 {
+	sum, n := 0.0, 0
+	for _, r := range rs {
+		if r.Numeric != numeric {
+			continue
+		}
+		sum += r.Speedup(model, width)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// GroupImprovement returns the arithmetic-mean percentage improvement of
+// model a over model b at the given width, over one benchmark group — the
+// statistic the paper quotes ("57% speedup improvement ... over restricted
+// percolation").
+func GroupImprovement(rs []*BenchResult, numeric bool, a, b machine.Model, width int) float64 {
+	sum, n := 0.0, 0
+	for _, r := range rs {
+		if r.Numeric != numeric {
+			continue
+		}
+		sa, sb := r.Speedup(a, width), r.Speedup(b, width)
+		if sb > 0 {
+			sum += (sa/sb - 1) * 100
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

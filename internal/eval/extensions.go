@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"sentinel/internal/machine"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// RecoveryCost quantifies the §3.7 recovery constraints' performance impact
+// — the experiment the paper defers ("We are currently quantifying this
+// performance impact"): sentinel scheduling with and without restartable-
+// sequence enforcement, at issue 8.
+func RecoveryCost() (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Recovery-constraint cost (extension; issue 8, sentinel model)\n\n")
+	fmt.Fprintf(&sb, "%-11s %10s %10s %8s %8s %7s\n",
+		"benchmark", "S cycles", "S+rec", "slowdown", "renamed", "forced")
+	totS, totR := 0.0, 0.0
+	for _, b := range workload.All() {
+		s, err := Measure(b, machine.Base(8, machine.Sentinel), superblock.Options{})
+		if err != nil {
+			return "", err
+		}
+		r, err := Measure(b, machine.Base(8, machine.Sentinel).WithRecovery(), superblock.Options{})
+		if err != nil {
+			return "", err
+		}
+		slow := float64(r.Cycles)/float64(s.Cycles) - 1
+		totS += 1
+		totR += float64(r.Cycles) / float64(s.Cycles)
+		fmt.Fprintf(&sb, "%-11s %10d %10d %+7.1f%% %8d %7d\n",
+			b.Name, s.Cycles, r.Cycles, slow*100, r.Stats.Renamed, r.Stats.ForcedIssues)
+	}
+	fmt.Fprintf(&sb, "\naverage slowdown: %+.1f%%\n", (totR/totS-1)*100)
+	return sb.String(), nil
+}
+
+// StoreBufferSweep measures sentinel scheduling with speculative stores as
+// the store-buffer size varies: the §4.2 separation constraint ties a
+// speculative store to a confirm at most N-1 stores away, so small buffers
+// limit store speculation.
+func StoreBufferSweep() (string, error) {
+	sizes := []int{2, 4, 8, 16}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Store-buffer size sweep (extension; issue 8, sentinel+stores)\n\n")
+	fmt.Fprintf(&sb, "%-11s", "benchmark")
+	for _, n := range sizes {
+		fmt.Fprintf(&sb, "  N=%-7d", n)
+	}
+	fmt.Fprintf(&sb, "\n")
+	for _, b := range workload.All() {
+		fmt.Fprintf(&sb, "%-11s", b.Name)
+		for _, n := range sizes {
+			md := machine.Base(8, machine.SentinelStores)
+			md.StoreBuffer = n
+			c, err := Measure(b, md, superblock.Options{})
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "  %-9d", c.Cycles)
+		}
+		fmt.Fprintf(&sb, "\n")
+	}
+	return sb.String(), nil
+}
+
+// SharingAblation measures the §3.1 shared-sentinel optimization: with
+// sharing, a home-block use of a speculated instruction's result doubles as
+// its sentinel; without it, every speculated trapping instruction needs its
+// own check_exception. The ablation reports the extra checks and their
+// cycle cost at issue 2 (slot-starved) and issue 8.
+func SharingAblation() (string, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Shared-sentinel ablation (extension; sentinel model)\n\n")
+	fmt.Fprintf(&sb, "%-11s %8s %8s   %10s %10s   %10s %10s\n",
+		"benchmark", "checks", "nochecks", "cyc@2", "noshare@2", "cyc@8", "noshare@8")
+	for _, b := range workload.All() {
+		row := make(map[string]Cell)
+		for _, w := range []int{2, 8} {
+			shared, err := Measure(b, machine.Base(w, machine.Sentinel), superblock.Options{})
+			if err != nil {
+				return "", err
+			}
+			noshare, err := Measure(b, machine.Base(w, machine.Sentinel).WithoutSharedSentinels(), superblock.Options{})
+			if err != nil {
+				return "", err
+			}
+			row[fmt.Sprintf("s%d", w)] = shared
+			row[fmt.Sprintf("n%d", w)] = noshare
+		}
+		fmt.Fprintf(&sb, "%-11s %8d %8d   %10d %10d   %10d %10d\n",
+			b.Name,
+			row["s8"].Stats.Sentinels, row["n8"].Stats.Sentinels,
+			row["s2"].Cycles, row["n2"].Cycles,
+			row["s8"].Cycles, row["n8"].Cycles)
+	}
+	return sb.String(), nil
+}
+
+// BoostingComparison measures instruction boosting (§2.3) against sentinel
+// scheduling and general percolation at issue 8, across shadow-level
+// budgets. The paper's argument is that boosting's hardware cost grows with
+// the number of branches an instruction can be boosted above, while
+// sentinel scheduling gets unlimited-depth speculation from one tag bit per
+// register: boosting should approach (but not quite reach) sentinel
+// performance as levels grow.
+func BoostingComparison() (string, error) {
+	levels := []int{1, 2, 4}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Instruction boosting vs sentinel scheduling (extension; issue 8, speedup vs base)\n\n")
+	fmt.Fprintf(&sb, "%-11s", "benchmark")
+	for _, l := range levels {
+		fmt.Fprintf(&sb, "  B%-6d", l)
+	}
+	fmt.Fprintf(&sb, "  %-7s %-7s\n", "S", "G")
+	for _, b := range workload.All() {
+		base, err := Measure(b, machine.Base(1, machine.Restricted), superblock.Options{})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%-11s", b.Name)
+		for _, l := range levels {
+			md := machine.Base(8, machine.Boosting)
+			md.BoostLevels = l
+			c, err := Measure(b, md, superblock.Options{})
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "  %-7.2f", float64(base.Cycles)/float64(c.Cycles))
+		}
+		s, err := Measure(b, machine.Base(8, machine.Sentinel), superblock.Options{})
+		if err != nil {
+			return "", err
+		}
+		g, err := Measure(b, machine.Base(8, machine.General), superblock.Options{})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "  %-7.2f %-7.2f\n",
+			float64(base.Cycles)/float64(s.Cycles), float64(base.Cycles)/float64(g.Cycles))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"testing"
+
+	"sentinel/internal/workload"
+)
+
+// TestFaultInjectionOutcomes verifies the paper's central qualitative claim
+// quantitatively on a representative subset: sentinel scheduling (with
+// recovery constraints) detects an injected page fault at the exact PC and
+// recovers to the fault-free result, while general percolation either
+// silently corrupts the result or traps away from the true cause.
+func TestFaultInjectionOutcomes(t *testing.T) {
+	for _, name := range []string{"wc", "cmp", "grep", "tomcatv"} {
+		b, _ := workload.ByName(name)
+		o, err := injectOne(b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if o.SentinelSignals == 0 || !o.SentinelExactPC {
+			t.Errorf("%s: sentinel must signal with the exact PC: %+v", name, o)
+		}
+		if !o.SentinelRecovered {
+			t.Errorf("%s: sentinel+recovery must reach the fault-free result", name)
+		}
+		if !o.RestrictedExact {
+			t.Errorf("%s: restricted percolation must trap precisely", name)
+		}
+		if !o.GeneralSilentCorruption && !o.GeneralMisattributed {
+			t.Errorf("%s: general percolation should corrupt or misattribute, got %+v", name, o)
+		}
+	}
+}
+
+// TestFaultInjectionAllBenchmarks runs the full study (skipped with -short).
+func TestFaultInjectionAllBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault campaign")
+	}
+	for _, b := range workload.All() {
+		o, err := injectOne(b)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !o.SentinelRecovered {
+			t.Errorf("%s: sentinel recovery failed: %+v", b.Name, o)
+		}
+		if o.SentinelSignals == 0 {
+			t.Errorf("%s: no fault was ever signalled (injection ineffective)", b.Name)
+		}
+	}
+}

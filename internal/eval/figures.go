@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+)
+
+// Figure4 renders the paper's Figure 4: speedup of sentinel scheduling (S)
+// vs restricted percolation (R) at issue rates 2, 4, 8, base = issue-1
+// restricted percolation.
+func Figure4(rs []*BenchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4: sentinel scheduling (S) vs restricted percolation (R)\n")
+	fmt.Fprintf(&sb, "speedup over issue-1 restricted base\n\n")
+	fmt.Fprintf(&sb, "%-11s", "benchmark")
+	for _, w := range Widths {
+		fmt.Fprintf(&sb, "  R@%-4d S@%-4d", w, w)
+	}
+	fmt.Fprintf(&sb, "\n")
+	writeRows(&sb, rs, func(r *BenchResult) []float64 {
+		var v []float64
+		for _, w := range Widths {
+			v = append(v, r.Speedup(machine.Restricted, w), r.Speedup(machine.Sentinel, w))
+		}
+		return v
+	})
+	for _, numeric := range []bool{false, true} {
+		fmt.Fprintf(&sb, "\n%s group, S over R improvement:", groupName(numeric))
+		for _, w := range Widths {
+			fmt.Fprintf(&sb, "  issue %d: %+.0f%%", w,
+				GroupImprovement(rs, numeric, machine.Sentinel, machine.Restricted, w))
+		}
+		fmt.Fprintf(&sb, "\n")
+	}
+	return sb.String()
+}
+
+// Figure5 renders the paper's Figure 5: general percolation (G), sentinel
+// scheduling (S), and sentinel scheduling with speculative stores (T).
+func Figure5(rs []*BenchResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5: general percolation (G), sentinel (S), sentinel+spec stores (T)\n")
+	fmt.Fprintf(&sb, "speedup over issue-1 restricted base\n\n")
+	fmt.Fprintf(&sb, "%-11s", "benchmark")
+	for _, w := range Widths {
+		fmt.Fprintf(&sb, "  G@%-4d S@%-4d T@%-4d", w, w, w)
+	}
+	fmt.Fprintf(&sb, "\n")
+	writeRows(&sb, rs, func(r *BenchResult) []float64 {
+		var v []float64
+		for _, w := range Widths {
+			v = append(v,
+				r.Speedup(machine.General, w),
+				r.Speedup(machine.Sentinel, w),
+				r.Speedup(machine.SentinelStores, w))
+		}
+		return v
+	})
+	for _, numeric := range []bool{false, true} {
+		fmt.Fprintf(&sb, "\n%s group, T over S improvement:", groupName(numeric))
+		for _, w := range Widths {
+			fmt.Fprintf(&sb, "  issue %d: %+.1f%%", w,
+				GroupImprovement(rs, numeric, machine.SentinelStores, machine.Sentinel, w))
+		}
+		fmt.Fprintf(&sb, "\n")
+	}
+	return sb.String()
+}
+
+func writeRows(sb *strings.Builder, rs []*BenchResult, cols func(*BenchResult) []float64) {
+	numericShown := false
+	for _, r := range rs {
+		if r.Numeric && !numericShown {
+			fmt.Fprintf(sb, "%s\n", strings.Repeat("-", 11+len(cols(r))*8))
+			numericShown = true
+		}
+		fmt.Fprintf(sb, "%-11s", r.Name)
+		for _, v := range cols(r) {
+			fmt.Fprintf(sb, "  %-6.2f", v)
+		}
+		fmt.Fprintf(sb, "\n")
+	}
+}
+
+func groupName(numeric bool) string {
+	if numeric {
+		return "numeric"
+	}
+	return "non-numeric"
+}
+
+// Table3 renders the instruction-latency table of the paper.
+func Table3() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 3: instruction latencies\n\n")
+	rows := []struct {
+		name string
+		unit ir.Unit
+	}{
+		{"Int ALU", ir.UnitIntALU},
+		{"Int multiply", ir.UnitIntMul},
+		{"Int divide", ir.UnitIntDiv},
+		{"branch", ir.UnitBranch},
+		{"memory load", ir.UnitLoad},
+		{"memory store", ir.UnitStore},
+		{"FP ALU", ir.UnitFPALU},
+		{"FP conversion", ir.UnitFPConv},
+		{"FP multiply", ir.UnitFPMul},
+		{"FP divide", ir.UnitFPDiv},
+	}
+	for _, r := range rows {
+		lat := fmt.Sprintf("%d", machine.Latencies[r.unit])
+		if r.unit == ir.UnitBranch {
+			lat = fmt.Sprintf("%d / %d slot", machine.Latencies[r.unit], machine.BranchTakenPenalty)
+		}
+		fmt.Fprintf(&sb, "%-15s %s\n", r.name, lat)
+	}
+	return sb.String()
+}
+
+// SentinelOverheadTable reports the scheduling statistics per benchmark at
+// the given width under sentinel scheduling: speculated instructions,
+// explicit sentinels inserted, confirms inserted under the store model —
+// the ablation behind the paper's claim that "most of the sentinels can be
+// scheduled in empty instruction slots".
+func SentinelOverheadTable(rs []*BenchResult, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Sentinel overhead at issue %d\n\n", width)
+	fmt.Fprintf(&sb, "%-11s %6s %7s %9s %9s\n", "benchmark", "spec", "checks", "confirms", "S/G ratio")
+	for _, r := range rs {
+		s := r.Cells[Key{machine.Sentinel, width}]
+		ts := r.Cells[Key{machine.SentinelStores, width}]
+		g := r.Cells[Key{machine.General, width}]
+		ratio := 0.0
+		if s.Cycles > 0 {
+			ratio = float64(g.Cycles) / float64(s.Cycles)
+		}
+		fmt.Fprintf(&sb, "%-11s %6d %7d %9d %9.3f\n",
+			r.Name, s.Stats.Speculative, s.Stats.Sentinels, ts.Stats.Confirms, ratio)
+	}
+	return sb.String()
+}

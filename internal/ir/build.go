@@ -1,0 +1,118 @@
+package ir
+
+// Constructor helpers. These keep workload generators and tests terse while
+// guaranteeing well-formed operand shapes for each opcode.
+
+// ALU builds a three-register ALU instruction dest = src1 op src2.
+func ALU(op Op, dest, src1, src2 Reg) *Instr {
+	i := New(op)
+	i.Dest, i.Src1, i.Src2 = dest, src1, src2
+	return i
+}
+
+// ALUI builds a register-immediate ALU instruction dest = src1 op imm.
+func ALUI(op Op, dest, src1 Reg, imm int64) *Instr {
+	i := New(op)
+	i.Dest, i.Src1, i.Imm = dest, src1, imm
+	return i
+}
+
+// LI builds dest = imm.
+func LI(dest Reg, imm int64) *Instr {
+	i := New(Li)
+	i.Dest, i.Imm = dest, imm
+	return i
+}
+
+// MOV builds dest = src (integer move).
+func MOV(dest, src Reg) *Instr {
+	i := New(Mov)
+	i.Dest, i.Src1 = dest, src
+	return i
+}
+
+// FMOV builds dest = src (floating-point move).
+func FMOV(dest, src Reg) *Instr {
+	i := New(Fmov)
+	i.Dest, i.Src1 = dest, src
+	return i
+}
+
+// UN builds a one-source unary instruction dest = op src (Fneg, Fabs, Cvif,
+// Cvfi, Mov, Fmov).
+func UN(op Op, dest, src Reg) *Instr {
+	i := New(op)
+	i.Dest, i.Src1 = dest, src
+	return i
+}
+
+// LOAD builds dest = mem[base+off] with the given load opcode.
+func LOAD(op Op, dest, base Reg, off int64) *Instr {
+	i := New(op)
+	i.Dest, i.Src1, i.Imm = dest, base, off
+	return i
+}
+
+// STORE builds mem[base+off] = val with the given store opcode.
+func STORE(op Op, base Reg, off int64, val Reg) *Instr {
+	i := New(op)
+	i.Src1, i.Imm, i.Src2 = base, off, val
+	return i
+}
+
+// BR builds a two-register conditional branch to target.
+func BR(op Op, src1, src2 Reg, target string) *Instr {
+	i := New(op)
+	i.Src1, i.Src2, i.Target = src1, src2, target
+	return i
+}
+
+// BRI builds a register-immediate conditional branch to target.
+func BRI(op Op, src1 Reg, imm int64, target string) *Instr {
+	i := New(op)
+	i.Src1, i.Imm, i.Target = src1, imm, target
+	return i
+}
+
+// JMP builds an unconditional jump to target.
+func JMP(target string) *Instr {
+	i := New(Jmp)
+	i.Target = target
+	return i
+}
+
+// JSR builds a call to the named runtime routine. The routine reads its
+// argument from the integer register passed as arg.
+func JSR(name string, arg Reg) *Instr {
+	i := New(Jsr)
+	i.Target = name
+	i.Src1 = arg
+	return i
+}
+
+// HALT builds a program-stop instruction.
+func HALT() *Instr { return New(Halt) }
+
+// NOP builds a no-operation instruction.
+func NOP() *Instr { return New(Nop) }
+
+// CHECK builds a check_exception(src) explicit sentinel.
+func CHECK(src Reg) *Instr {
+	i := New(Check)
+	i.Src1 = src
+	return i
+}
+
+// CONFIRM builds a confirm_store(index) sentinel for a speculative store.
+func CONFIRM(index int64) *Instr {
+	i := New(ConfirmSt)
+	i.Imm = index
+	return i
+}
+
+// CLEARTAG builds an instruction that resets dest's exception tag (§3.5).
+func CLEARTAG(dest Reg) *Instr {
+	i := New(ClearTag)
+	i.Dest = dest
+	return i
+}

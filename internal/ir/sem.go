@@ -1,0 +1,147 @@
+package ir
+
+import "math"
+
+// Value semantics shared by the reference interpreter and the cycle
+// simulator. Keeping them in one place guarantees that every scheduling
+// model computes identical architectural results.
+
+// IntALUOp evaluates a non-trapping integer ALU opcode (Add..Slt, Mul).
+// Shift counts are taken modulo 64.
+func IntALUOp(op Op, a, b int64) int64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (uint64(b) & 63)
+	case Shr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case Slt:
+		if a < b {
+			return 1
+		}
+		return 0
+	default:
+		panic("ir: IntALUOp on " + op.String())
+	}
+}
+
+// IntDivOp evaluates Div/Rem. Division by zero raises ExcDivZero; the
+// result value in that case is unspecified by the architecture and returned
+// as zero. MinInt64/-1 wraps (no trap), matching two's-complement hardware.
+func IntDivOp(op Op, a, b int64) (int64, ExcKind) {
+	if b == 0 {
+		return 0, ExcDivZero
+	}
+	if a == math.MinInt64 && b == -1 {
+		if op == Div {
+			return math.MinInt64, ExcNone
+		}
+		return 0, ExcNone
+	}
+	if op == Div {
+		return a / b, ExcNone
+	}
+	return a % b, ExcNone
+}
+
+// FPOp evaluates a two-source floating-point arithmetic opcode. A NaN
+// produced from non-NaN inputs or a division by zero raises ExcFPInvalid;
+// an infinite result from finite inputs raises ExcFPOverflow.
+func FPOp(op Op, a, b float64) (float64, ExcKind) {
+	var r float64
+	switch op {
+	case Fadd:
+		r = a + b
+	case Fsub:
+		r = a - b
+	case Fmul:
+		r = a * b
+	case Fdiv:
+		if b == 0 {
+			return 0, ExcFPInvalid
+		}
+		r = a / b
+	default:
+		panic("ir: FPOp on " + op.String())
+	}
+	switch {
+	case math.IsNaN(r) && !math.IsNaN(a) && !math.IsNaN(b):
+		return r, ExcFPInvalid
+	case math.IsInf(r, 0) && !math.IsInf(a, 0) && !math.IsInf(b, 0):
+		return r, ExcFPOverflow
+	}
+	return r, ExcNone
+}
+
+// FPUnOp evaluates a one-source floating-point opcode (Fmov, Fneg, Fabs).
+func FPUnOp(op Op, a float64) float64 {
+	switch op {
+	case Fmov:
+		return a
+	case Fneg:
+		return -a
+	case Fabs:
+		return math.Abs(a)
+	default:
+		panic("ir: FPUnOp on " + op.String())
+	}
+}
+
+// FPCmpOp evaluates an FP comparison (Feq, Flt, Fle) to its integer result.
+// Comparisons involving NaN raise ExcFPInvalid and compare false.
+func FPCmpOp(op Op, a, b float64) (int64, ExcKind) {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return 0, ExcFPInvalid
+	}
+	var c bool
+	switch op {
+	case Feq:
+		c = a == b
+	case Flt:
+		c = a < b
+	case Fle:
+		c = a <= b
+	default:
+		panic("ir: FPCmpOp on " + op.String())
+	}
+	if c {
+		return 1, ExcNone
+	}
+	return 0, ExcNone
+}
+
+// CvfiOp converts float to integer (truncating); out-of-range conversions
+// raise ExcFPInvalid and produce zero.
+func CvfiOp(a float64) (int64, ExcKind) {
+	if math.IsNaN(a) || a >= math.MaxInt64 || a <= math.MinInt64 {
+		return 0, ExcFPInvalid
+	}
+	return int64(a), ExcNone
+}
+
+// CondHolds evaluates a conditional-branch comparison.
+func CondHolds(op Op, a, b int64) bool {
+	switch op {
+	case Beq:
+		return a == b
+	case Bne:
+		return a != b
+	case Blt:
+		return a < b
+	case Bge:
+		return a >= b
+	default:
+		panic("ir: CondHolds on " + op.String())
+	}
+}

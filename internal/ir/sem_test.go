@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntALUOp(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, r int64
+	}{
+		{Add, 2, 3, 5}, {Sub, 2, 3, -1}, {Mul, 4, -3, -12},
+		{And, 0b1100, 0b1010, 0b1000}, {Or, 0b1100, 0b1010, 0b1110},
+		{Xor, 0b1100, 0b1010, 0b0110},
+		{Shl, 1, 4, 16}, {Shr, -1, 60, 15}, {Shr, 256, 4, 16},
+		{Slt, 1, 2, 1}, {Slt, 2, 1, 0}, {Slt, -5, 3, 1},
+		{Shl, 1, 64, 1}, // shift counts mod 64
+	}
+	for _, c := range cases {
+		if got := IntALUOp(c.op, c.a, c.b); got != c.r {
+			t.Errorf("IntALUOp(%v, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.r)
+		}
+	}
+}
+
+func TestIntDivOp(t *testing.T) {
+	if v, e := IntDivOp(Div, 17, 5); v != 3 || e != ExcNone {
+		t.Errorf("17/5 = %d, %v", v, e)
+	}
+	if v, e := IntDivOp(Rem, 17, 5); v != 2 || e != ExcNone {
+		t.Errorf("17%%5 = %d, %v", v, e)
+	}
+	if _, e := IntDivOp(Div, 1, 0); e != ExcDivZero {
+		t.Errorf("divide by zero must trap, got %v", e)
+	}
+	if _, e := IntDivOp(Rem, 1, 0); e != ExcDivZero {
+		t.Errorf("remainder by zero must trap, got %v", e)
+	}
+	// MinInt64 / -1 wraps without trapping, like two's-complement hardware.
+	if v, e := IntDivOp(Div, math.MinInt64, -1); v != math.MinInt64 || e != ExcNone {
+		t.Errorf("MinInt64/-1 = %d, %v", v, e)
+	}
+	if v, e := IntDivOp(Rem, math.MinInt64, -1); v != 0 || e != ExcNone {
+		t.Errorf("MinInt64%%-1 = %d, %v", v, e)
+	}
+}
+
+func TestFPOp(t *testing.T) {
+	if v, e := FPOp(Fadd, 1.5, 2.5); v != 4.0 || e != ExcNone {
+		t.Errorf("fadd = %v, %v", v, e)
+	}
+	if v, e := FPOp(Fdiv, 1, 4); v != 0.25 || e != ExcNone {
+		t.Errorf("fdiv = %v, %v", v, e)
+	}
+	if _, e := FPOp(Fdiv, 1, 0); e != ExcFPInvalid {
+		t.Errorf("fdiv by zero: %v, want fp invalid", e)
+	}
+	if _, e := FPOp(Fmul, math.MaxFloat64, 2); e != ExcFPOverflow {
+		t.Errorf("overflow: %v, want fp overflow", e)
+	}
+	// inf - inf = NaN from non-NaN inputs: invalid.
+	if _, e := FPOp(Fsub, math.Inf(1), math.Inf(1)); e != ExcFPInvalid {
+		t.Errorf("inf-inf: %v, want fp invalid", e)
+	}
+	// NaN input propagates without a fresh exception.
+	if _, e := FPOp(Fadd, math.NaN(), 1); e != ExcNone {
+		t.Errorf("NaN propagation must not trap, got %v", e)
+	}
+}
+
+func TestFPUnOp(t *testing.T) {
+	if FPUnOp(Fmov, 3.5) != 3.5 || FPUnOp(Fneg, 3.5) != -3.5 || FPUnOp(Fabs, -2.0) != 2.0 {
+		t.Error("FP unary ops wrong")
+	}
+}
+
+func TestFPCmpOp(t *testing.T) {
+	type c struct {
+		op   Op
+		a, b float64
+		want int64
+	}
+	for _, tc := range []c{
+		{Feq, 1, 1, 1}, {Feq, 1, 2, 0},
+		{Flt, 1, 2, 1}, {Flt, 2, 1, 0}, {Flt, 1, 1, 0},
+		{Fle, 1, 1, 1}, {Fle, 2, 1, 0},
+	} {
+		v, e := FPCmpOp(tc.op, tc.a, tc.b)
+		if v != tc.want || e != ExcNone {
+			t.Errorf("FPCmpOp(%v,%v,%v) = %d,%v want %d", tc.op, tc.a, tc.b, v, e, tc.want)
+		}
+	}
+	if _, e := FPCmpOp(Flt, math.NaN(), 1); e != ExcFPInvalid {
+		t.Errorf("NaN compare: %v, want fp invalid", e)
+	}
+}
+
+func TestCvfiOp(t *testing.T) {
+	if v, e := CvfiOp(3.9); v != 3 || e != ExcNone {
+		t.Errorf("CvfiOp(3.9) = %d, %v", v, e)
+	}
+	if v, e := CvfiOp(-3.9); v != -3 || e != ExcNone {
+		t.Errorf("CvfiOp(-3.9) = %d, %v", v, e)
+	}
+	if _, e := CvfiOp(math.NaN()); e != ExcFPInvalid {
+		t.Errorf("CvfiOp(NaN): %v", e)
+	}
+	if _, e := CvfiOp(1e300); e != ExcFPInvalid {
+		t.Errorf("CvfiOp(1e300): %v", e)
+	}
+}
+
+func TestCondHolds(t *testing.T) {
+	type c struct {
+		op   Op
+		a, b int64
+		want bool
+	}
+	for _, tc := range []c{
+		{Beq, 1, 1, true}, {Beq, 1, 2, false},
+		{Bne, 1, 2, true}, {Bne, 1, 1, false},
+		{Blt, -1, 0, true}, {Blt, 0, 0, false},
+		{Bge, 0, 0, true}, {Bge, -1, 0, false},
+	} {
+		if got := CondHolds(tc.op, tc.a, tc.b); got != tc.want {
+			t.Errorf("CondHolds(%v,%d,%d) = %v", tc.op, tc.a, tc.b, got)
+		}
+	}
+}
+
+// Property: Slt agrees with Blt; Sub/Add are inverses; Xor is self-inverse.
+func TestALUAlgebraQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		slt := IntALUOp(Slt, a, b) == 1
+		if slt != CondHolds(Blt, a, b) {
+			return false
+		}
+		if IntALUOp(Sub, IntALUOp(Add, a, b), b) != a {
+			return false
+		}
+		return IntALUOp(Xor, IntALUOp(Xor, a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Div/Rem identity a = (a/b)*b + a%b for non-trapping cases.
+func TestDivRemIdentityQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		q, e1 := IntDivOp(Div, a, b)
+		r, e2 := IntDivOp(Rem, a, b)
+		if e1 != ExcNone || e2 != ExcNone {
+			return e1 == e2 // both trap together
+		}
+		if a == math.MinInt64 && b == -1 {
+			return true // wrapped case
+		}
+		return q*b+r == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

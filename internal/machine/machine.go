@@ -1,0 +1,173 @@
+// Package machine describes the target VLIW/superscalar processor: issue
+// width, deterministic instruction latencies (Table 3 of the paper), register
+// file sizes, store-buffer depth and the compiler's speculative code-motion
+// model. The microarchitecture has CRAY-1 style interlocking, so an
+// incorrectly scheduled program still executes correctly, merely slower.
+package machine
+
+import (
+	"fmt"
+
+	"sentinel/internal/ir"
+)
+
+// Model selects the speculative code-motion scheduling model (§2 and §3).
+type Model int
+
+const (
+	// Restricted percolation: both control-dependence restrictions are
+	// enforced; only instructions that can never cause execution-altering
+	// exceptions may move above branches (§2.2).
+	Restricted Model = iota
+	// General percolation: potentially trapping speculative instructions are
+	// converted to silent versions; exceptions of speculated instructions
+	// may be lost or misattributed (§2.4). Stores may not be speculative.
+	General
+	// Sentinel scheduling: full general-percolation freedom with accurate
+	// exception detection via exception tags and sentinels (§3). Stores may
+	// not be speculative.
+	Sentinel
+	// SentinelStores: sentinel scheduling extended with speculative stores
+	// through a store buffer with probationary entries (§4).
+	SentinelStores
+	// Boosting: the instruction-boosting model of Smith, Lam and Horowitz
+	// (§2.3): results of instructions moved above branches are buffered in
+	// shadow register files / shadow store buffers and committed when the
+	// branches resolve as predicted, or discarded on a misprediction.
+	// Neither scheduling restriction is enforced, but an instruction may be
+	// boosted above at most BoostLevels branches.
+	Boosting
+)
+
+var modelNames = [...]string{
+	Restricted:     "restricted",
+	General:        "general",
+	Sentinel:       "sentinel",
+	SentinelStores: "sentinel+stores",
+	Boosting:       "boosting",
+}
+
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// UsesTags reports whether the model requires exception-tagged registers.
+func (m Model) UsesTags() bool { return m == Sentinel || m == SentinelStores }
+
+// Latencies is Table 3 of the paper, indexed by function-unit class.
+// Branches take 1 cycle and have 1 delay slot; the simulator charges one
+// bubble cycle on a taken branch.
+var Latencies = [ir.NumUnits]int{
+	ir.UnitIntALU: 1,
+	ir.UnitIntMul: 3,
+	ir.UnitIntDiv: 10,
+	ir.UnitBranch: 1,
+	ir.UnitLoad:   2,
+	ir.UnitStore:  1,
+	ir.UnitFPALU:  3,
+	ir.UnitFPConv: 3,
+	ir.UnitFPMul:  3,
+	ir.UnitFPDiv:  10,
+}
+
+// Latency returns the deterministic latency in cycles of op.
+func Latency(op ir.Op) int { return Latencies[ir.UnitOf(op)] }
+
+// BranchTakenPenalty is the redirect bubble charged when a branch is taken
+// ("1 / 1 slot" in Table 3).
+const BranchTakenPenalty = 1
+
+// Desc is a full machine configuration handed to the scheduler and
+// simulator.
+type Desc struct {
+	// IssueWidth is the maximum number of instructions fetched and issued
+	// per cycle. The paper places no limitation on the combination of
+	// instructions issued together, only on their count.
+	IssueWidth int
+	// StoreBuffer is the number of store-buffer entries (8 in the paper's
+	// base processor). It is an architectural parameter visible to the
+	// scheduler: a speculative store may be separated from its confirm by at
+	// most StoreBuffer-1 stores (§4.2).
+	StoreBuffer int
+	// Model is the speculative code-motion model.
+	Model Model
+	// Recovery enforces the §3.7 restartable-sequence constraints during
+	// scheduling so that sentinel-reported exceptions can be retried.
+	Recovery bool
+	// NoSharedSentinels disables the §3.1 shared-sentinel optimization: a
+	// home-block use no longer protects a trapping instruction, so every
+	// speculated trapping instruction needs its own explicit check. Used by
+	// the sharing ablation experiment.
+	NoSharedSentinels bool
+	// BoostLevels is the number of shadow register files / shadow store
+	// buffers under the Boosting model: an instruction may move above at
+	// most this many branches ("the number of branches an instruction can
+	// be boosted above is limited to a small number", §2.3).
+	BoostLevels int
+}
+
+// Base returns the paper's base processor with the given issue width and
+// model: 64 integer + 64 FP registers, an 8-entry store buffer, Table 3
+// latencies.
+func Base(width int, model Model) Desc {
+	return Desc{IssueWidth: width, StoreBuffer: 8, Model: model, BoostLevels: 2}.with(model)
+}
+
+func (d Desc) with(m Model) Desc { d.Model = m; return d }
+
+// WithRecovery returns a copy of d with recovery constraints enabled.
+func (d Desc) WithRecovery() Desc { d.Recovery = true; return d }
+
+// WithoutSharedSentinels returns a copy of d with the shared-sentinel
+// optimization disabled (ablation).
+func (d Desc) WithoutSharedSentinels() Desc { d.NoSharedSentinels = true; return d }
+
+// Validate reports configuration errors.
+func (d Desc) Validate() error {
+	if d.IssueWidth < 1 {
+		return fmt.Errorf("machine: issue width %d < 1", d.IssueWidth)
+	}
+	if d.StoreBuffer < 1 {
+		return fmt.Errorf("machine: store buffer size %d < 1", d.StoreBuffer)
+	}
+	if d.Model < Restricted || d.Model > Boosting {
+		return fmt.Errorf("machine: unknown model %d", int(d.Model))
+	}
+	if d.Model == SentinelStores && d.StoreBuffer < 2 {
+		return fmt.Errorf("machine: speculative stores need a store buffer of at least 2 entries")
+	}
+	if d.Model == Boosting {
+		if d.BoostLevels < 1 {
+			return fmt.Errorf("machine: boosting needs at least one shadow level")
+		}
+		if d.Recovery {
+			return fmt.Errorf("machine: recovery constraints are a sentinel-scheduling concept, not applicable to boosting")
+		}
+	}
+	return nil
+}
+
+// AllowSpeculative reports whether the model permits speculating op (moving
+// it above a branch). Control instructions and sentinels never speculate;
+// stores only under SentinelStores; trapping instructions only under
+// General, Sentinel and SentinelStores.
+func (d Desc) AllowSpeculative(op ir.Op) bool {
+	if ir.IsControl(op) || op == ir.Check || op == ir.ConfirmSt {
+		return false
+	}
+	if op == ir.SaveTR || op == ir.RestTR {
+		// Tag-preserving spill/restore participate in exception bookkeeping
+		// and are never reordered above branches.
+		return false
+	}
+	if ir.IsStore(op) {
+		return d.Model == SentinelStores || d.Model == Boosting
+	}
+	if ir.Traps(op) {
+		return d.Model != Restricted
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package machine
+
+import (
+	"testing"
+
+	"sentinel/internal/ir"
+)
+
+// TestTable3 verifies the instruction latencies against Table 3 of the
+// paper.
+func TestTable3(t *testing.T) {
+	want := map[ir.Op]int{
+		ir.Add: 1, ir.Sub: 1, ir.And: 1, ir.Slt: 1, // Int ALU 1
+		ir.Mul: 3,              // Int multiply 3
+		ir.Div: 10, ir.Rem: 10, // Int divide 10
+		ir.Beq: 1, ir.Jmp: 1, // branch 1
+		ir.Ld: 2, ir.Ldb: 2, ir.Fld: 2, // memory load 2
+		ir.St: 1, ir.Stb: 1, ir.Fst: 1, // memory store 1
+		ir.Fadd: 3, ir.Fsub: 3, // FP ALU 3
+		ir.Cvif: 3, ir.Cvfi: 3, // FP conversion 3
+		ir.Fmul: 3,  // FP multiply 3
+		ir.Fdiv: 10, // FP divide 10
+	}
+	for op, lat := range want {
+		if got := Latency(op); got != lat {
+			t.Errorf("Latency(%v) = %d, want %d", op, got, lat)
+		}
+	}
+	if BranchTakenPenalty != 1 {
+		t.Errorf("branch taken penalty = %d, want 1 (Table 3: 1 slot)", BranchTakenPenalty)
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	for m, want := range map[Model]string{
+		Restricted: "restricted", General: "general", Sentinel: "sentinel",
+		SentinelStores: "sentinel+stores",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), m.String(), want)
+		}
+	}
+}
+
+func TestUsesTags(t *testing.T) {
+	if Restricted.UsesTags() || General.UsesTags() {
+		t.Error("restricted/general must not require exception tags")
+	}
+	if !Sentinel.UsesTags() || !SentinelStores.UsesTags() {
+		t.Error("sentinel models require exception tags")
+	}
+}
+
+func TestBaseDesc(t *testing.T) {
+	d := Base(8, Sentinel)
+	if d.IssueWidth != 8 || d.StoreBuffer != 8 || d.Model != Sentinel || d.Recovery {
+		t.Errorf("Base(8, Sentinel) = %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	r := d.WithRecovery()
+	if !r.Recovery || d.Recovery {
+		t.Error("WithRecovery must return a modified copy")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Desc{
+		{IssueWidth: 0, StoreBuffer: 8, Model: Sentinel},
+		{IssueWidth: 4, StoreBuffer: 0, Model: Sentinel},
+		{IssueWidth: 4, StoreBuffer: 8, Model: Model(99)},
+		{IssueWidth: 4, StoreBuffer: 1, Model: SentinelStores},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, d)
+		}
+	}
+}
+
+// TestAllowSpeculative checks the per-model speculation rules of §2 and §4.
+func TestAllowSpeculative(t *testing.T) {
+	type c struct {
+		op   ir.Op
+		want map[Model]bool
+	}
+	all := func(r, g, s, ss bool) map[Model]bool {
+		return map[Model]bool{Restricted: r, General: g, Sentinel: s, SentinelStores: ss}
+	}
+	cases := []c{
+		{ir.Add, all(true, true, true, true)},   // never traps
+		{ir.Mul, all(true, true, true, true)},   // never traps
+		{ir.Ld, all(false, true, true, true)},   // trapping load
+		{ir.Fadd, all(false, true, true, true)}, // FP traps
+		{ir.Div, all(false, true, true, true)},  // integer divide traps
+		{ir.St, all(false, false, false, true)}, // stores only with §4 support
+		{ir.Fst, all(false, false, false, true)},
+		{ir.Beq, all(false, false, false, false)}, // control never speculative
+		{ir.Jmp, all(false, false, false, false)},
+		{ir.Jsr, all(false, false, false, false)},
+		{ir.Check, all(false, false, false, false)},     // sentinels stay put
+		{ir.ConfirmSt, all(false, false, false, false)}, // sentinels stay put
+	}
+	for _, tc := range cases {
+		for m, want := range tc.want {
+			d := Base(4, m)
+			if got := d.AllowSpeculative(tc.op); got != want {
+				t.Errorf("%v.AllowSpeculative(%v) = %v, want %v", m, tc.op, got, want)
+			}
+		}
+	}
+}
+
+func TestBoostingModel(t *testing.T) {
+	d := Base(8, Boosting)
+	if d.BoostLevels != 2 {
+		t.Errorf("default BoostLevels = %d, want 2", d.BoostLevels)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Boosting.UsesTags() {
+		t.Error("boosting uses shadow files, not exception tags")
+	}
+	// Boosting enforces neither restriction: trapping instructions AND
+	// stores may be boosted.
+	for _, op := range []ir.Op{ir.Ld, ir.Fadd, ir.Div, ir.St, ir.Fst} {
+		if !d.AllowSpeculative(op) {
+			t.Errorf("%v must be boostable", op)
+		}
+	}
+	for _, op := range []ir.Op{ir.Beq, ir.Jsr, ir.Check, ir.ConfirmSt} {
+		if d.AllowSpeculative(op) {
+			t.Errorf("%v must not be boostable", op)
+		}
+	}
+	bad := d
+	bad.BoostLevels = 0
+	if bad.Validate() == nil {
+		t.Error("zero shadow levels must be rejected")
+	}
+	rec := Base(8, Boosting).WithRecovery()
+	if rec.Validate() == nil {
+		t.Error("recovery + boosting must be rejected")
+	}
+}

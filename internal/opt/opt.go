@@ -1,0 +1,208 @@
+// Package opt implements the classical local optimizations a compiler like
+// IMPACT-I runs before scheduling: constant folding and propagation, copy
+// propagation, algebraic simplification / strength reduction, and
+// liveness-based dead-code elimination. The passes are semantics-preserving
+// on the reference machine, including exception behaviour: potentially
+// trapping instructions are never deleted or folded away, since removing
+// one would change which exceptions the program raises.
+//
+// The optimizer is an optional pipeline stage (sentinelc -O): the paper's
+// evaluation numbers in EXPERIMENTS.md are measured without it, since the
+// workload kernels already model post-optimization code.
+package opt
+
+import (
+	"sentinel/internal/dataflow"
+	"sentinel/internal/ir"
+	"sentinel/internal/prog"
+)
+
+// Stats counts what the optimizer did.
+type Stats struct {
+	Folded     int // instructions reduced to constants or simpler ops
+	Propagated int // operands replaced by constants or copy sources
+	Eliminated int // dead instructions removed
+}
+
+// Optimize runs the passes to a fixpoint (bounded) over p, in place, and
+// returns pass statistics. The program must still validate afterwards.
+func Optimize(p *prog.Program) Stats {
+	var total Stats
+	for round := 0; round < 10; round++ {
+		var s Stats
+		for _, b := range p.Blocks {
+			s.add(localPass(b))
+		}
+		s.Eliminated += eliminateDead(p)
+		total.add(s)
+		if s == (Stats{}) {
+			break
+		}
+	}
+	return total
+}
+
+func (s *Stats) add(o Stats) {
+	s.Folded += o.Folded
+	s.Propagated += o.Propagated
+	s.Eliminated += o.Eliminated
+}
+
+// localPass runs constant/copy propagation and folding within one block.
+// Facts do not cross block boundaries (side entrances would invalidate
+// them).
+type fact struct {
+	isConst bool
+	val     int64
+	isCopy  bool
+	src     ir.Reg
+}
+
+func localPass(b *prog.Block) Stats {
+	var s Stats
+	facts := map[ir.Reg]fact{}
+	kill := func(r ir.Reg) {
+		delete(facts, r)
+		// Any copy fact whose source is r dies with it.
+		for d, f := range facts {
+			if f.isCopy && f.src == r {
+				delete(facts, d)
+			}
+		}
+	}
+	constOf := func(r ir.Reg) (int64, bool) {
+		if r.IsZero() {
+			return 0, true
+		}
+		f, ok := facts[r]
+		if ok && f.isConst {
+			return f.val, true
+		}
+		return 0, false
+	}
+
+	for _, in := range b.Instrs {
+		// Operand rewriting: copy propagation first, then constant use.
+		for _, slot := range []*ir.Reg{&in.Src1, &in.Src2} {
+			if !slot.Valid() || slot.IsZero() {
+				continue
+			}
+			if f, ok := facts[*slot]; ok && f.isCopy {
+				*slot = f.src
+				s.Propagated++
+			}
+		}
+		// Fold a constant second source into the immediate form (not for
+		// memory/control operands, whose Src2/Imm have fixed roles).
+		if isALU3(in.Op) && in.Src2.Valid() {
+			if v, ok := constOf(in.Src2); ok {
+				in.Src2 = ir.NoReg
+				in.Imm = v
+				s.Propagated++
+			}
+		}
+
+		// Folding and simplification of the instruction itself.
+		switch {
+		case isALU3(in.Op) && !in.Src2.Valid():
+			if v1, ok := constOf(in.Src1); ok {
+				// Both operands constant: fold to li.
+				in.Op, in.Imm = ir.Li, ir.IntALUOp(in.Op, v1, in.Imm)
+				in.Src1 = ir.NoReg
+				s.Folded++
+			} else {
+				s.Folded += simplify(in)
+			}
+		case in.Op == ir.Mov:
+			if v, ok := constOf(in.Src1); ok {
+				in.Op, in.Imm, in.Src1 = ir.Li, v, ir.NoReg
+				s.Folded++
+			}
+		}
+
+		// Fact updates.
+		if d, ok := in.Def(); ok {
+			kill(d)
+			switch {
+			case in.Op == ir.Li:
+				facts[d] = fact{isConst: true, val: in.Imm}
+			case in.Op == ir.Mov && in.Src1.Valid() && in.Src1 != d:
+				facts[d] = fact{isCopy: true, src: in.Src1}
+			}
+		}
+	}
+	return s
+}
+
+// isALU3 reports whether op is a non-trapping three-operand integer ALU
+// opcode that IntALUOp evaluates. Div/Rem are excluded: folding them could
+// erase a divide-by-zero exception.
+func isALU3(op ir.Op) bool {
+	switch op {
+	case ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Slt:
+		return true
+	}
+	return false
+}
+
+// simplify applies algebraic identities and strength reduction to a
+// register-immediate ALU instruction. Returns 1 if changed.
+func simplify(in *ir.Instr) int {
+	switch in.Op {
+	case ir.Add, ir.Sub, ir.Or, ir.Xor, ir.Shl, ir.Shr:
+		if in.Imm == 0 {
+			// x op 0 == x for all of these.
+			in.Op = ir.Mov
+			return 1
+		}
+	case ir.Mul:
+		switch {
+		case in.Imm == 0:
+			in.Op, in.Src1, in.Imm = ir.Li, ir.NoReg, 0
+			return 1
+		case in.Imm == 1:
+			in.Op, in.Imm = ir.Mov, 0
+			return 1
+		case in.Imm > 1 && in.Imm&(in.Imm-1) == 0:
+			// Multiply by a power of two: shift (3 cycles -> 1).
+			k := int64(0)
+			for v := in.Imm; v > 1; v >>= 1 {
+				k++
+			}
+			in.Op, in.Imm = ir.Shl, k
+			return 1
+		}
+	case ir.And:
+		if in.Imm == 0 {
+			in.Op, in.Src1, in.Imm = ir.Li, ir.NoReg, 0
+			return 1
+		}
+	}
+	return 0
+}
+
+// eliminateDead removes instructions whose results are never used, using
+// global liveness. Only side-effect-free, non-trapping instructions are
+// candidates: stores, control transfers, trapping instructions (their
+// exception IS an effect) and sentinel-support opcodes are kept.
+func eliminateDead(p *prog.Program) int {
+	lv := dataflow.Compute(p)
+	removed := 0
+	for _, b := range p.Blocks {
+		after := lv.LiveWithinBlock(b)
+		var kept []*ir.Instr
+		for i, in := range b.Instrs {
+			d, hasDef := in.Def()
+			dead := hasDef && !after[i].Has(d) &&
+				!ir.Traps(in.Op) && !ir.IsControl(in.Op) &&
+				in.Op != ir.ClearTag && in.Op != ir.Check && in.Op != ir.ConfirmSt
+			if dead {
+				removed++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return removed
+}

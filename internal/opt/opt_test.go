@@ -1,0 +1,205 @@
+package opt
+
+import (
+	"testing"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+	"sentinel/internal/workload"
+)
+
+func run(t *testing.T, p *prog.Program, m *mem.Memory) *prog.Result {
+	t.Helper()
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(p, m, prog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		ir.LI(ir.R(1), 6),
+		ir.LI(ir.R(2), 7),
+		ir.ALU(ir.Mul, ir.R(3), ir.R(1), ir.R(2)), // foldable: 42
+		ir.JSR("putint", ir.R(3)),
+		ir.HALT(),
+	)
+	s := Optimize(p)
+	if s.Folded == 0 {
+		t.Errorf("no folding happened: %+v", s)
+	}
+	found := false
+	for _, in := range p.Blocks[0].Instrs {
+		if in.Op == ir.Li && in.Imm == 42 {
+			found = true
+		}
+		if in.Op == ir.Mul {
+			t.Errorf("mul survived constant folding: %v", in)
+		}
+	}
+	if !found {
+		t.Error("expected li 42")
+	}
+	res := run(t, p, mem.New())
+	if res.Out[0] != 42 {
+		t.Errorf("out = %v", res.Out)
+	}
+}
+
+func TestCopyPropagation(t *testing.T) {
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		ir.LI(ir.R(1), 5),
+		ir.MOV(ir.R(2), ir.R(1)),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(2), 1), // should read r1 / fold
+		ir.JSR("putint", ir.R(3)),
+		ir.HALT(),
+	)
+	s := Optimize(p)
+	if s.Propagated == 0 && s.Folded == 0 {
+		t.Errorf("nothing propagated: %+v", s)
+	}
+	res := run(t, p, mem.New())
+	if res.Out[0] != 6 {
+		t.Errorf("out = %v", res.Out)
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		ir.LOAD(ir.Ld, ir.R(1), ir.R(9), 0), // unknown value (keeps r1 non-const)
+		ir.ALUI(ir.Mul, ir.R(2), ir.R(1), 8),
+		ir.ALUI(ir.Mul, ir.R(3), ir.R(1), 1),
+		ir.ALUI(ir.Add, ir.R(4), ir.R(1), 0),
+		ir.JSR("putint", ir.R(2)),
+		ir.JSR("putint", ir.R(3)),
+		ir.JSR("putint", ir.R(4)),
+		ir.HALT(),
+	)
+	Optimize(p)
+	b := p.Blocks[0]
+	var ops []ir.Op
+	for _, in := range b.Instrs {
+		ops = append(ops, in.Op)
+	}
+	hasShl, hasMul := false, false
+	for _, in := range b.Instrs {
+		if in.Op == ir.Shl && in.Imm == 3 {
+			hasShl = true
+		}
+		if in.Op == ir.Mul {
+			hasMul = true
+		}
+	}
+	if !hasShl || hasMul {
+		t.Errorf("strength reduction failed: %v", ops)
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		ir.LI(ir.R(1), 5),
+		ir.LI(ir.R(2), 99),                   // dead
+		ir.ALUI(ir.Add, ir.R(3), ir.R(1), 0), // becomes mov, then dead after prop
+		ir.LOAD(ir.Ld, ir.R(4), ir.R(9), 0),  // dead BUT trapping: must stay
+		ir.JSR("putint", ir.R(1)),
+		ir.HALT(),
+	)
+	s := Optimize(p)
+	if s.Eliminated == 0 {
+		t.Errorf("nothing eliminated: %+v", s)
+	}
+	loads, li99 := 0, 0
+	for _, in := range p.Blocks[0].Instrs {
+		if in.Op == ir.Ld {
+			loads++
+		}
+		if in.Op == ir.Li && in.Imm == 99 {
+			li99++
+		}
+	}
+	if loads != 1 {
+		t.Error("dead TRAPPING load must not be removed (exception behaviour)")
+	}
+	if li99 != 0 {
+		t.Error("dead li survived")
+	}
+}
+
+func TestDivNeverFolded(t *testing.T) {
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		ir.LI(ir.R(1), 10),
+		ir.LI(ir.R(2), 0),
+		ir.ALU(ir.Div, ir.R(3), ir.R(1), ir.R(2)), // would trap: keep!
+		ir.JSR("putint", ir.R(3)),
+		ir.HALT(),
+	)
+	Optimize(p)
+	found := false
+	for _, in := range p.Blocks[0].Instrs {
+		if in.Op == ir.Div {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("divide must never be folded (divide-by-zero is observable)")
+	}
+}
+
+// TestOptimizePreservesKernelSemantics: the optimizer must not change any
+// benchmark's architectural result.
+func TestOptimizePreservesKernelSemantics(t *testing.T) {
+	for _, b := range workload.All() {
+		p, m := b.Build()
+		p.Layout()
+		ref, err := prog.Run(p, m.Clone(), prog.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, m2 := b.Build()
+		stats := Optimize(p2)
+		p2.Layout()
+		if err := p2.Validate(); err != nil {
+			t.Fatalf("%s: optimized program invalid: %v", b.Name, err)
+		}
+		got, err := prog.Run(p2, m2, prog.Options{})
+		if err != nil {
+			t.Fatalf("%s: optimized run: %v", b.Name, err)
+		}
+		if got.MemSum != ref.MemSum {
+			t.Errorf("%s: memory changed by optimization (%+v)", b.Name, stats)
+		}
+		for i := range ref.Out {
+			if got.Out[i] != ref.Out[i] {
+				t.Errorf("%s: out[%d] %d != %d", b.Name, i, got.Out[i], ref.Out[i])
+			}
+		}
+	}
+}
+
+// TestOptimizeIdempotent: a second run finds nothing left to do.
+func TestOptimizeIdempotent(t *testing.T) {
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		ir.LI(ir.R(1), 6),
+		ir.LI(ir.R(2), 7),
+		ir.ALU(ir.Mul, ir.R(3), ir.R(1), ir.R(2)),
+		ir.MOV(ir.R(4), ir.R(3)),
+		ir.JSR("putint", ir.R(4)),
+		ir.HALT(),
+	)
+	Optimize(p)
+	if s := Optimize(p); s != (Stats{}) {
+		t.Errorf("second Optimize still found work: %+v", s)
+	}
+}

@@ -1,0 +1,295 @@
+// Package regalloc assigns physical registers to virtual registers with the
+// register-allocator support sentinel scheduling needs for exception
+// recovery (§3.7): the live range of every source register of instructions
+// between a speculative instruction and its sentinel is extended to reach
+// the sentinel, so the allocator cannot reuse those registers and break the
+// restartable-sequence property the scheduler established. The paper's
+// Figure 3 example is exactly this: virtual r10 must not share a physical
+// register with r2, achieved by extending r2's live range to G.
+//
+// The allocator is a linear scan over the laid-out program. It assumes the
+// paper's flow — speculative code motion happens before register allocation
+// — so instruction order is final when intervals are computed.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/prog"
+)
+
+// Stats reports allocation results.
+type Stats struct {
+	// Virtuals is the number of virtual registers allocated.
+	Virtuals int
+	// Extended counts live ranges lengthened by the §3.7 rule.
+	Extended int
+	// MaxLive is the maximum number of simultaneously live virtual
+	// registers (integer and FP classes combined).
+	MaxLive int
+}
+
+// Options configures allocation.
+type Options struct {
+	// ExtendForRecovery applies the §3.7 live-range extension.
+	ExtendForRecovery bool
+}
+
+type interval struct {
+	reg        ir.Reg
+	start, end int
+}
+
+// Allocate rewrites every virtual register of p (in place) to a free
+// physical register. It returns an error when a class runs out of physical
+// registers (spilling is out of scope; the paper notes the extension "will
+// tend to increase the number of registers used").
+func Allocate(p *prog.Program, opts Options) (Stats, error) {
+	var stats Stats
+	p.Layout()
+
+	// Physical registers already referenced stay reserved.
+	reserved := map[ir.Reg]bool{}
+	var order []*ir.Instr
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			order = append(order, in)
+			for _, r := range []ir.Reg{in.Dest, in.Src1, in.Src2} {
+				if r.Valid() && !r.Virtual {
+					reserved[r] = true
+				}
+			}
+		}
+	}
+
+	ivs := intervals(order)
+	widenLoops(p, ivs)
+	if opts.ExtendForRecovery {
+		stats.Extended = extend(order, ivs)
+	}
+
+	var list []*interval
+	for _, iv := range ivs {
+		list = append(list, iv)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].start != list[j].start {
+			return list[i].start < list[j].start
+		}
+		return regLess(list[i].reg, list[j].reg)
+	})
+	stats.Virtuals = len(list)
+
+	assign := map[ir.Reg]ir.Reg{}
+	type active struct {
+		iv   *interval
+		phys ir.Reg
+	}
+	var live []active
+	free := freePool(reserved)
+	maxLive := 0
+	for _, iv := range list {
+		kept := live[:0]
+		for _, a := range live {
+			if a.iv.end < iv.start {
+				free[a.phys.Class] = append(free[a.phys.Class], a.phys)
+				sortPool(free[a.phys.Class])
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		live = kept
+		pool := free[iv.reg.Class]
+		if len(pool) == 0 {
+			return stats, fmt.Errorf("regalloc: out of %v registers at %v", iv.reg.Class, iv.reg)
+		}
+		phys := pool[0]
+		free[iv.reg.Class] = pool[1:]
+		assign[iv.reg] = phys
+		live = append(live, active{iv, phys})
+		if len(live) > maxLive {
+			maxLive = len(live)
+		}
+	}
+	stats.MaxLive = maxLive
+
+	for _, in := range order {
+		for _, slot := range []*ir.Reg{&in.Dest, &in.Src1, &in.Src2} {
+			if slot.Valid() && slot.Virtual {
+				phys, ok := assign[*slot]
+				if !ok {
+					return stats, fmt.Errorf("regalloc: no interval for %v", *slot)
+				}
+				*slot = phys
+			}
+		}
+	}
+	return stats, nil
+}
+
+// intervals computes one [firstDef, lastUse] interval per virtual register
+// over the global instruction order. Registers live across backward branches
+// (loops) get their interval widened to the whole loop span.
+func intervals(order []*ir.Instr) map[ir.Reg]*interval {
+	ivs := map[ir.Reg]*interval{}
+	touch := func(r ir.Reg, i int) {
+		if !r.Valid() || !r.Virtual {
+			return
+		}
+		iv, ok := ivs[r]
+		if !ok {
+			ivs[r] = &interval{reg: r, start: i, end: i}
+			return
+		}
+		if i < iv.start {
+			iv.start = i
+		}
+		if i > iv.end {
+			iv.end = i
+		}
+	}
+	for i, in := range order {
+		touch(in.Dest, i)
+		touch(in.Src1, i)
+		touch(in.Src2, i)
+	}
+	return ivs
+}
+
+// widenLoops widens intervals across backward control transfers: any
+// register whose interval overlaps a loop body must span the whole loop,
+// since its value is needed on the next iteration.
+func widenLoops(p *prog.Program, ivs map[ir.Reg]*interval) {
+	startOf := map[string]int{}
+	i := 0
+	for _, b := range p.Blocks {
+		startOf[b.Label] = i
+		i += len(b.Instrs)
+	}
+	i = 0
+	for _, b := range p.Blocks {
+		for k, in := range b.Instrs {
+			if (ir.IsBranch(in.Op) || in.Op == ir.Jmp) && startOf[in.Target] <= i+k {
+				lo, hi := startOf[in.Target], i+k
+				for _, iv := range ivs {
+					if iv.start <= hi && iv.end >= lo {
+						if iv.start > lo {
+							iv.start = lo
+						}
+						if iv.end < hi {
+							iv.end = hi
+						}
+					}
+				}
+			}
+		}
+		i += len(b.Instrs)
+	}
+}
+
+// extend applies the §3.7 live-range extension: for every speculative
+// instruction I, the sources of every instruction between I and I's
+// sentinel must stay live until the sentinel. Returns how many intervals
+// were lengthened.
+func extend(order []*ir.Instr, ivs map[ir.Reg]*interval) int {
+	extended := 0
+	for i, in := range order {
+		if !in.Spec {
+			continue
+		}
+		s := sentinelPos(order, i)
+		if s < 0 {
+			continue
+		}
+		for j := i; j <= s; j++ {
+			for _, u := range []ir.Reg{order[j].Src1, order[j].Src2} {
+				if !u.Valid() || !u.Virtual {
+					continue
+				}
+				if iv := ivs[u]; iv != nil && iv.end < s {
+					iv.end = s
+					extended++
+				}
+			}
+		}
+	}
+	return extended
+}
+
+// sentinelPos locates the sentinel of the speculative instruction at
+// position i: the first subsequent non-speculative instruction that reads a
+// register carrying its exception condition (tracking propagation through
+// speculative readers), or the confirm for a speculative store.
+func sentinelPos(order []*ir.Instr, i int) int {
+	in := order[i]
+	if ir.IsStore(in.Op) {
+		stores := 0
+		for j := i + 1; j < len(order); j++ {
+			if order[j].Op == ir.ConfirmSt && order[j].Imm == int64(stores) {
+				return j
+			}
+			if ir.BufferedStore(order[j].Op) {
+				stores++
+			}
+		}
+		return -1
+	}
+	d, ok := in.Def()
+	if !ok {
+		return -1
+	}
+	watch := map[ir.Reg]bool{d: true}
+	for j := i + 1; j < len(order); j++ {
+		cur := order[j]
+		reads := false
+		for _, u := range cur.Uses() {
+			if watch[u] {
+				reads = true
+			}
+		}
+		if reads {
+			if !cur.Spec {
+				return j
+			}
+			if nd, ok := cur.Def(); ok {
+				watch[nd] = true
+			}
+			continue
+		}
+		if nd, ok := cur.Def(); ok && watch[nd] {
+			delete(watch, nd)
+			if len(watch) == 0 {
+				return -1 // condition overwritten before any sentinel
+			}
+		}
+	}
+	return -1
+}
+
+func freePool(reserved map[ir.Reg]bool) map[ir.RegClass][]ir.Reg {
+	pools := map[ir.RegClass][]ir.Reg{}
+	for n := 1; n < ir.NumIntRegs; n++ { // r0 is hardwired zero
+		if r := ir.R(n); !reserved[r] {
+			pools[ir.IntClass] = append(pools[ir.IntClass], r)
+		}
+	}
+	for n := 0; n < ir.NumFPRegs; n++ {
+		if r := ir.F(n); !reserved[r] {
+			pools[ir.FPClass] = append(pools[ir.FPClass], r)
+		}
+	}
+	return pools
+}
+
+func sortPool(pool []ir.Reg) {
+	sort.Slice(pool, func(i, j int) bool { return pool[i].N < pool[j].N })
+}
+
+func regLess(a, b ir.Reg) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.N < b.N
+}

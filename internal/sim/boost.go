@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+)
+
+// Shadow register state for the instruction-boosting model (§2.3, after
+// Smith, Lam and Horowitz). A result boosted above k branches is written to
+// shadow level k; each correctly predicted (not-taken) branch commits level
+// 1 to the architectural file and shifts the higher levels down; a
+// mispredicted (taken) branch discards all shadow state. Exceptions of
+// boosted instructions are recorded in the shadow entry and signalled when
+// the entry commits — precise attribution, at the price of one full shadow
+// register file per level.
+
+type shadowVal struct {
+	present bool
+	raw     int64
+	exc     ir.ExcKind
+	excPC   int64
+}
+
+type shadowFile struct {
+	levels [][ir.NumIntRegs + ir.NumFPRegs]shadowVal
+}
+
+func newShadowFile(levels int) *shadowFile {
+	sf := &shadowFile{}
+	sf.levels = make([][ir.NumIntRegs + ir.NumFPRegs]shadowVal, levels)
+	return sf
+}
+
+// write stores a boosted result (or its exception record) at the given
+// level (1-based).
+func (sf *shadowFile) write(level int, r ir.Reg, raw int64, exc ir.ExcKind, excPC int64) {
+	sf.levels[level-1][r.Index()] = shadowVal{present: true, raw: raw, exc: exc, excPC: excPC}
+}
+
+// read returns the newest value of r visible to an instruction boosted
+// above `level` branches: shadow levels level..1, then the architectural
+// value is indicated by present=false.
+func (sf *shadowFile) read(level int, r ir.Reg) (shadowVal, bool) {
+	for l := level; l >= 1; l-- {
+		if v := sf.levels[l-1][r.Index()]; v.present {
+			return v, true
+		}
+	}
+	return shadowVal{}, false
+}
+
+// commit applies shadow level 1 to the architectural state via the apply
+// callback (called for each present entry; returning false aborts, used
+// when an entry's recorded exception signals), then shifts levels down.
+func (sf *shadowFile) commit(apply func(idx int, v shadowVal) bool) bool {
+	for idx := range sf.levels[0] {
+		v := sf.levels[0][idx]
+		if v.present && !apply(idx, v) {
+			return false
+		}
+	}
+	copy(sf.levels, sf.levels[1:])
+	sf.levels[len(sf.levels)-1] = [ir.NumIntRegs + ir.NumFPRegs]shadowVal{}
+	return true
+}
+
+// discard clears all shadow state (branch misprediction).
+func (sf *shadowFile) discard() {
+	for i := range sf.levels {
+		sf.levels[i] = [ir.NumIntRegs + ir.NumFPRegs]shadowVal{}
+	}
+}
+
+// rdRaw reads a register's raw bits through the shadow file at the given
+// boost level (0 = architectural).
+func (m *Machine) rdRaw(level int, r ir.Reg) int64 {
+	if level > 0 && m.boost != nil {
+		if v, ok := m.boost.read(level, r); ok {
+			return v.raw
+		}
+	}
+	return m.Raw(r)
+}
+
+// rdInt and rdFP are typed conveniences over rdRaw.
+func (m *Machine) rdInt(level int, r ir.Reg) int64 { return m.rdRaw(level, r) }
+
+func (m *Machine) rdFP(level int, r ir.Reg) float64 {
+	return math.Float64frombits(uint64(m.rdRaw(level, r)))
+}
+
+// execBoosted executes a boosted (Spec, BoostLevel >= 1) register-writing
+// instruction: its result goes to the shadow file; an exception is recorded
+// in the shadow entry rather than signalled.
+func (m *Machine) execBoosted(in *ir.Instr, t int64) (event, error) {
+	lvl := in.BoostLevel
+	m.curLvl = lvl
+	val, exc := m.compute(in)
+	m.curLvl = 0
+	if d, ok := in.Def(); ok {
+		if exc != ir.ExcNone {
+			m.boost.write(lvl, d, 0, exc, int64(in.PC))
+		} else {
+			m.boost.write(lvl, d, val, ir.ExcNone, 0)
+		}
+		m.setReady(d, t+int64(machine.Latency(in.Op)))
+	}
+	return event{}, nil
+}
+
+// execBoostedStore inserts a boosted store into the store buffer as a
+// shadow entry at its boost level; branch commits decrement the level and
+// level 0 confirms the entry (§2.3's shadow store buffers, realized on the
+// same buffer that serves §4's probationary entries).
+func (m *Machine) execBoostedStore(in *ir.Instr, t int64) (event, error) {
+	addr := m.rdInt(in.BoostLevel, in.Src1) + in.Imm
+	size := ir.MemSize(in.Op)
+	data := uint64(m.rdRaw(in.BoostLevel, in.Src2))
+	e := Entry{Addr: addr, Size: size, Data: data, Level: in.BoostLevel}
+	if fault := m.Mem.Check(addr, size); fault != nil {
+		e.ExcSet, e.ExcKind, e.ExcPC = true, fault.Kind, int64(in.PC)
+	}
+	t2, err := m.buf.insert(t, e, m.Mem)
+	if err != nil {
+		return event{}, err
+	}
+	return event{stall: t2 - t}, nil
+}
+
+// commitBoost commits one shadow level (a correctly predicted branch): the
+// first recorded exception signals with the boosted instruction's PC.
+func (m *Machine) commitBoost() (ev event) {
+	ok := m.boost.commit(func(idx int, v shadowVal) bool {
+		if v.exc != ir.ExcNone {
+			ev = signal(v.excPC, v.exc)
+			return false
+		}
+		r := regFromIndex(idx)
+		m.SetRaw(r, v.raw)
+		return true
+	})
+	if !ok {
+		return ev
+	}
+	// Shadow store-buffer entries move one level closer to commitment.
+	if bev := m.buf.commitLevel(); bev != nil {
+		return signal(bev.ExcPC, bev.ExcKind)
+	}
+	return event{}
+}
+
+func regFromIndex(idx int) ir.Reg {
+	if idx < ir.NumIntRegs {
+		return ir.R(idx)
+	}
+	return ir.F(idx - ir.NumIntRegs)
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+)
+
+func TestShadowFileReadThrough(t *testing.T) {
+	sf := newShadowFile(3)
+	sf.write(2, ir.R(5), 42, ir.ExcNone, 0)
+	// Visible at levels >= 2, invisible below.
+	if v, ok := sf.read(3, ir.R(5)); !ok || v.raw != 42 {
+		t.Errorf("read(3) = %+v, %v", v, ok)
+	}
+	if v, ok := sf.read(2, ir.R(5)); !ok || v.raw != 42 {
+		t.Errorf("read(2) = %+v, %v", v, ok)
+	}
+	if _, ok := sf.read(1, ir.R(5)); ok {
+		t.Error("level-1 read must miss a level-2 value")
+	}
+	// Higher applicable levels are later in program order and win; lower
+	// levels serve readers boosted above fewer branches.
+	sf.write(1, ir.R(5), 7, ir.ExcNone, 0)
+	if v, _ := sf.read(3, ir.R(5)); v.raw != 42 {
+		t.Errorf("highest applicable level must win, got %d", v.raw)
+	}
+	if v, _ := sf.read(1, ir.R(5)); v.raw != 7 {
+		t.Errorf("level-1 reader must see the level-1 value, got %d", v.raw)
+	}
+}
+
+func TestShadowCommitShiftsLevels(t *testing.T) {
+	sf := newShadowFile(2)
+	sf.write(1, ir.R(1), 10, ir.ExcNone, 0)
+	sf.write(2, ir.R(2), 20, ir.ExcNone, 0)
+	committed := map[int]int64{}
+	sf.commit(func(idx int, v shadowVal) bool {
+		committed[idx] = v.raw
+		return true
+	})
+	if committed[ir.R(1).Index()] != 10 || len(committed) != 1 {
+		t.Errorf("first commit = %v, want only r1=10", committed)
+	}
+	// r2 moved from level 2 to level 1.
+	if v, ok := sf.read(1, ir.R(2)); !ok || v.raw != 20 {
+		t.Errorf("after shift, read(1, r2) = %+v, %v", v, ok)
+	}
+	committed = map[int]int64{}
+	sf.commit(func(idx int, v shadowVal) bool {
+		committed[idx] = v.raw
+		return true
+	})
+	if committed[ir.R(2).Index()] != 20 {
+		t.Errorf("second commit = %v, want r2=20", committed)
+	}
+}
+
+func TestShadowDiscard(t *testing.T) {
+	sf := newShadowFile(2)
+	sf.write(1, ir.R(1), 1, ir.ExcNone, 0)
+	sf.write(2, ir.R(2), 2, ir.ExcNone, 0)
+	sf.discard()
+	if _, ok := sf.read(2, ir.R(1)); ok {
+		t.Error("discard must clear all levels")
+	}
+}
+
+// mkBoost builds a hand-scheduled boosted program:
+//
+//	entry: r2 = base (maybe invalid)
+//	main:  ld r1, 0(r2) <boost 1>   (hoisted above the branch)
+//	       add r3, r1, 1 <boost 1>
+//	       bne r4, 0, skip          (taken when r4 != 0)
+//	       jsr putint, r3
+//	       halt
+//	skip:  jsr putint, r0; halt
+func mkBoost(base int64, r4 int64) *prog.Program {
+	mk := func(in *ir.Instr, cyc, slot, boost int) *ir.Instr {
+		in.Cycle, in.Slot = cyc, slot
+		if boost > 0 {
+			in.Spec = true
+			in.BoostLevel = boost
+		}
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		mk(ir.LI(ir.R(2), base), 0, 0, 0),
+		mk(ir.LI(ir.R(4), r4), 0, 1, 0),
+	)
+	p.AddBlock("main",
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 0, 0, 1),
+		mk(ir.ALUI(ir.Add, ir.R(3), ir.R(1), 1), 2, 0, 1),
+		mk(ir.BRI(ir.Bne, ir.R(4), 0, "skip"), 3, 0, 0),
+		mk(ir.JSR("putint", ir.R(3)), 3, 1, 0),
+		mk(ir.HALT(), 4, 0, 0),
+	)
+	p.AddBlock("skip", ir.JSR("putint", ir.R(0)), ir.HALT())
+	p.Layout()
+	return p
+}
+
+func TestBoostCommitDeliversValue(t *testing.T) {
+	p := mkBoost(0x1000, 0) // branch not taken: boosted chain commits
+	m := mem.New()
+	m.Map("d", 0x1000, 8)
+	m.Write(0x1000, 8, 41)
+	res, err := Run(p, machine.Base(8, machine.Boosting), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Out) != 1 || res.Out[0] != 42 {
+		t.Errorf("out = %v, want [42]", res.Out)
+	}
+}
+
+func TestBoostDiscardOnTaken(t *testing.T) {
+	// Branch taken: the boosted load's (faulting!) result is discarded; the
+	// architectural r3 stays 0 and no exception signals.
+	p := mkBoost(0x9000, 1) // unmapped base AND taken branch
+	res, err := Run(p, machine.Base(8, machine.Boosting), mem.New(), Options{})
+	if err != nil {
+		t.Fatalf("boosted fault on mispredicted path must be ignored: %v", err)
+	}
+	if len(res.Out) != 1 || res.Out[0] != 0 {
+		t.Errorf("out = %v, want [0] (skip path)", res.Out)
+	}
+}
+
+func TestBoostExceptionSignalsAtCommit(t *testing.T) {
+	// Branch not taken: the boosted load's fault must signal at the branch
+	// (the commit point), reporting the LOAD's pc.
+	p := mkBoost(0x9000, 0)
+	_, err := Run(p, machine.Base(8, machine.Boosting), mem.New(), Options{})
+	exc, ok := Unhandled(err)
+	if !ok {
+		t.Fatalf("err = %v, want exception", err)
+	}
+	if exc.ReportedPC != 2 {
+		t.Errorf("reported pc = %d, want 2 (the boosted load)", exc.ReportedPC)
+	}
+	// Signalled by the committing branch.
+	in, _, _ := p.InstrAt(exc.ByPC)
+	if in == nil || !ir.IsBranch(in.Op) {
+		t.Errorf("signalled by %v, want the committing branch", in)
+	}
+}
+
+func TestBoostedStoreCommitAndCancel(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot, boost int) *ir.Instr {
+		in.Cycle, in.Slot = cyc, slot
+		if boost > 0 {
+			in.Spec = true
+			in.BoostLevel = boost
+		}
+		return in
+	}
+	build := func(taken int64) (*prog.Program, *mem.Memory) {
+		p := prog.NewProgram()
+		p.AddBlock("entry",
+			mk(ir.LI(ir.R(2), 0x1000), 0, 0, 0),
+			mk(ir.LI(ir.R(5), 77), 0, 1, 0),
+			mk(ir.LI(ir.R(4), taken), 0, 2, 0),
+		)
+		p.AddBlock("main",
+			mk(ir.STORE(ir.St, ir.R(2), 0, ir.R(5)), 0, 0, 1), // boosted store
+			mk(ir.BRI(ir.Bne, ir.R(4), 0, "skip"), 1, 0, 0),
+			mk(ir.HALT(), 2, 0, 0),
+		)
+		p.AddBlock("skip", ir.HALT())
+		p.Layout()
+		m := mem.New()
+		m.Map("d", 0x1000, 8)
+		return p, m
+	}
+	// Not taken: the shadow entry commits at the branch and drains.
+	p, m := build(0)
+	if _, err := Run(p, machine.Base(8, machine.Boosting), m, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Read(0x1000, 8); v != 77 {
+		t.Errorf("committed store missing: %d", v)
+	}
+	// Taken: the shadow entry is cancelled.
+	p2, m2 := build(1)
+	if _, err := Run(p2, machine.Base(8, machine.Boosting), m2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m2.Read(0x1000, 8); v != 0 {
+		t.Errorf("cancelled boosted store leaked: %d", v)
+	}
+}
+
+func TestBoostedConsumerReadsShadow(t *testing.T) {
+	// A boosted consumer at the same level must see the boosted producer's
+	// shadow value, not the stale architectural one.
+	mk := func(in *ir.Instr, cyc, slot, boost int) *ir.Instr {
+		in.Cycle, in.Slot = cyc, slot
+		if boost > 0 {
+			in.Spec = true
+			in.BoostLevel = boost
+		}
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		mk(ir.LI(ir.R(1), 5), 0, 0, 0),
+		mk(ir.LI(ir.R(4), 0), 0, 1, 0),
+	)
+	p.AddBlock("main",
+		mk(ir.ALUI(ir.Add, ir.R(1), ir.R(1), 10), 0, 0, 1), // boosted: r1 = 15 (shadow)
+		mk(ir.ALUI(ir.Mul, ir.R(3), ir.R(1), 2), 1, 0, 1),  // boosted: must read 15
+		mk(ir.BRI(ir.Bne, ir.R(4), 0, "skip"), 2, 0, 0),
+		mk(ir.JSR("putint", ir.R(3)), 2, 1, 0),
+		mk(ir.JSR("putint", ir.R(1)), 2, 2, 0),
+		mk(ir.HALT(), 3, 0, 0),
+	)
+	p.AddBlock("skip", ir.HALT())
+	p.Layout()
+	res, err := Run(p, machine.Base(8, machine.Boosting), mem.New(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Out) != 2 || res.Out[0] != 30 || res.Out[1] != 15 {
+		t.Errorf("out = %v, want [30 15]", res.Out)
+	}
+}

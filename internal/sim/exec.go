@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+)
+
+// event is the outcome of executing one instruction.
+type event struct {
+	signalled bool
+	reportPC  int
+	kind      ir.ExcKind
+	taken     bool
+	target    string
+	stall     int64 // extra cycles lost to store-buffer pressure
+}
+
+func signal(reportPC int64, kind ir.ExcKind) event {
+	return event{signalled: true, reportPC: int(reportPC), kind: kind}
+}
+
+// flushConfirmed drains all confirmed head entries immediately (used by the
+// tag-preserving spill instructions and by Table 2 row 001: "force all
+// confirmed entries at head of buffer to update cache").
+func (m *Machine) flushConfirmed() {
+	for len(m.buf.entries) > 0 && m.buf.entries[0].Confirmed {
+		h := m.buf.entries[0]
+		if f := m.Mem.Write(h.Addr, h.Size, h.Data); f != nil {
+			panic(fmt.Sprintf("sim: store buffer release faulted: %v", f))
+		}
+		m.buf.entries = m.buf.entries[1:]
+	}
+}
+
+// exec executes one instruction at issue time t, implementing Table 1
+// (exception detection with sentinel scheduling) and Table 2 (store-buffer
+// insertion).
+func (m *Machine) exec(in *ir.Instr, t int64) (event, error) {
+	m.pcq.Push(in.PC)
+	usesTags := m.md.Model.UsesTags()
+
+	switch in.Op {
+	case ir.Nop, ir.Halt:
+		return event{}, nil
+
+	case ir.ClearTag:
+		m.setTag(in.Dest, Tag{})
+		m.setReady(in.Dest, t+1)
+		return event{}, nil
+
+	case ir.Check:
+		// The explicit sentinel: signals iff its source carries an
+		// exception condition; performs no computation (§3.2).
+		if usesTags {
+			if tg := m.tag(in.Src1); tg.Set {
+				return signal(m.Raw(in.Src1), tg.Kind), nil
+			}
+		}
+		return event{}, nil
+
+	case ir.ConfirmSt:
+		exc, kind, excPC, err := m.buf.confirm(in.Imm)
+		if err != nil {
+			return event{}, err
+		}
+		if exc {
+			return signal(excPC, kind), nil
+		}
+		return event{}, nil
+
+	case ir.Jmp:
+		return event{taken: true, target: in.Target}, nil
+
+	case ir.Jsr:
+		// Calls are never speculative; a tagged argument register makes the
+		// call act as a sentinel.
+		if usesTags {
+			if tg := m.tag(in.Src1); tg.Set {
+				return signal(m.Raw(in.Src1), tg.Kind), nil
+			}
+		}
+		switch in.Target {
+		case "putint":
+			m.out = append(m.out, m.Int[in.Src1.N])
+		default:
+			return event{}, fmt.Errorf("sim: unknown runtime routine %q", in.Target)
+		}
+		return event{}, nil
+
+	case ir.Beq, ir.Bne, ir.Blt, ir.Bge:
+		// Branches are never speculative; a tagged source makes the branch
+		// the sentinel (Table 1, spec=0 rows).
+		if usesTags {
+			if r := m.firstTaggedSrc(in); r.Valid() {
+				tg := m.tag(r)
+				return signal(m.Raw(r), tg.Kind), nil
+			}
+		}
+		b := in.Imm
+		if in.Src2.Valid() {
+			b = m.Int[in.Src2.N]
+		}
+		if ir.CondHolds(in.Op, m.Int[in.Src1.N], b) {
+			if m.boost != nil {
+				m.boost.discard() // misprediction: shadow state dies
+			}
+			return event{taken: true, target: in.Target}, nil
+		}
+		if m.boost != nil {
+			// Correct prediction: one shadow level commits; a recorded
+			// boosted exception signals here with the boosted PC (§2.3).
+			if ev := m.commitBoost(); ev.signalled {
+				return ev, nil
+			}
+		}
+		return event{}, nil
+
+	case ir.SaveTR:
+		// Save data AND exception tag without signalling (§3.2), e.g. for
+		// register spill, function call or context switch.
+		m.flushConfirmed()
+		addr := m.Int[in.Src1.N] + in.Imm
+		tg := m.tag(in.Src2)
+		var tagByte byte
+		if tg.Set {
+			tagByte = byte(tg.Kind)
+		}
+		if f := m.Mem.WriteTagged(addr, uint64(m.Raw(in.Src2)), tagByte); f != nil {
+			return signal(int64(in.PC), f.Kind), nil
+		}
+		return event{}, nil
+
+	case ir.RestTR:
+		m.flushConfirmed()
+		addr := m.Int[in.Src1.N] + in.Imm
+		v, tagByte, f := m.Mem.ReadTagged(addr)
+		if f != nil {
+			return signal(int64(in.PC), f.Kind), nil
+		}
+		m.SetRaw(in.Dest, int64(v))
+		if tagByte != 0 {
+			m.setTag(in.Dest, Tag{Set: true, Kind: ir.ExcKind(tagByte)})
+		} else {
+			m.setTag(in.Dest, Tag{})
+		}
+		m.setReady(in.Dest, t+int64(machine.Latency(in.Op)))
+		return event{}, nil
+	}
+
+	if m.boost != nil && in.Spec {
+		if ir.BufferedStore(in.Op) {
+			return m.execBoostedStore(in, t)
+		}
+		return m.execBoosted(in, t)
+	}
+	if ir.BufferedStore(in.Op) {
+		return m.execStore(in, t, usesTags)
+	}
+	return m.execValue(in, t, usesTags)
+}
+
+// execValue implements Table 1 for register-writing instructions.
+func (m *Machine) execValue(in *ir.Instr, t int64, usesTags bool) (event, error) {
+	var srcTag ir.Reg
+	if usesTags {
+		srcTag = m.firstTaggedSrc(in)
+	}
+	lat := int64(machine.Latency(in.Op))
+
+	if in.Spec {
+		if srcTag.Valid() {
+			// Exception propagation (Table 1, spec=1 src-tag=1 rows): the
+			// destination's tag is set and the first tagged source's data
+			// (the excepting PC) is copied through.
+			tg := m.tag(srcTag)
+			m.SetRaw(in.Dest, m.Raw(srcTag))
+			m.setTag(in.Dest, tg)
+			m.setReady(in.Dest, t+lat)
+			return event{}, nil
+		}
+		val, exc := m.compute(in)
+		if exc != ir.ExcNone {
+			if usesTags {
+				// Table 1, spec=1 row: tag set, data = PC of I, no signal.
+				if !m.pcq.Contains(in.PC) {
+					return event{}, fmt.Errorf("sim: pc %d aged out of the PC history queue", in.PC)
+				}
+				m.SetRaw(in.Dest, int64(in.PC))
+				m.setTag(in.Dest, Tag{Set: true, Kind: exc})
+			} else {
+				// General percolation (§2.4): the silent version writes a
+				// garbage value and the exception is ignored.
+				m.SetRaw(in.Dest, GarbageValue)
+			}
+			m.setReady(in.Dest, t+lat)
+			return event{}, nil
+		}
+		m.SetRaw(in.Dest, val)
+		m.setTag(in.Dest, Tag{})
+		m.setReady(in.Dest, t+lat)
+		return event{}, nil
+	}
+
+	// Non-speculative (Table 1, spec=0 rows).
+	if srcTag.Valid() {
+		// This instruction is the sentinel for an earlier speculative
+		// exception: signal, reporting the tagged source's data as the PC.
+		tg := m.tag(srcTag)
+		return signal(m.Raw(srcTag), tg.Kind), nil
+	}
+	val, exc := m.compute(in)
+	if exc != ir.ExcNone {
+		return signal(int64(in.PC), exc), nil
+	}
+	m.SetRaw(in.Dest, val)
+	m.setTag(in.Dest, Tag{})
+	m.setReady(in.Dest, t+lat)
+	return event{}, nil
+}
+
+// execStore implements Table 2: insertion of a store into the store buffer.
+func (m *Machine) execStore(in *ir.Instr, t int64, usesTags bool) (event, error) {
+	var srcTag ir.Reg
+	if usesTags {
+		srcTag = m.firstTaggedSrc(in)
+	}
+	addr := m.Int[in.Src1.N] + in.Imm
+	size := ir.MemSize(in.Op)
+	data := uint64(m.Raw(in.Src2))
+	fault := m.Mem.Check(addr, size)
+
+	if !in.Spec {
+		if srcTag.Valid() {
+			// Table 2 rows 010/011: the store is the sentinel.
+			tg := m.tag(srcTag)
+			return signal(m.Raw(srcTag), tg.Kind), nil
+		}
+		if fault != nil {
+			// Table 2 row 001: force confirmed head entries to update the
+			// cache, then process the exception precisely.
+			m.flushConfirmed()
+			return signal(int64(in.PC), fault.Kind), nil
+		}
+		t2, err := m.buf.insert(t, Entry{Addr: addr, Size: size, Data: data, Confirmed: true}, m.Mem)
+		if err != nil {
+			return event{}, err
+		}
+		return event{stall: t2 - t}, nil
+	}
+
+	// Speculative store: allowed only under the §4 extension.
+	if m.md.Model != machine.SentinelStores {
+		return event{}, fmt.Errorf("sim: speculative store under model %v at pc %d", m.md.Model, in.PC)
+	}
+	e := Entry{Addr: addr, Size: size, Data: data}
+	switch {
+	case srcTag.Valid():
+		// Table 2 rows 110/111: propagate the source's exception condition
+		// into the probationary entry.
+		tg := m.tag(srcTag)
+		e.ExcSet, e.ExcKind, e.ExcPC = true, tg.Kind, m.Raw(srcTag)
+	case fault != nil:
+		// Table 2 row 101: record the store's own exception.
+		e.ExcSet, e.ExcKind, e.ExcPC = true, fault.Kind, int64(in.PC)
+	}
+	t2, err := m.buf.insert(t, e, m.Mem)
+	if err != nil {
+		return event{}, err
+	}
+	return event{stall: t2 - t}, nil
+}
+
+// setReady records the scoreboard availability time of a destination.
+func (m *Machine) setReady(r ir.Reg, at int64) {
+	if !r.Valid() || r.IsZero() {
+		return
+	}
+	m.readyAt[r.Index()] = at
+}
+
+// compute evaluates the value semantics of a non-store, register-writing
+// instruction, returning the raw result bits and any exception.
+func (m *Machine) compute(in *ir.Instr) (int64, ir.ExcKind) {
+	// Reads go through the shadow file at the current boost level; at level
+	// 0 (every model but boosting) they are plain architectural reads.
+	lvl := m.curLvl
+	rdi := func(r ir.Reg) int64 { return m.rdInt(lvl, r) }
+	rdf := func(r ir.Reg) float64 { return m.rdFP(lvl, r) }
+	src2 := func() int64 {
+		if in.Src2.Valid() {
+			return rdi(in.Src2)
+		}
+		return in.Imm
+	}
+	switch in.Op {
+	case ir.Li:
+		return in.Imm, ir.ExcNone
+	case ir.Mov:
+		return rdi(in.Src1), ir.ExcNone
+	case ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Slt:
+		return ir.IntALUOp(in.Op, rdi(in.Src1), src2()), ir.ExcNone
+	case ir.Div, ir.Rem:
+		return ir.IntDivOp(in.Op, rdi(in.Src1), src2())
+	case ir.Ld, ir.Ldb:
+		v, f := m.buf.loadOverlay(rdi(in.Src1)+in.Imm, ir.MemSize(in.Op), m.Mem)
+		if f != nil {
+			return 0, f.Kind
+		}
+		return int64(v), ir.ExcNone
+	case ir.Fld:
+		v, f := m.buf.loadOverlay(rdi(in.Src1)+in.Imm, 8, m.Mem)
+		if f != nil {
+			return 0, f.Kind
+		}
+		return int64(v), ir.ExcNone
+	case ir.Fadd, ir.Fsub, ir.Fmul, ir.Fdiv:
+		v, exc := ir.FPOp(in.Op, rdf(in.Src1), rdf(in.Src2))
+		return int64(math.Float64bits(v)), exc
+	case ir.Fmov, ir.Fneg, ir.Fabs:
+		v := ir.FPUnOp(in.Op, rdf(in.Src1))
+		return int64(math.Float64bits(v)), ir.ExcNone
+	case ir.Cvif:
+		return int64(math.Float64bits(float64(rdi(in.Src1)))), ir.ExcNone
+	case ir.Cvfi:
+		return ir.CvfiOp(rdf(in.Src1))
+	case ir.Feq, ir.Flt, ir.Fle:
+		return ir.FPCmpOp(in.Op, rdf(in.Src1), rdf(in.Src2))
+	default:
+		panic(fmt.Sprintf("sim: compute on %v", in.Op))
+	}
+}

@@ -1,0 +1,56 @@
+package sim
+
+// PCQueue is the PC History Queue of §3.2: a ring buffer recording the
+// program counters of the last m issued instructions, so that an exception
+// detected at the completion of a non-uniform-latency function unit can
+// still be attributed to the correct instruction. The simulator detects
+// exceptions with full knowledge of the issuing instruction, but models the
+// queue faithfully and asserts that every reported PC is still recorded —
+// i.e. that the architectural mechanism the paper relies on would have had
+// the information.
+type PCQueue struct {
+	pcs  []int
+	next int
+	full bool
+}
+
+// NewPCQueue returns a queue recording the last m PCs. m must cover the
+// longest instruction latency (10 cycles in Table 3).
+func NewPCQueue(m int) *PCQueue {
+	if m < 1 {
+		panic("sim: PC queue size must be positive")
+	}
+	return &PCQueue{pcs: make([]int, m)}
+}
+
+// Push records the PC of an issued instruction.
+func (q *PCQueue) Push(pc int) {
+	q.pcs[q.next] = pc
+	q.next++
+	if q.next == len(q.pcs) {
+		q.next = 0
+		q.full = true
+	}
+}
+
+// Contains reports whether pc is still recorded.
+func (q *PCQueue) Contains(pc int) bool {
+	n := q.next
+	if q.full {
+		n = len(q.pcs)
+	}
+	for i := 0; i < n; i++ {
+		if q.pcs[i] == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of recorded PCs.
+func (q *PCQueue) Len() int {
+	if q.full {
+		return len(q.pcs)
+	}
+	return q.next
+}

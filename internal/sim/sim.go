@@ -1,0 +1,325 @@
+// Package sim is the execution-driven simulator for scheduled MIR programs.
+// It models the paper's machine: an in-order VLIW/superscalar with CRAY-1
+// style scoreboard interlocks and deterministic latencies (Table 3), an
+// exception-tagged register file implementing the sentinel semantics of
+// Table 1, a PC history queue, and a store buffer with probationary entries
+// implementing Table 2 for speculative stores.
+//
+// Instructions execute in schedule order with immediate architectural
+// effect; the scoreboard provides timing (stalls), and a taken branch
+// nullifies all younger instructions, so a correctly scheduled program
+// produces exactly the results of the sequential reference interpreter.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+)
+
+// GarbageValue is the deterministic "garbage" written by a silent (general
+// percolation) speculative instruction that caused an exception (§2.4).
+const GarbageValue = int64(-0x0BAD0BAD0BAD0BAD)
+
+// Tag is one register's exception tag. The minimum tag is a single bit; we
+// carry the exception kind as well, which the paper notes is "useful to
+// indicate the type of exception to assist in debugging" (§3.2 fn. 3).
+type Tag struct {
+	Set  bool
+	Kind ir.ExcKind
+}
+
+// Exception describes a signalled (architecturally visible) exception.
+type Exception struct {
+	// ReportedPC is the PC of the instruction reported as the cause: for
+	// sentinel-detected exceptions this is the PC recovered from the tagged
+	// register's data field.
+	ReportedPC int
+	// ByPC is the PC of the instruction that signalled (the sentinel, or
+	// the excepting instruction itself when non-speculative).
+	ByPC  int
+	Kind  ir.ExcKind
+	Cycle int64
+}
+
+func (e Exception) String() string {
+	return fmt.Sprintf("%v: pc %d (signalled by pc %d, cycle %d)",
+		e.Kind, e.ReportedPC, e.ByPC, e.Cycle)
+}
+
+// Handler decides what happens on a signalled exception. Returning true
+// asks the machine to recover: re-execution restarts at the reported PC
+// (§3.7). Returning false aborts the run with the exception as error.
+type Handler func(exc Exception, m *Machine) bool
+
+// Options configures a simulation.
+type Options struct {
+	// MaxInstrs bounds dynamic instructions (default 200M).
+	MaxInstrs int64
+	// Handler is consulted on signalled exceptions; nil aborts.
+	Handler Handler
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	Cycles     int64
+	Instrs     int64
+	Stalls     int64 // cycles lost to interlocks and store-buffer pressure
+	Out        []int64
+	MemSum     uint64
+	Exceptions []Exception // signalled exceptions that were recovered
+}
+
+// Machine is the simulated processor state.
+type Machine struct {
+	md   machine.Desc
+	p    *prog.Program
+	Mem  *mem.Memory
+	Int  [ir.NumIntRegs]int64
+	FP   [ir.NumFPRegs]float64
+	Tags [ir.NumIntRegs + ir.NumFPRegs]Tag
+
+	readyAt [ir.NumIntRegs + ir.NumFPRegs]int64
+	buf     *storeBuffer
+	pcq     *PCQueue
+	boost   *shadowFile // shadow register files (boosting model only)
+	curLvl  int         // boost level of the currently executing instruction
+	out     []int64
+
+	instrs int64
+	stalls int64
+}
+
+// Raw reads a register's data field as raw bits (the data field carries the
+// excepting PC after a speculative exception, for either register file).
+func (m *Machine) Raw(r ir.Reg) int64 {
+	if r.Class == ir.IntClass {
+		return m.Int[r.N]
+	}
+	return int64(math.Float64bits(m.FP[r.N]))
+}
+
+// SetRaw writes a register's data field as raw bits. Writes to r0 are
+// discarded (hardwired zero).
+func (m *Machine) SetRaw(r ir.Reg, v int64) {
+	if r.Class == ir.IntClass {
+		if r.N != 0 {
+			m.Int[r.N] = v
+		}
+		return
+	}
+	m.FP[r.N] = math.Float64frombits(uint64(v))
+}
+
+// tag returns the register's exception tag.
+func (m *Machine) tag(r ir.Reg) Tag { return m.Tags[r.Index()] }
+
+// setTag sets or clears the register's exception tag.
+func (m *Machine) setTag(r ir.Reg, t Tag) {
+	if r.IsZero() {
+		return
+	}
+	m.Tags[r.Index()] = t
+}
+
+// firstTaggedSrc returns the first source operand of in whose exception tag
+// is set (Table 1: "the first source operand of I whose exception tag is
+// set"), or NoReg.
+func (m *Machine) firstTaggedSrc(in *ir.Instr) ir.Reg {
+	for _, r := range []ir.Reg{in.Src1, in.Src2} {
+		if r.Valid() && !r.IsZero() && m.tag(r).Set {
+			return r
+		}
+	}
+	return ir.NoReg
+}
+
+type abort struct {
+	exc Exception
+}
+
+func (a *abort) Error() string { return "unhandled exception: " + a.exc.String() }
+
+// Unhandled extracts the exception from an abort error, if any.
+func Unhandled(err error) (Exception, bool) {
+	if a, ok := err.(*abort); ok {
+		return a.exc, true
+	}
+	return Exception{}, false
+}
+
+// Run simulates the scheduled program p on machine md with the given data
+// memory (mutated in place). The program must be laid out (Layout).
+func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*Result, error) {
+	if err := md.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxInstrs == 0 {
+		opts.MaxInstrs = 200_000_000
+	}
+	m := &Machine{
+		md:  md,
+		p:   p,
+		Mem: memory,
+		buf: newStoreBuffer(md.StoreBuffer),
+		pcq: NewPCQueue(32),
+	}
+	if md.Model == machine.Boosting {
+		m.boost = newShadowFile(md.BoostLevels)
+	}
+	res := &Result{}
+
+	// pcIndex maps a PC to its (block, instruction) position for recovery
+	// restarts.
+	type pos struct{ block, idx int }
+	pcIndex := map[int]pos{}
+	for bi, b := range p.Blocks {
+		for ii, in := range b.Instrs {
+			pcIndex[in.PC] = pos{bi, ii}
+		}
+	}
+
+	now := int64(0)
+	bi := p.BlockIndex(p.Entry)
+	start := 0 // instruction index to start at within the block (recovery)
+	for bi >= 0 && bi < len(p.Blocks) {
+		b := p.Blocks[bi]
+		blockStart := now
+		if start > 0 && start < len(b.Instrs) {
+			// Restarting mid-block: align the schedule so the restart
+			// instruction issues now.
+			blockStart = now - int64(b.Instrs[start].Cycle)
+		}
+		redirect := -1     // next block index when a transfer happens
+		redirectStart := 0 // instruction index within redirect target
+		halted := false
+		last := now
+
+		for i := start; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			m.instrs++
+			if m.instrs > opts.MaxInstrs {
+				return res, fmt.Errorf("sim: instruction budget exceeded (%d)", opts.MaxInstrs)
+			}
+
+			// Issue timing: scheduled slot adjusted for accumulated drift,
+			// delayed by scoreboard interlocks on source operands. An
+			// unscheduled program (Cycle < 0) degenerates to one
+			// instruction per cycle.
+			rel := in.Cycle
+			if rel < 0 {
+				rel = i
+			}
+			tSched := blockStart + int64(rel)
+			t := tSched
+			if t < last {
+				t = last // in-order issue: never earlier than an older instruction
+			}
+			for _, r := range in.Uses() {
+				if ra := m.readyAt[r.Index()]; ra > t {
+					t = ra
+				}
+			}
+			if t > tSched {
+				m.stalls += t - tSched
+				blockStart += t - tSched // in-order: the whole stream slips
+			}
+			last = t
+
+			ev, err := m.exec(in, t)
+			if err != nil {
+				res.Cycles = t
+				return res, err
+			}
+			if ev.stall > 0 {
+				m.stalls += ev.stall
+				blockStart += ev.stall
+				last = t + ev.stall
+			}
+			if ev.signalled {
+				exc := Exception{ReportedPC: ev.reportPC, ByPC: in.PC, Kind: ev.kind, Cycle: t}
+				if opts.Handler == nil || !opts.Handler(exc, m) {
+					res.Cycles = t
+					finishResult(res, m)
+					return res, &abort{exc}
+				}
+				res.Exceptions = append(res.Exceptions, exc)
+				// Recovery: re-execution restarts at the reported PC
+				// (repair happened in the handler), §3.7.
+				rp, ok := pcIndex[exc.ReportedPC]
+				if !ok {
+					res.Cycles = t
+					return res, fmt.Errorf("sim: recovery target pc %d not found", exc.ReportedPC)
+				}
+				redirect, redirectStart = rp.block, rp.idx
+				now = t + 1
+				break
+			}
+			if ev.taken {
+				// Taken control transfer: younger instructions (same cycle,
+				// later slots, and all later cycles) are nullified simply by
+				// leaving the block loop. A taken conditional branch is a
+				// (compile-time) branch misprediction: cancel probationary
+				// store-buffer entries (§4.1).
+				if ir.IsBranch(in.Op) {
+					m.buf.cancelProbationary()
+				}
+				redirect = p.BlockIndex(ev.target)
+				now = t + 1 + machine.BranchTakenPenalty
+				break
+			}
+			if in.Op == ir.Halt {
+				halted = true
+				res.Cycles = t
+				break
+			}
+		}
+
+		if halted {
+			break
+		}
+		if redirect >= 0 {
+			bi = redirect
+			start = redirectStart
+			continue
+		}
+		// Fall through to the next block.
+		now = last + 1
+		bi++
+		start = 0
+		if bi >= len(p.Blocks) {
+			return res, fmt.Errorf("sim: fell off the end of the program")
+		}
+	}
+
+	// Drain the store buffer and wait for in-flight results.
+	drain := m.buf.drainAll(res.Cycles, m.Mem)
+	if drain > res.Cycles {
+		res.Cycles = drain
+	}
+	for _, ra := range m.readyAt {
+		if ra > res.Cycles {
+			res.Cycles = ra
+		}
+	}
+	finishResult(res, m)
+	return res, nil
+}
+
+func finishResult(res *Result, m *Machine) {
+	res.Instrs = m.instrs
+	res.Stalls = m.stalls
+	res.Out = m.out
+	res.MemSum = m.Mem.Checksum()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

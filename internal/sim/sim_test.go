@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"testing"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+)
+
+// runFigure1 executes the Figure 1(b) schedule with an entry block that sets
+// r2 (B's base and the branch condition) and r4 (C's base):
+//
+//	B[1]: r1 = mem(r2+0)   <spec>
+//	C[1]: r3 = mem(r4+0)   <spec>
+//	D[2]: r6 = r1+1        <spec>   (dest renamed from r4 to keep C's base)
+//	E[2]: r5 = r3*9        <spec>
+//	A[3]: if (r2==0) goto L1
+//	F[3]: mem(r2+8) = r6
+//	G[3]: check_exception(r5)
+//
+// We deviate from the paper's fragment in two harmless ways: D writes r6
+// (the paper's anti-dependence on r4 is irrelevant to exception detection),
+// and F stores at offset 8 so it does not overlap B's load.
+func runFigure1(t *testing.T, r2 int64, handler Handler) (*Result, error) {
+	t.Helper()
+	mk := func(in *ir.Instr, cyc, slot int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, slot, spec
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		mk(ir.LI(ir.R(2), r2), 0, 0, false),
+		mk(ir.LI(ir.R(4), 0x2000), 0, 1, false),
+	)
+	p.AddBlock("main",
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 0, 0, true),
+		mk(ir.LOAD(ir.Ld, ir.R(3), ir.R(4), 0), 0, 1, true),
+		mk(ir.ALUI(ir.Add, ir.R(6), ir.R(1), 1), 2, 0, true),
+		mk(ir.ALUI(ir.Mul, ir.R(5), ir.R(3), 9), 2, 1, true),
+		mk(ir.BRI(ir.Beq, ir.R(2), 0, "L1"), 3, 0, false),
+		mk(ir.STORE(ir.St, ir.R(2), 8, ir.R(6)), 3, 1, false),
+		mk(ir.CHECK(ir.R(5)), 3, 2, false),
+		mk(ir.HALT(), 4, 0, false),
+	)
+	p.AddBlock("L1", ir.JSR("putint", ir.R(3)), ir.HALT())
+	p.Layout()
+	m := mem.New()
+	m.Map("ok", 0x2000, 64)
+	m.Write(0x2000, 8, 5)
+	if r2 >= 0x2000 && r2 < 0x2040 {
+		// valid case: nothing else needed
+	}
+	return Run(p, machine.Base(8, machine.Sentinel), m, Options{Handler: handler})
+}
+
+func TestFigure2SignalsOnFallThrough(t *testing.T) {
+	// r2 = unmapped and nonzero: B faults speculatively, branch not taken,
+	// F (the first non-speculative use of the tagged chain) signals and
+	// reports B's PC.
+	_, err := runFigure1(t, 0x9000, nil)
+	exc, ok := Unhandled(err)
+	if !ok {
+		t.Fatalf("err = %v, want exception abort", err)
+	}
+	// B is the first instruction of block "main" (entry has 2 instrs).
+	if exc.ReportedPC != 2 {
+		t.Errorf("reported pc = %d, want 2 (instruction B)", exc.ReportedPC)
+	}
+	if exc.ByPC != 7 {
+		t.Errorf("signalled by pc = %d, want 7 (instruction F)", exc.ByPC)
+	}
+	if exc.Kind != ir.ExcAccessViolation {
+		t.Errorf("kind = %v", exc.Kind)
+	}
+}
+
+func TestFigure2IgnoredOnTakenBranch(t *testing.T) {
+	// r2 = 0: B faults speculatively, but the branch IS taken, so B should
+	// not have executed: the exception must be completely ignored (§3.4).
+	res, err := runFigure1(t, 0, nil)
+	if err != nil {
+		t.Fatalf("exception must be ignored on the taken path: %v", err)
+	}
+	if len(res.Out) != 1 || res.Out[0] != 5 {
+		t.Errorf("out = %v, want [5] (r3 loaded by C)", res.Out)
+	}
+	if len(res.Exceptions) != 0 {
+		t.Errorf("no exception may be recorded: %v", res.Exceptions)
+	}
+}
+
+func TestCheckSignalsForUnprotected(t *testing.T) {
+	// Make E the excepting chain's end: C faults (r4 unmapped); E (spec)
+	// propagates; G (check) signals reporting C.
+	mk := func(in *ir.Instr, cyc, slot int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, slot, spec
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		mk(ir.LI(ir.R(2), 0x2000), 0, 0, false),
+		mk(ir.LI(ir.R(4), 0x9000), 0, 1, false), // C's base unmapped
+	)
+	p.AddBlock("main",
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 0, 0, true),  // B ok
+		mk(ir.LOAD(ir.Ld, ir.R(3), ir.R(4), 0), 0, 1, true),  // C faults
+		mk(ir.ALUI(ir.Add, ir.R(6), ir.R(1), 1), 2, 0, true), // D
+		mk(ir.ALUI(ir.Mul, ir.R(5), ir.R(3), 9), 2, 1, true), // E propagates
+		mk(ir.BRI(ir.Beq, ir.R(2), 0, "L1"), 3, 0, false),
+		mk(ir.STORE(ir.St, ir.R(2), 8, ir.R(6)), 3, 1, false), // F clean
+		mk(ir.CHECK(ir.R(5)), 3, 2, false),                    // G signals
+		mk(ir.HALT(), 4, 0, false),
+	)
+	p.AddBlock("L1", ir.HALT())
+	p.Layout()
+	m := mem.New()
+	m.Map("ok", 0x2000, 64)
+	_, err := Run(p, machine.Base(8, machine.Sentinel), m, Options{})
+	exc, ok := Unhandled(err)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if exc.ReportedPC != 3 || exc.ByPC != 8 {
+		t.Errorf("reported pc %d by %d, want C (3) reported by G (8)", exc.ReportedPC, exc.ByPC)
+	}
+}
+
+// TestRecoveryRetry: a speculative load page-faults; the handler maps the
+// page in and asks for recovery; execution restarts at the load and the
+// program completes with the correct result (§3.7).
+func TestRecoveryRetry(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, slot, spec
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		mk(ir.LI(ir.R(2), 0x3000), 0, 0, false),
+	)
+	p.AddBlock("main",
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 0, 0, true),  // spec load, page fault
+		mk(ir.ALUI(ir.Add, ir.R(3), ir.R(1), 1), 2, 0, true), // propagates
+		mk(ir.BRI(ir.Beq, ir.R(2), 0, "L1"), 3, 0, false),
+		mk(ir.JSR("putint", ir.R(3)), 3, 1, false), // sentinel: uses r3
+		mk(ir.HALT(), 4, 0, false),
+	)
+	p.AddBlock("L1", ir.HALT())
+	p.Layout()
+	m := mem.New()
+	seg := m.Map("heap", 0x3000, 16)
+	m.Write(0x3000, 8, 41)
+	seg.Present = false
+
+	handled := 0
+	res, err := Run(p, machine.Base(8, machine.Sentinel), m, Options{
+		Handler: func(exc Exception, mach *Machine) bool {
+			handled++
+			if exc.Kind != ir.ExcPageFault {
+				t.Errorf("kind = %v", exc.Kind)
+			}
+			seg.Present = true
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if handled != 1 {
+		t.Errorf("handler calls = %d", handled)
+	}
+	if len(res.Out) != 1 || res.Out[0] != 42 {
+		t.Errorf("out = %v, want [42]", res.Out)
+	}
+	if len(res.Exceptions) != 1 || res.Exceptions[0].ReportedPC != 1 {
+		t.Errorf("exceptions = %v, want reported pc 1 (the load)", res.Exceptions)
+	}
+}
+
+// TestGeneralPercolationCorrupts: the same faulting speculative load under
+// general percolation writes garbage and the program SILENTLY completes with
+// a wrong result — the §2.4 failure mode sentinel scheduling fixes.
+func TestGeneralPercolationCorrupts(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, slot, spec
+		return in
+	}
+	build := func() (*prog.Program, *mem.Memory) {
+		p := prog.NewProgram()
+		p.AddBlock("entry", mk(ir.LI(ir.R(2), 0x9000), 0, 0, false)) // unmapped!
+		p.AddBlock("main",
+			mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 0, 0, true),
+			mk(ir.ALUI(ir.Add, ir.R(3), ir.R(1), 1), 2, 0, true),
+			mk(ir.BRI(ir.Beq, ir.R(2), 0, "L1"), 3, 0, false),
+			mk(ir.JSR("putint", ir.R(3)), 3, 1, false),
+			mk(ir.HALT(), 4, 0, false),
+		)
+		p.AddBlock("L1", ir.HALT())
+		p.Layout()
+		return p, mem.New()
+	}
+
+	// General percolation: completes, wrong value, no exception.
+	p, m := build()
+	res, err := Run(p, machine.Base(8, machine.General), m, Options{})
+	if err != nil {
+		t.Fatalf("general percolation must not signal: %v", err)
+	}
+	if len(res.Out) != 1 || res.Out[0] != GarbageValue+1 {
+		t.Errorf("out = %v, want garbage+1 (%d)", res.Out, GarbageValue+1)
+	}
+
+	// Sentinel: the same program signals with the exact cause.
+	p2, m2 := build()
+	_, err = Run(p2, machine.Base(8, machine.Sentinel), m2, Options{})
+	exc, ok := Unhandled(err)
+	if !ok || exc.ReportedPC != 1 {
+		t.Fatalf("sentinel must report the load (pc 1): %v", err)
+	}
+}
+
+// TestInterlockStalls: a load's consumer scheduled too early must be stalled
+// by the scoreboard, never given a stale value.
+func TestInterlockStalls(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int) *ir.Instr {
+		in.Cycle, in.Slot = cyc, slot
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		mk(ir.LI(ir.R(2), 0x1000), 0, 0),
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 1, 0),
+		// Mis-scheduled: uses r1 one cycle too early (load latency 2).
+		mk(ir.ALUI(ir.Add, ir.R(3), ir.R(1), 0), 2, 0),
+		mk(ir.JSR("putint", ir.R(3)), 3, 0),
+		mk(ir.HALT(), 4, 0),
+	)
+	p.Layout()
+	m := mem.New()
+	m.Map("d", 0x1000, 8)
+	m.Write(0x1000, 8, 99)
+	res, err := Run(p, machine.Base(1, machine.Restricted), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out[0] != 99 {
+		t.Errorf("out = %v; interlock must deliver the loaded value", res.Out)
+	}
+	if res.Stalls == 0 {
+		t.Error("expected at least one interlock stall")
+	}
+}
+
+// TestTakenBranchNullifiesYoungerSlots: instructions in the same cycle after
+// a taken branch must not execute.
+func TestTakenBranchNullifiesYoungerSlots(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int) *ir.Instr {
+		in.Cycle, in.Slot = cyc, slot
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		mk(ir.LI(ir.R(1), 1), 0, 0),
+		mk(ir.BRI(ir.Bne, ir.R(1), 0, "target"), 1, 0),
+		mk(ir.LI(ir.R(5), 123), 1, 1), // same cycle, younger slot: nullified
+		mk(ir.HALT(), 2, 0),
+	)
+	p.AddBlock("target",
+		ir.JSR("putint", ir.R(5)),
+		ir.HALT(),
+	)
+	p.Layout()
+	res, err := Run(p, machine.Base(4, machine.Restricted), mem.New(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out[0] != 0 {
+		t.Errorf("r5 = %d leaked from a nullified slot", res.Out[0])
+	}
+}
+
+// TestTakenBranchCancelsProbationary: a taken conditional branch is a
+// misprediction and must cancel unconfirmed store-buffer entries.
+func TestTakenBranchCancelsProbationary(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, slot, spec
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		mk(ir.LI(ir.R(2), 0x1000), 0, 0, false),
+		mk(ir.LI(ir.R(5), 55), 0, 1, false),
+		// Speculative store hoisted above the branch.
+		mk(ir.STORE(ir.St, ir.R(2), 0, ir.R(5)), 1, 0, true),
+		mk(ir.BRI(ir.Bne, ir.R(5), 0, "skip"), 2, 0, false), // taken
+		mk(ir.CONFIRM(0), 2, 1, false),                      // nullified
+		mk(ir.HALT(), 3, 0, false),
+	)
+	p.AddBlock("skip",
+		ir.LOAD(ir.Ld, ir.R(6), ir.R(2), 0),
+		ir.JSR("putint", ir.R(6)),
+		ir.HALT(),
+	)
+	p.Layout()
+	m := mem.New()
+	m.Map("d", 0x1000, 8)
+	res, err := Run(p, machine.Base(4, machine.SentinelStores), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out[0] != 0 {
+		t.Errorf("memory = %d: cancelled probationary store leaked", res.Out[0])
+	}
+}
+
+// TestStoreForwarding: a load must see an older buffered store (confirmed or
+// clean probationary), youngest winning.
+func TestStoreForwarding(t *testing.T) {
+	mk := func(in *ir.Instr, cyc int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, 0, spec
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		mk(ir.LI(ir.R(2), 0x1000), 0, false),
+		mk(ir.LI(ir.R(5), 11), 1, false),
+		mk(ir.STORE(ir.St, ir.R(2), 0, ir.R(5)), 2, false), // confirmed
+		mk(ir.LI(ir.R(5), 22), 3, false),
+		mk(ir.STORE(ir.St, ir.R(2), 0, ir.R(5)), 4, true), // probationary, same addr
+		mk(ir.LOAD(ir.Ld, ir.R(6), ir.R(2), 0), 5, false), // must see 22
+		mk(ir.CONFIRM(0), 6, false),
+		mk(ir.JSR("putint", ir.R(6)), 8, false),
+		mk(ir.HALT(), 9, false),
+	)
+	p.Layout()
+	m := mem.New()
+	m.Map("d", 0x1000, 8)
+	res, err := Run(p, machine.Base(1, machine.SentinelStores), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Out[0] != 22 {
+		t.Errorf("forwarded value = %d, want 22 (youngest store wins)", res.Out[0])
+	}
+	if v, _ := m.Read(0x1000, 8); v != 22 {
+		t.Errorf("final memory = %d, want 22", v)
+	}
+}
+
+// TestSaveRestoreTags: SaveTR/RestTR preserve the exception tag across a
+// spill without signalling (§3.2).
+func TestSaveRestoreTags(t *testing.T) {
+	mk := func(in *ir.Instr, cyc int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, 0, spec
+		return in
+	}
+	sv := ir.New(ir.SaveTR)
+	sv.Src1, sv.Imm, sv.Src2 = ir.R(10), 0, ir.R(1)
+	rs := ir.New(ir.RestTR)
+	rs.Dest, rs.Src1, rs.Imm = ir.R(4), ir.R(10), 0
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		mk(ir.LI(ir.R(2), 0x9000), 0, false),               // unmapped
+		mk(ir.LI(ir.R(10), 0x1000), 0, false),              // spill slot
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 1, true),   // spec fault -> tag r1
+		mk(sv, 4, false),                                   // spill r1 WITHOUT signalling
+		mk(rs, 5, false),                                   // reload into r4, tag intact
+		mk(ir.ALUI(ir.Add, ir.R(6), ir.R(4), 0), 7, false), // sentinel: signals
+		mk(ir.HALT(), 8, false),
+	)
+	p.Layout()
+	m := mem.New()
+	m.Map("stack", 0x1000, 16)
+	_, err := Run(p, machine.Base(1, machine.Sentinel), m, Options{})
+	exc, ok := Unhandled(err)
+	if !ok {
+		t.Fatalf("err = %v, want signal from the reloaded tag", err)
+	}
+	if exc.ReportedPC != 2 {
+		t.Errorf("reported pc = %d, want 2 (the speculative load)", exc.ReportedPC)
+	}
+	if exc.ByPC != 5 {
+		t.Errorf("signalled by %d, want 5 (the add after restore)", exc.ByPC)
+	}
+}
+
+// TestUnknownRuntimeRoutine: calling an undefined routine is an error.
+func TestUnknownRuntimeRoutine(t *testing.T) {
+	p := prog.NewProgram()
+	p.AddBlock("main", ir.JSR("frobnicate", ir.R(1)), ir.HALT())
+	p.Layout()
+	if _, err := Run(p, machine.Base(1, machine.Restricted), mem.New(), Options{}); err == nil {
+		t.Fatal("unknown runtime routine must error")
+	}
+}
+
+// TestMultipleExceptionsAcrossBlocks (§3.6): exceptions in different basic
+// blocks are detected in proper order, because every speculative
+// instruction's sentinel stays in its home block, which is checked before
+// the block is exited.
+func TestMultipleExceptionsAcrossBlocks(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, slot, spec
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		mk(ir.LI(ir.R(2), 0x9000), 0, 0, false), // both bases unmapped
+		mk(ir.LI(ir.R(4), 0x9100), 0, 1, false),
+	)
+	// Home block 1: speculative load via r2, sentinel = add r3.
+	// Home block 2 (after the branch): speculative load via r4, sentinel =
+	// add r6. Both loads fault; home block 1's must be reported first.
+	p.AddBlock("main",
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 0, 0, true),
+		mk(ir.LOAD(ir.Ld, ir.R(5), ir.R(4), 0), 0, 1, true),
+		mk(ir.ALUI(ir.Add, ir.R(3), ir.R(1), 1), 2, 0, false), // sentinel 1
+		mk(ir.BRI(ir.Beq, ir.R(0), 1, "L1"), 2, 1, false),     // never taken
+		mk(ir.ALUI(ir.Add, ir.R(6), ir.R(5), 1), 3, 0, false), // sentinel 2
+		mk(ir.HALT(), 4, 0, false),
+	)
+	p.AddBlock("L1", ir.HALT())
+	p.Layout()
+	_, err := Run(p, machine.Base(8, machine.Sentinel), mem.New(), Options{})
+	exc, ok := Unhandled(err)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	// The FIRST home block's exception (load at pc 2) must be the one
+	// signalled, even though the second load also faulted earlier in time.
+	if exc.ReportedPC != 2 {
+		t.Errorf("reported pc = %d, want 2 (home-block order preserved)", exc.ReportedPC)
+	}
+}
+
+// TestStoreSepDeadlockDetected: a hand-mis-scheduled program violating the
+// §4.2 separation constraint must be detected by the simulator, not hang.
+func TestStoreSepDeadlockDetected(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int, spec bool) *ir.Instr {
+		in.Cycle, in.Slot, in.Spec = cyc, slot, spec
+		return in
+	}
+	p := prog.NewProgram()
+	instrs := []*ir.Instr{
+		mk(ir.LI(ir.R(2), 0x1000), 0, 0, false),
+		mk(ir.LI(ir.R(5), 1), 0, 1, false),
+	}
+	p.AddBlock("entry", instrs...)
+	var main []*ir.Instr
+	// One probationary store followed by enough stores to overflow a
+	// 2-entry buffer before any confirm.
+	st := ir.STORE(ir.St, ir.R(2), 0, ir.R(5))
+	main = append(main, mk(st, 0, 0, true))
+	for i := 0; i < 3; i++ {
+		main = append(main, mk(ir.STORE(ir.St, ir.R(2), int64(8+8*i), ir.R(5)), i+1, 0, false))
+	}
+	main = append(main,
+		mk(ir.BRI(ir.Beq, ir.R(0), 1, "L1"), 5, 0, false),
+		mk(ir.CONFIRM(3), 5, 1, false),
+		mk(ir.HALT(), 6, 0, false))
+	p.AddBlock("main", main...)
+	p.AddBlock("L1", ir.HALT())
+	p.Layout()
+	md := machine.Base(4, machine.SentinelStores)
+	md.StoreBuffer = 2
+	m := mem.New()
+	m.Map("d", 0x1000, 64)
+	_, err := Run(p, md, m, Options{})
+	if err == nil {
+		t.Fatal("expected store-buffer deadlock detection")
+	}
+}

@@ -1,0 +1,221 @@
+package superblock
+
+import (
+	"strings"
+	"testing"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+)
+
+// countedLoop builds a counted loop with an immediate bound: sum array
+// elements with a top test `bge i, n, done`.
+func countedLoop(n int64) (*prog.Program, *mem.Memory) {
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), 0x1000),
+		ir.LI(ir.R(3), 0),
+		ir.LI(ir.R(5), 0),
+	)
+	p.AddBlock("loop", ir.BRI(ir.Bge, ir.R(5), n, "done"))
+	p.AddBlock("body",
+		ir.LOAD(ir.Ld, ir.R(6), ir.R(1), 0),
+		ir.ALU(ir.Add, ir.R(3), ir.R(3), ir.R(6)),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done", ir.JSR("putint", ir.R(3)), ir.HALT())
+	m := mem.New()
+	m.Map("data", 0x1000, int(n)*8+8)
+	for i := int64(0); i < n; i++ {
+		m.Write(0x1000+i*8, 8, uint64(i+1))
+	}
+	return p, m
+}
+
+// TestCountedUnrollRemovesInteriorTests: the main loop must contain exactly
+// one counted test (the guard) regardless of the unroll factor, plus a
+// remainder loop.
+func TestCountedUnrollRemovesInteriorTests(t *testing.T) {
+	p, m := countedLoop(48)
+	_, f := runBoth(t, p, m, Options{Unroll: 4})
+	main := f.Block("loop")
+	if main == nil || !main.Superblock {
+		t.Fatalf("no main superblock:\n%s", f)
+	}
+	tests, loads := 0, 0
+	for _, in := range main.Instrs {
+		if in.Op == ir.Bge {
+			tests++
+		}
+		if in.Op == ir.Ld {
+			loads++
+		}
+	}
+	if tests != 1 {
+		t.Errorf("main loop has %d counted tests, want 1 (guard only):\n%s", tests, f)
+	}
+	if loads != 4 {
+		t.Errorf("main loop has %d loads, want 4", loads)
+	}
+	rem := f.Block("loop.rem")
+	if rem == nil || !rem.Superblock {
+		t.Fatalf("missing remainder loop:\n%s", f)
+	}
+	// Guard must exit to the remainder with the adjusted bound.
+	if g := main.Instrs[0]; g.Op != ir.Bge || g.Target != "loop.rem" || g.Imm != 48-3 {
+		t.Errorf("guard = %v, want bge r5, 45, loop.rem", g)
+	}
+}
+
+// TestCountedUnrollRemainder: trip counts not divisible by the factor must
+// still compute the exact result (the remainder loop picks up the tail).
+func TestCountedUnrollRemainder(t *testing.T) {
+	for _, n := range []int64{1, 2, 3, 5, 7, 47, 49, 50, 51} {
+		p, m := countedLoop(n)
+		runBoth(t, p, m, Options{Unroll: 4})
+	}
+}
+
+// TestRegisterExpansionRenamesLocals: in an unrolled loop, the per-iteration
+// load destination must differ between copies so iterations can overlap.
+func TestRegisterExpansionRenamesLocals(t *testing.T) {
+	p, m := countedLoop(40)
+	_, f := runBoth(t, p, m, Options{Unroll: 4})
+	main := f.Block("loop")
+	dests := map[ir.Reg]bool{}
+	for _, in := range main.Instrs {
+		if in.Op == ir.Ld {
+			dests[in.Dest] = true
+		}
+	}
+	if len(dests) != 4 {
+		t.Errorf("load destinations = %d distinct, want 4 (expanded):\n%s", len(dests), f)
+	}
+}
+
+// TestInductionExpansion: the pointer increment chain must write fresh
+// registers (one per copy) with a single maintenance move of the
+// architectural register at the end.
+func TestInductionExpansion(t *testing.T) {
+	p, m := countedLoop(40)
+	_, f := runBoth(t, p, m, Options{Unroll: 4})
+	main := f.Block("loop")
+	var addDests []ir.Reg
+	movs := 0
+	for _, in := range main.Instrs {
+		if in.Op == ir.Add && !in.Src2.Valid() && in.Imm == 8 {
+			addDests = append(addDests, in.Dest)
+		}
+		if in.Op == ir.Mov && in.Dest == ir.R(1) {
+			movs++
+		}
+	}
+	if len(addDests) != 4 {
+		t.Fatalf("pointer adds = %d, want 4", len(addDests))
+	}
+	seen := map[ir.Reg]bool{}
+	for _, d := range addDests {
+		if d == ir.R(1) {
+			t.Errorf("pointer add still writes the architectural register")
+		}
+		if seen[d] {
+			t.Errorf("pointer add destinations not distinct: %v", addDests)
+		}
+		seen[d] = true
+	}
+	if movs != 1 {
+		t.Errorf("architectural maintenance moves = %d, want 1 (last copy only)", movs)
+	}
+}
+
+// branchyLoop builds a loop with a data-dependent side exit whose target
+// needs the loaded value and the pointers — exercising compensation stubs.
+func branchyLoop() (*prog.Program, *mem.Memory) {
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), 0x1000),
+		ir.LI(ir.R(2), 0x1000+64*8),
+		ir.LI(ir.R(3), 0),
+		ir.LI(ir.R(9), 0),
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(1), ir.R(2), "done"))
+	p.AddBlock("body",
+		ir.LOAD(ir.Ld, ir.R(6), ir.R(1), 0),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.BRI(ir.Bne, ir.R(6), 0, "rare"),
+	)
+	p.AddBlock("cont",
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("rare",
+		// Uses both the loaded value and the current pointer.
+		ir.ALU(ir.Add, ir.R(9), ir.R(9), ir.R(6)),
+		ir.ALU(ir.Add, ir.R(9), ir.R(9), ir.R(1)),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(3)),
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+	m := mem.New()
+	m.Map("data", 0x1000, 65*8)
+	r := lcgT(7)
+	for i := 0; i < 64; i++ {
+		v := uint64(0)
+		if r.intn(10) == 0 {
+			v = r.next() % 100
+		}
+		m.Write(0x1000+int64(i)*8, 8, v)
+	}
+	return p, m
+}
+
+type lcgT uint64
+
+func (r *lcgT) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 16)
+}
+func (r *lcgT) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// TestCompensationStubs: side exits of the unrolled loop must go through
+// stub blocks that restore the architectural registers; semantics preserved.
+func TestCompensationStubs(t *testing.T) {
+	p, m := branchyLoop()
+	_, f := runBoth(t, p, m, Options{})
+	stubs := 0
+	for _, b := range f.Blocks {
+		if strings.Contains(b.Label, ".x") {
+			stubs++
+			last := b.Instrs[len(b.Instrs)-1]
+			if last.Op != ir.Jmp {
+				t.Errorf("stub %q must end with a jump", b.Label)
+			}
+			for _, in := range b.Instrs[:len(b.Instrs)-1] {
+				if in.Op != ir.Mov && in.Op != ir.Fmov {
+					t.Errorf("stub %q contains non-move %v", b.Label, in)
+				}
+			}
+		}
+	}
+	if stubs == 0 {
+		t.Fatalf("expected compensation stubs:\n%s", f)
+	}
+	// The hot superblock itself must not carry per-copy maintenance moves
+	// for every exit — at most the final architectural updates.
+	main := f.Block("loop")
+	movs := 0
+	for _, in := range main.Instrs {
+		if in.Op == ir.Mov {
+			movs++
+		}
+	}
+	if movs > 2 {
+		t.Errorf("hot path has %d moves; compensation belongs in stubs:\n%s", movs, main.Instrs)
+	}
+}

@@ -1,0 +1,277 @@
+package workload
+
+import (
+	"sentinel/internal/ir"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name:    "wc",
+		Profile: "byte scan, branch conditions from loaded bytes, no hot stores",
+		Build:   buildWC,
+	})
+	register(Benchmark{
+		Name:    "cmp",
+		Profile: "paired loads, data-dependent branch, store on every hot iteration below it",
+		Build:   buildCmp,
+	})
+	register(Benchmark{
+		Name:    "grep",
+		Profile: "text scan with lookahead load used past its home block (unprotected when speculated)",
+		Build:   buildGrep,
+	})
+	register(Benchmark{
+		Name:    "compress",
+		Profile: "hash-table lookup, data-dependent hit/miss branch, table-update store on hot miss path",
+		Build:   buildCompress,
+	})
+}
+
+// buildWC models wc: count lines, words and characters of a text buffer.
+// Branch conditions come straight from loaded bytes, so restricted
+// percolation serializes load -> branch -> next load; there are no stores in
+// the hot loop, so speculative stores buy nothing (the paper reports no T
+// gain for wc).
+func buildWC() (*prog.Program, *mem.Memory) {
+	const (
+		textBase = 0x1000
+		textLen  = 4000
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), textBase),
+		ir.LI(ir.R(2), textBase+textLen),
+		ir.LI(ir.R(3), 0), // lines
+		ir.LI(ir.R(4), 0), // words
+		ir.LI(ir.R(5), 0), // chars
+		ir.LI(ir.R(6), 0), // in-word flag
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(1), ir.R(2), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ldb, ir.R(7), ir.R(1), 0),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 1),
+		ir.BRI(ir.Beq, ir.R(7), ' ', "wsp"),
+	)
+	p.AddBlock("b2", ir.BRI(ir.Beq, ir.R(7), '\n', "nl"))
+	p.AddBlock("b3", ir.BRI(ir.Bne, ir.R(6), 0, "cont"))
+	p.AddBlock("b4",
+		ir.ALUI(ir.Add, ir.R(4), ir.R(4), 1),
+		ir.LI(ir.R(6), 1),
+	)
+	p.AddBlock("cont", ir.JMP("loop"))
+	p.AddBlock("nl",
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 1),
+		ir.LI(ir.R(6), 0),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("wsp",
+		ir.LI(ir.R(6), 0),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(3)),
+		ir.JSR("putint", ir.R(4)),
+		ir.JSR("putint", ir.R(5)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	seg := m.Map("text", textBase, textLen)
+	r := lcg(11)
+	for i := range seg.Data {
+		switch x := r.intn(100); {
+		case x < 13:
+			seg.Data[i] = ' '
+		case x < 15:
+			seg.Data[i] = '\n'
+		default:
+			seg.Data[i] = byte('a' + r.intn(26))
+		}
+	}
+	return p, m
+}
+
+// buildCmp models cmp -l: compare two mostly equal word arrays, recording
+// the position (pointer and index, both ready early) of every comparison in
+// a trace buffer. The hot path stores on every iteration BELOW a
+// data-dependent equality branch while the stored values are available
+// before the branch resolves — the pattern that gives cmp its large
+// speculative-store gain in the paper.
+func buildCmp() (*prog.Program, *mem.Memory) {
+	const (
+		aBase = 0x1000
+		bBase = 0x8000
+		oBase = 0x10000
+		n     = 1500
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), aBase),
+		ir.LI(ir.R(2), bBase),
+		ir.LI(ir.R(3), oBase),
+		ir.LI(ir.R(4), n),
+		ir.LI(ir.R(5), 0), // i
+		ir.LI(ir.R(9), 0), // diff count
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(5), ir.R(4), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ld, ir.R(6), ir.R(1), 0),
+		ir.LOAD(ir.Ld, ir.R(7), ir.R(2), 0),
+		ir.BR(ir.Bne, ir.R(6), ir.R(7), "diff"),
+	)
+	p.AddBlock("same",
+		ir.STORE(ir.St, ir.R(3), 0, ir.R(1)), // record position (ready early)
+		ir.STORE(ir.St, ir.R(3), 8, ir.R(5)), // record index (ready early)
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.ALUI(ir.Add, ir.R(2), ir.R(2), 8),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 16),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("diff",
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.ALU(ir.Xor, ir.R(8), ir.R(6), ir.R(7)),
+		ir.STORE(ir.St, ir.R(3), 0, ir.R(8)),
+		ir.STORE(ir.St, ir.R(3), 8, ir.R(5)),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.ALUI(ir.Add, ir.R(2), ir.R(2), 8),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 16),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("a", aBase, n*8)
+	m.Map("b", bBase, n*8)
+	m.Map("out", oBase, n*16)
+	r := lcg(22)
+	for i := 0; i < n; i++ {
+		v := r.next() % 1000
+		m.Write(aBase+int64(i)*8, 8, v)
+		w := v
+		if r.intn(100) < 3 { // 3% differences
+			w = v + 1
+		}
+		m.Write(bBase+int64(i)*8, 8, w)
+	}
+	return p, m
+}
+
+// buildGrep models grep: scan text for a pattern head byte, with a lookahead
+// byte consumed only past the branch. The lookahead load has no use in its
+// home block, so speculating it requires an explicit check_exception — the
+// sentinel slot pressure that makes grep the paper's worst case for
+// sentinel-vs-general at issue 2.
+func buildGrep() (*prog.Program, *mem.Memory) {
+	const (
+		textBase = 0x1000
+		textLen  = 4000
+		posBase  = 0x8000
+		pat      = 'q' // rare
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), textBase),
+		ir.LI(ir.R(2), textBase+textLen-1),
+		ir.LI(ir.R(3), 0),        // match count
+		ir.LI(ir.R(6), 0),        // rolling checksum of lookahead bytes
+		ir.LI(ir.R(10), posBase), // line-position trace buffer
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(1), ir.R(2), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ldb, ir.R(4), ir.R(1), 0), // current byte: feeds the branch
+		ir.LOAD(ir.Ldb, ir.R(5), ir.R(1), 1), // lookahead: used after the branch
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 1),
+		ir.BRI(ir.Beq, ir.R(4), pat, "match"),
+	)
+	p.AddBlock("cont",
+		ir.ALU(ir.Add, ir.R(6), ir.R(6), ir.R(5)), // lookahead use, next home block
+		ir.STORE(ir.St, ir.R(10), 0, ir.R(1)),     // record scan position (grep -n bookkeeping)
+		ir.ALUI(ir.Add, ir.R(10), ir.R(10), 8),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("match",
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(3)),
+		ir.JSR("putint", ir.R(6)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	seg := m.Map("text", textBase, textLen)
+	m.Map("pos", posBase, (textLen+1)*8)
+	r := lcg(33)
+	for i := range seg.Data {
+		if r.intn(100) < 2 {
+			seg.Data[i] = pat
+		} else {
+			seg.Data[i] = byte('a' + r.intn(16))
+		}
+	}
+	return p, m
+}
+
+// buildCompress models compress: a rolling hash indexes a 256-entry table;
+// the hot miss path updates the table (store below a data-dependent
+// branch), giving a moderate speculative-store gain.
+func buildCompress() (*prog.Program, *mem.Memory) {
+	const (
+		srcBase = 0x1000
+		srcLen  = 3000
+		tabBase = 0x8000
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), srcBase),
+		ir.LI(ir.R(2), srcBase+srcLen),
+		ir.LI(ir.R(3), tabBase),
+		ir.LI(ir.R(5), 0),  // hash
+		ir.LI(ir.R(6), 0),  // hits
+		ir.LI(ir.R(10), 0), // misses
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(1), ir.R(2), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ldb, ir.R(4), ir.R(1), 0),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 1),
+		ir.ALUI(ir.Shl, ir.R(5), ir.R(5), 2),
+		ir.ALU(ir.Xor, ir.R(5), ir.R(5), ir.R(4)),
+		ir.ALUI(ir.And, ir.R(5), ir.R(5), 255),
+		ir.ALUI(ir.Shl, ir.R(15), ir.R(5), 3),
+		ir.ALU(ir.Add, ir.R(9), ir.R(15), ir.R(3)),
+		ir.LOAD(ir.Ld, ir.R(8), ir.R(9), 0),
+		ir.BR(ir.Beq, ir.R(8), ir.R(4), "hit"),
+	)
+	p.AddBlock("miss",
+		ir.STORE(ir.St, ir.R(9), 0, ir.R(4)),
+		ir.ALUI(ir.Add, ir.R(10), ir.R(10), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("hit",
+		ir.ALUI(ir.Add, ir.R(6), ir.R(6), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(6)),
+		ir.JSR("putint", ir.R(10)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	seg := m.Map("src", srcBase, srcLen)
+	m.Map("table", tabBase, 256*8)
+	r := lcg(44)
+	for i := range seg.Data {
+		seg.Data[i] = byte('a' + r.intn(8)) // small alphabet: decent hit rate
+	}
+	return p, m
+}

@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"sentinel/internal/ir"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name:    "eqntott",
+		Profile: "vector compare, data-dependent three-way branch, almost no stores",
+		Build:   buildEqntott,
+	})
+	register(Benchmark{
+		Name:    "espresso",
+		Profile: "bitmap set operations, disjointness branch, merge store on hot path",
+		Build:   buildEspresso,
+	})
+	register(Benchmark{
+		Name:    "xlisp",
+		Profile: "cons-cell pointer chase, type-tag branches, mark store below tag branch",
+		Build:   buildXlisp,
+	})
+	register(Benchmark{
+		Name:    "yacc",
+		Profile: "LR automaton: chained table loads feed the action branch, shift pushes to a stack",
+		Build:   buildYacc,
+	})
+}
+
+// buildEqntott models eqntott's PLA term comparison: walk two vectors and
+// classify each pair as less/equal/greater. Branch conditions come from the
+// loaded words; the loop stores nothing, so speculative stores buy nothing
+// (matching the paper's zero T gain for eqntott).
+func buildEqntott() (*prog.Program, *mem.Memory) {
+	const (
+		aBase = 0x1000
+		bBase = 0x8000
+		n     = 1800
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), aBase),
+		ir.LI(ir.R(2), bBase),
+		ir.LI(ir.R(4), n),
+		ir.LI(ir.R(5), 0),  // i
+		ir.LI(ir.R(6), 0),  // lt
+		ir.LI(ir.R(7), 0),  // gt
+		ir.LI(ir.R(10), 0), // eq
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(5), ir.R(4), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ld, ir.R(8), ir.R(1), 0),
+		ir.LOAD(ir.Ld, ir.R(9), ir.R(2), 0),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.ALUI(ir.Add, ir.R(2), ir.R(2), 8),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.BR(ir.Blt, ir.R(8), ir.R(9), "lt"),
+	)
+	p.AddBlock("b2", ir.BR(ir.Blt, ir.R(9), ir.R(8), "gt"))
+	p.AddBlock("eqv",
+		ir.ALUI(ir.Add, ir.R(10), ir.R(10), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("lt",
+		ir.ALUI(ir.Add, ir.R(6), ir.R(6), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("gt",
+		ir.ALUI(ir.Add, ir.R(7), ir.R(7), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(6)),
+		ir.JSR("putint", ir.R(7)),
+		ir.JSR("putint", ir.R(10)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("a", aBase, n*8)
+	m.Map("b", bBase, n*8)
+	r := lcg(55)
+	for i := 0; i < n; i++ {
+		a := r.next() % 1000
+		b := a + 1 + r.next()%50 // bias: a < b about 70% of the time
+		if r.intn(100) < 30 {
+			b = a - r.next()%30
+		}
+		m.Write(aBase+int64(i)*8, 8, a)
+		m.Write(bBase+int64(i)*8, 8, b)
+	}
+	return p, m
+}
+
+// buildEspresso models espresso's cube operations: intersect bitmap words;
+// when they overlap (the hot case), store the union into the result cover.
+func buildEspresso() (*prog.Program, *mem.Memory) {
+	const (
+		aBase = 0x1000
+		bBase = 0x8000
+		oBase = 0x10000
+		n     = 1500
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), aBase),
+		ir.LI(ir.R(2), bBase),
+		ir.LI(ir.R(3), oBase),
+		ir.LI(ir.R(4), n),
+		ir.LI(ir.R(5), 0), // i
+		ir.LI(ir.R(9), 0), // merge count
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(5), ir.R(4), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ld, ir.R(6), ir.R(1), 0),
+		ir.LOAD(ir.Ld, ir.R(7), ir.R(2), 0),
+		ir.ALU(ir.And, ir.R(8), ir.R(6), ir.R(7)),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.ALUI(ir.Add, ir.R(2), ir.R(2), 8),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.BRI(ir.Beq, ir.R(8), 0, "disjoint"),
+	)
+	p.AddBlock("merge",
+		ir.ALU(ir.Or, ir.R(11), ir.R(6), ir.R(7)),
+		ir.STORE(ir.St, ir.R(3), 0, ir.R(11)),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 8),
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("disjoint",
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 8),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("a", aBase, n*8)
+	m.Map("b", bBase, n*8)
+	m.Map("out", oBase, n*8)
+	r := lcg(66)
+	for i := 0; i < n; i++ {
+		a := r.next() | 0x10 // ensure some bits
+		b := r.next()
+		if r.intn(100) < 25 {
+			b = ^a // disjoint-ish 25% of the time
+		}
+		m.Write(aBase+int64(i)*8, 8, a)
+		m.Write(bBase+int64(i)*8, 8, b)
+	}
+	return p, m
+}
+
+// buildXlisp models xlisp's garbage-collector marking walk: chase a list of
+// cons cells, branch on the loaded type tag, sum number payloads, and mark
+// each visited numeric cell (store below the tag branch). The next-pointer
+// chain bounds ILP; gains come from hoisting the tag and payload loads.
+func buildXlisp() (*prog.Program, *mem.Memory) {
+	const (
+		heapBase = 0x1000
+		nodes    = 1400
+		nodeSize = 24 // tag, payload, next
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), heapBase), // head pointer cell
+		ir.LOAD(ir.Ld, ir.R(2), ir.R(1), 0),
+		ir.LI(ir.R(3), 0), // numeric sum
+		ir.LI(ir.R(6), 0), // symbols seen
+	)
+	p.AddBlock("loop", ir.BRI(ir.Beq, ir.R(2), 0, "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ld, ir.R(4), ir.R(2), 0), // tag
+		ir.BRI(ir.Bne, ir.R(4), 1, "sym"),
+	)
+	p.AddBlock("num",
+		ir.LOAD(ir.Ld, ir.R(5), ir.R(2), 8), // payload
+		ir.ALU(ir.Add, ir.R(3), ir.R(3), ir.R(5)),
+		ir.LI(ir.R(7), 3),
+		ir.STORE(ir.St, ir.R(2), 0, ir.R(7)), // mark: store below tag branch
+	)
+	p.AddBlock("next",
+		ir.LOAD(ir.Ld, ir.R(2), ir.R(2), 16),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("sym",
+		ir.ALUI(ir.Add, ir.R(6), ir.R(6), 1),
+		ir.JMP("next"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(3)),
+		ir.JSR("putint", ir.R(6)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("heap", heapBase, 16+nodes*nodeSize)
+	first := int64(heapBase + 16)
+	m.Write(heapBase, 8, uint64(first))
+	r := lcg(77)
+	for i := 0; i < nodes; i++ {
+		node := first + int64(i)*nodeSize
+		tag := uint64(1) // number
+		if r.intn(100) < 35 {
+			tag = 2 // symbol
+		}
+		m.Write(node, 8, tag)
+		m.Write(node+8, 8, r.next()%500)
+		next := uint64(0)
+		if i < nodes-1 {
+			next = uint64(node + nodeSize)
+		}
+		m.Write(node+16, 8, next)
+	}
+	return p, m
+}
+
+// buildYacc models yacc's LR driver: a token indexes the action table
+// through the current state (chained loads feeding the branch); shifts push
+// the token onto a stack (hot store below the data-dependent branch),
+// reduces pop and fold.
+func buildYacc() (*prog.Program, *mem.Memory) {
+	const (
+		tokBase   = 0x1000
+		nTok      = 1600
+		tabBase   = 0x8000 // 8 states x 8 tokens x 8 bytes
+		stackBase = 0x10000
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), tokBase),
+		ir.LI(ir.R(2), tokBase+nTok),
+		ir.LI(ir.R(3), tabBase),
+		ir.LI(ir.R(11), stackBase), // stack pointer
+		ir.LI(ir.R(12), stackBase), // stack floor
+		ir.LI(ir.R(13), 0),         // state
+		ir.LI(ir.R(14), 0),         // reduce accumulator
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(1), ir.R(2), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ldb, ir.R(4), ir.R(1), 0), // token (0..7)
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 1),
+		ir.ALUI(ir.Shl, ir.R(15), ir.R(13), 3),
+		ir.ALU(ir.Add, ir.R(16), ir.R(15), ir.R(4)),
+		ir.ALUI(ir.Shl, ir.R(17), ir.R(16), 3),
+		ir.ALU(ir.Add, ir.R(5), ir.R(17), ir.R(3)),
+		ir.LOAD(ir.Ld, ir.R(6), ir.R(5), 0), // action
+		ir.BRI(ir.Blt, ir.R(6), 0, "reduce"),
+	)
+	p.AddBlock("shift",
+		ir.STORE(ir.St, ir.R(11), 0, ir.R(4)), // push token
+		ir.ALUI(ir.Add, ir.R(11), ir.R(11), 8),
+		ir.ALUI(ir.And, ir.R(13), ir.R(6), 7), // new state
+		ir.JMP("loop"),
+	)
+	p.AddBlock("reduce", ir.BR(ir.Bge, ir.R(12), ir.R(11), "redempty"))
+	p.AddBlock("redpop",
+		ir.ALUI(ir.Sub, ir.R(11), ir.R(11), 8),
+		ir.LOAD(ir.Ld, ir.R(9), ir.R(11), 0),
+		ir.ALU(ir.Add, ir.R(14), ir.R(14), ir.R(9)),
+		ir.ALUI(ir.And, ir.R(13), ir.R(6), 3),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("redempty",
+		ir.LI(ir.R(13), 0),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(14)),
+		ir.JSR("putint", ir.R(13)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	seg := m.Map("tokens", tokBase, nTok)
+	tab := m.Map("table", tabBase, 8*8*8)
+	m.Map("stack", stackBase, (nTok+2)*8)
+	r := lcg(88)
+	for i := range seg.Data {
+		seg.Data[i] = byte(r.intn(8))
+	}
+	for i := 0; i < 64; i++ {
+		var action int64
+		if r.intn(100) < 35 { // 35% reduce
+			action = -int64(r.intn(8) + 1)
+		} else {
+			action = int64(r.intn(8))
+		}
+		tab.Data[i*8] = byte(action)
+		if action < 0 {
+			for b := 1; b < 8; b++ {
+				tab.Data[i*8+b] = 0xff // sign extension
+			}
+		}
+	}
+	return p, m
+}

@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"sentinel/internal/ir"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name:    "lex",
+		Profile: "DFA scan: char -> class -> transition chained loads feed the accept branch",
+		Build:   buildLex,
+	})
+	register(Benchmark{
+		Name:    "cccp",
+		Profile: "character copy loop, store per char below the directive branch",
+		Build:   buildCccp,
+	})
+	register(Benchmark{
+		Name:    "eqn",
+		Profile: "token stream, operator/operand branch, position store on both paths",
+		Build:   buildEqn,
+	})
+	register(Benchmark{
+		Name:    "tbl",
+		Profile: "column-max computation: compare branch with conditional store",
+		Build:   buildTbl,
+	})
+}
+
+// buildLex models a lex-generated scanner: each input byte is classified
+// through a class table and then drives a DFA transition table; accepting
+// states emit tokens. Two chained loads feed every branch, the pattern where
+// restricted percolation loses the most.
+func buildLex() (*prog.Program, *mem.Memory) {
+	const (
+		inBase   = 0x1000
+		inLen    = 2500
+		clsBase  = 0x8000  // 256 bytes: char class (0..3)
+		dfaBase  = 0x9000  // 8 states x 4 classes x 8 bytes
+		tokBase  = 0x10000 // token positions
+		nStates  = 8
+		acceptSt = 5
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), inBase),
+		ir.LI(ir.R(2), inBase+inLen),
+		ir.LI(ir.R(3), clsBase),
+		ir.LI(ir.R(4), dfaBase),
+		ir.LI(ir.R(10), tokBase),
+		ir.LI(ir.R(13), 0), // state
+		ir.LI(ir.R(9), 0),  // token count
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(1), ir.R(2), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ldb, ir.R(5), ir.R(1), 0), // char
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 1),
+		ir.ALU(ir.Add, ir.R(6), ir.R(3), ir.R(5)),
+		ir.LOAD(ir.Ldb, ir.R(7), ir.R(6), 0), // class
+		ir.ALUI(ir.Shl, ir.R(14), ir.R(13), 2),
+		ir.ALU(ir.Add, ir.R(15), ir.R(14), ir.R(7)),
+		ir.ALUI(ir.Shl, ir.R(16), ir.R(15), 3),
+		ir.ALU(ir.Add, ir.R(8), ir.R(16), ir.R(4)),
+		ir.LOAD(ir.Ld, ir.R(13), ir.R(8), 0), // next state
+		ir.BRI(ir.Beq, ir.R(13), acceptSt, "accept"),
+	)
+	p.AddBlock("cont", ir.JMP("loop"))
+	p.AddBlock("accept",
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.STORE(ir.St, ir.R(10), 0, ir.R(1)), // token position
+		ir.ALUI(ir.Add, ir.R(10), ir.R(10), 8),
+		ir.LI(ir.R(13), 0),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(9)),
+		ir.JSR("putint", ir.R(13)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	in := m.Map("input", inBase, inLen)
+	cls := m.Map("class", clsBase, 256)
+	dfa := m.Map("dfa", dfaBase, nStates*4*8)
+	m.Map("tokens", tokBase, (inLen+1)*8)
+	r := lcg(99)
+	for i := range in.Data {
+		in.Data[i] = byte('a' + r.intn(26))
+	}
+	for i := range cls.Data {
+		cls.Data[i] = byte(i % 4)
+	}
+	for i := 0; i < nStates*4; i++ {
+		next := r.intn(nStates)
+		dfa.Data[i*8] = byte(next)
+	}
+	return p, m
+}
+
+// buildCccp models cccp's copy loop: every non-directive character is copied
+// to the output buffer (a store on the hot path, below the branch that
+// classifies the character).
+func buildCccp() (*prog.Program, *mem.Memory) {
+	const (
+		inBase  = 0x1000
+		inLen   = 2600
+		outBase = 0x8000
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), inBase),
+		ir.LI(ir.R(2), inBase+inLen),
+		ir.LI(ir.R(3), outBase),
+		ir.LI(ir.R(8), 0), // directive count
+		ir.LI(ir.R(9), 0), // line count
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(1), ir.R(2), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ldb, ir.R(4), ir.R(1), 0),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 1),
+		ir.BRI(ir.Beq, ir.R(4), '#', "directive"),
+	)
+	p.AddBlock("b2", ir.BRI(ir.Beq, ir.R(4), '\n', "newline"))
+	p.AddBlock("copy",
+		ir.STORE(ir.Stb, ir.R(3), 0, ir.R(4)),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("newline",
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.STORE(ir.Stb, ir.R(3), 0, ir.R(4)),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("directive",
+		ir.ALUI(ir.Add, ir.R(8), ir.R(8), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(8)),
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	in := m.Map("input", inBase, inLen)
+	m.Map("output", outBase, inLen+8)
+	r := lcg(111)
+	for i := range in.Data {
+		switch x := r.intn(100); {
+		case x < 3:
+			in.Data[i] = '#'
+		case x < 8:
+			in.Data[i] = '\n'
+		default:
+			in.Data[i] = byte('a' + r.intn(26))
+		}
+	}
+	return p, m
+}
+
+// buildEqn models eqn's token layout pass: each token record (kind, width)
+// is classified by a loaded kind; both paths advance a running position and
+// store it back into the record.
+func buildEqn() (*prog.Program, *mem.Memory) {
+	const (
+		tokBase = 0x1000
+		nTok    = 1100
+		recSize = 24 // kind, width, position
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), tokBase),
+		ir.LI(ir.R(2), nTok),
+		ir.LI(ir.R(5), 0), // i
+		ir.LI(ir.R(6), 0), // position
+		ir.LI(ir.R(9), 0), // operator count
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(5), ir.R(2), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ld, ir.R(4), ir.R(1), 0), // kind
+		ir.LOAD(ir.Ld, ir.R(7), ir.R(1), 8), // width
+		ir.BRI(ir.Beq, ir.R(4), 1, "operator"),
+	)
+	p.AddBlock("operand",
+		ir.ALU(ir.Add, ir.R(6), ir.R(6), ir.R(7)),
+		ir.STORE(ir.St, ir.R(1), 16, ir.R(6)),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), recSize),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("operator",
+		ir.ALUI(ir.Add, ir.R(6), ir.R(6), 2), // fixed operator spacing
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.STORE(ir.St, ir.R(1), 16, ir.R(6)),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), recSize),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(6)),
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("tokens", tokBase, nTok*recSize)
+	r := lcg(122)
+	for i := 0; i < nTok; i++ {
+		rec := int64(tokBase + i*recSize)
+		kind := uint64(0)
+		if r.intn(100) < 30 {
+			kind = 1
+		}
+		m.Write(rec, 8, kind)
+		m.Write(rec+8, 8, 1+r.next()%9)
+	}
+	return p, m
+}
+
+// buildTbl models tbl's column-width pass: each cell length is compared
+// against the current column maximum (loaded), and the maximum is
+// conditionally stored back.
+func buildTbl() (*prog.Program, *mem.Memory) {
+	const (
+		cellBase = 0x1000
+		nCells   = 1600
+		maxBase  = 0x8000 // 4 columns
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), cellBase),
+		ir.LI(ir.R(2), nCells),
+		ir.LI(ir.R(3), maxBase),
+		ir.LI(ir.R(5), 0), // i
+		ir.LI(ir.R(9), 0), // update count
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(5), ir.R(2), "done"))
+	p.AddBlock("b1",
+		ir.LOAD(ir.Ld, ir.R(4), ir.R(1), 0), // cell length
+		ir.ALUI(ir.And, ir.R(14), ir.R(5), 3),
+		ir.ALUI(ir.Shl, ir.R(15), ir.R(14), 3),
+		ir.ALU(ir.Add, ir.R(6), ir.R(15), ir.R(3)),
+		ir.LOAD(ir.Ld, ir.R(7), ir.R(6), 0), // current max
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.BR(ir.Bge, ir.R(7), ir.R(4), "keep"),
+	)
+	p.AddBlock("update",
+		ir.STORE(ir.St, ir.R(6), 0, ir.R(4)),
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("keep", ir.JMP("loop"))
+	p.AddBlock("done",
+		ir.LOAD(ir.Ld, ir.R(10), ir.R(3), 0),
+		ir.LOAD(ir.Ld, ir.R(11), ir.R(3), 8),
+		ir.ALU(ir.Add, ir.R(10), ir.R(10), ir.R(11)),
+		ir.JSR("putint", ir.R(9)),
+		ir.JSR("putint", ir.R(10)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("cells", cellBase, nCells*8)
+	m.Map("max", maxBase, 4*8)
+	r := lcg(133)
+	for i := 0; i < nCells; i++ {
+		// Mostly small lengths so updates become rarer over time.
+		m.Write(cellBase+int64(i)*8, 8, r.next()%64)
+	}
+	return p, m
+}

@@ -1,0 +1,406 @@
+package workload
+
+import (
+	"math"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+)
+
+func init() {
+	register(Benchmark{
+		Name: "doduc", Numeric: true,
+		Profile: "FP Monte-Carlo style: FP compare feeds a hot branch, store on the hot path",
+		Build:   buildDoduc,
+	})
+	register(Benchmark{
+		Name: "fpppp", Numeric: true,
+		Profile: "huge straight-line FP block, single counted exit: little need for speculation",
+		Build:   buildFpppp,
+	})
+	register(Benchmark{
+		Name: "matrix300", Numeric: true,
+		Profile: "dense inner product, counted loops, stores only at row ends",
+		Build:   buildMatrix300,
+	})
+	register(Benchmark{
+		Name: "nasa7", Numeric: true,
+		Profile: "butterfly-style FP kernel with a data-dependent scaling branch before its stores",
+		Build:   buildNasa7,
+	})
+	register(Benchmark{
+		Name: "tomcatv", Numeric: true,
+		Profile: "mesh relaxation: FP chain feeds a convergence branch; stores precede the branch",
+		Build:   buildTomcatv,
+	})
+}
+
+func writeFP(m *mem.Memory, addr int64, f float64) {
+	m.Write(addr, 8, math.Float64bits(f))
+}
+
+// buildDoduc models doduc's hot sections: frequently executed floating-
+// point code where conditional branches appear amid larger stretches of
+// unconditional work. Each iteration transforms three element pairs
+// unconditionally, then one loaded classification flag selects the
+// accumulation path; the hot path stores its scaled value (store below the
+// data-dependent branch: moderate speculative-store gain, as the paper
+// reports for doduc).
+func buildDoduc() (*prog.Program, *mem.Memory) {
+	const (
+		xBase = 0x1000
+		fBase = 0x10000
+		oBase = 0x18000
+		n     = 300 // groups; 3 element pairs each
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), xBase),
+		ir.LI(ir.R(2), n),
+		ir.LI(ir.R(3), oBase),
+		ir.LI(ir.R(4), fBase),
+		ir.LI(ir.R(5), 0), // i
+		ir.LI(ir.R(9), 0), // small count
+		ir.LI(ir.R(10), 3),
+		ir.UN(ir.Cvif, ir.F(1), ir.R(10)), // scale 3.0
+		ir.LI(ir.R(10), 0),
+		ir.UN(ir.Cvif, ir.F(2), ir.R(10)), // accumulator 0.0
+	)
+	body := []*ir.Instr{}
+	for e := 0; e < 3; e++ {
+		off := int64(e * 16)
+		body = append(body,
+			ir.LOAD(ir.Fld, ir.F(4+e), ir.R(1), off),
+			ir.LOAD(ir.Fld, ir.F(8+e), ir.R(1), off+8),
+			ir.ALU(ir.Fmul, ir.F(12+e), ir.F(4+e), ir.F(8+e)),
+			ir.ALU(ir.Fadd, ir.F(16+e), ir.F(4+e), ir.F(8+e)),
+		)
+	}
+	body = append(body,
+		ir.ALU(ir.Fadd, ir.F(20), ir.F(12), ir.F(13)),
+		ir.ALU(ir.Fadd, ir.F(20), ir.F(20), ir.F(14)), // product sum
+		ir.ALU(ir.Fadd, ir.F(21), ir.F(16), ir.F(17)),
+		ir.ALU(ir.Fadd, ir.F(21), ir.F(21), ir.F(18)), // element sum
+		ir.LOAD(ir.Ld, ir.R(7), ir.R(4), 0),           // classification flag
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 48),
+		ir.ALUI(ir.Add, ir.R(4), ir.R(4), 8),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.BRI(ir.Bne, ir.R(7), 0, "small"),
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(5), ir.R(2), "done"))
+	p.AddBlock("b1", body...)
+	p.AddBlock("big",
+		ir.ALU(ir.Fmul, ir.F(22), ir.F(20), ir.F(1)),
+		ir.ALU(ir.Fadd, ir.F(2), ir.F(2), ir.F(22)),
+		ir.STORE(ir.Fst, ir.R(3), 0, ir.F(22)),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 8),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("small",
+		ir.ALU(ir.Fadd, ir.F(2), ir.F(2), ir.F(21)),
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.UN(ir.Cvfi, ir.R(8), ir.F(2)),
+		ir.JSR("putint", ir.R(8)),
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("x", xBase, n*48)
+	m.Map("flags", fBase, n*8)
+	m.Map("out", oBase, n*8)
+	r := lcg(144)
+	for i := 0; i < n*6; i++ {
+		writeFP(m, xBase+int64(i)*8, 1.0+float64(r.intn(200))/100.0)
+	}
+	for i := 0; i < n; i++ {
+		if r.intn(100) < 30 {
+			m.Write(fBase+int64(i)*8, 8, 1)
+		}
+	}
+	return p, m
+}
+
+// buildFpppp models fpppp: enormous basic blocks of floating-point code with
+// few conditional branches — restricted percolation already achieves a high
+// execution rate, so all models perform alike (as in Figure 4).
+func buildFpppp() (*prog.Program, *mem.Memory) {
+	const (
+		aBase = 0x1000
+		oBase = 0x8000
+		n     = 200 // iterations over a 6-element window
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), aBase),
+		ir.LI(ir.R(3), oBase),
+		ir.LI(ir.R(5), 0),
+	)
+	// One huge block: 6 loads, a deep FP expression tree, 3 stores. The
+	// counted exit uses an immediate bound so the counted-loop unroller
+	// removes interior tests, as IMPACT does for fpppp's few-branch code.
+	p.AddBlock("loop", ir.BRI(ir.Bge, ir.R(5), n, "done"))
+	p.AddBlock("body",
+		ir.LOAD(ir.Fld, ir.F(1), ir.R(1), 0),
+		ir.LOAD(ir.Fld, ir.F(2), ir.R(1), 8),
+		ir.LOAD(ir.Fld, ir.F(3), ir.R(1), 16),
+		ir.LOAD(ir.Fld, ir.F(4), ir.R(1), 24),
+		ir.LOAD(ir.Fld, ir.F(5), ir.R(1), 32),
+		ir.LOAD(ir.Fld, ir.F(6), ir.R(1), 40),
+		// Two-electron-integral flavoured expression tree.
+		ir.ALU(ir.Fmul, ir.F(7), ir.F(1), ir.F(2)),
+		ir.ALU(ir.Fmul, ir.F(8), ir.F(3), ir.F(4)),
+		ir.ALU(ir.Fmul, ir.F(9), ir.F(5), ir.F(6)),
+		ir.ALU(ir.Fadd, ir.F(10), ir.F(7), ir.F(8)),
+		ir.ALU(ir.Fadd, ir.F(11), ir.F(10), ir.F(9)),
+		ir.ALU(ir.Fsub, ir.F(12), ir.F(7), ir.F(9)),
+		ir.ALU(ir.Fmul, ir.F(13), ir.F(11), ir.F(12)),
+		ir.ALU(ir.Fadd, ir.F(14), ir.F(2), ir.F(5)),
+		ir.ALU(ir.Fmul, ir.F(15), ir.F(14), ir.F(1)),
+		ir.ALU(ir.Fsub, ir.F(16), ir.F(13), ir.F(15)),
+		ir.ALU(ir.Fadd, ir.F(17), ir.F(16), ir.F(8)),
+		ir.ALU(ir.Fmul, ir.F(18), ir.F(17), ir.F(14)),
+		ir.STORE(ir.Fst, ir.R(3), 0, ir.F(11)),
+		ir.STORE(ir.Fst, ir.R(3), 8, ir.F(13)),
+		ir.STORE(ir.Fst, ir.R(3), 16, ir.F(18)),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 24),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.LOAD(ir.Fld, ir.F(20), ir.R(3), -24),
+		ir.UN(ir.Cvfi, ir.R(8), ir.F(20)),
+		ir.JSR("putint", ir.R(8)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("a", aBase, (n+6)*8)
+	m.Map("out", oBase, n*24+24)
+	r := lcg(155)
+	for i := 0; i < n+6; i++ {
+		writeFP(m, aBase+int64(i)*8, 0.5+float64(r.intn(100))/100.0)
+	}
+	return p, m
+}
+
+// buildMatrix300 models matrix multiply: a counted inner product whose
+// branch conditions depend only on induction variables, so restricted
+// percolation already overlaps everything that matters.
+func buildMatrix300() (*prog.Program, *mem.Memory) {
+	const (
+		aBase = 0x1000
+		bBase = 0x8000
+		cBase = 0x10000
+		k     = 48 // inner length
+		rows  = 14
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(9), 0), // row
+		ir.LI(ir.R(3), cBase),
+	)
+	p.AddBlock("rowloop", ir.BRI(ir.Bge, ir.R(9), rows, "done"))
+	p.AddBlock("rowinit",
+		ir.LI(ir.R(1), aBase),
+		ir.LI(ir.R(2), bBase),
+		ir.LI(ir.R(5), 0), // kk
+		ir.LI(ir.R(10), 0),
+		ir.UN(ir.Cvif, ir.F(1), ir.R(10)), // acc = 0.0
+	)
+	p.AddBlock("inner", ir.BRI(ir.Bge, ir.R(5), k, "rowdone"))
+	p.AddBlock("body",
+		ir.LOAD(ir.Fld, ir.F(2), ir.R(1), 0),
+		ir.LOAD(ir.Fld, ir.F(3), ir.R(2), 0),
+		ir.ALU(ir.Fmul, ir.F(4), ir.F(2), ir.F(3)),
+		ir.ALU(ir.Fadd, ir.F(1), ir.F(1), ir.F(4)),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 8),
+		ir.ALUI(ir.Add, ir.R(2), ir.R(2), 8),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.JMP("inner"),
+	)
+	p.AddBlock("rowdone",
+		ir.STORE(ir.Fst, ir.R(3), 0, ir.F(1)),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 8),
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.JMP("rowloop"),
+	)
+	p.AddBlock("done",
+		ir.LOAD(ir.Fld, ir.F(5), ir.R(3), -8),
+		ir.UN(ir.Cvfi, ir.R(8), ir.F(5)),
+		ir.JSR("putint", ir.R(8)),
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("a", aBase, k*8)
+	m.Map("b", bBase, k*8)
+	m.Map("c", cBase, (rows+1)*8)
+	r := lcg(166)
+	for i := 0; i < k; i++ {
+		writeFP(m, aBase+int64(i)*8, float64(r.intn(10)))
+		writeFP(m, bBase+int64(i)*8, float64(r.intn(10)))
+	}
+	return p, m
+}
+
+// buildNasa7 models the NAS kernels: mostly regular FP work over groups of
+// four complex points with an occasional per-group fix-up branch; the
+// result stores sit below that branch, which is what gives nasa7 its
+// moderate speculative-store gain.
+func buildNasa7() (*prog.Program, *mem.Memory) {
+	const (
+		reBase = 0x1000
+		imBase = 0x10000
+		fBase  = 0x20000
+		oBase  = 0x28000
+		n      = 160 // groups of 4 points
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), reBase),
+		ir.LI(ir.R(2), imBase),
+		ir.LI(ir.R(3), oBase),
+		ir.LI(ir.R(4), n),
+		ir.LI(ir.R(5), 0),
+		ir.LI(ir.R(6), fBase),
+		ir.LI(ir.R(9), 0), // fixup count
+		ir.LI(ir.R(10), 2),
+		ir.UN(ir.Cvif, ir.F(1), ir.R(10)), // 2.0
+	)
+	body := []*ir.Instr{}
+	for e := 0; e < 4; e++ {
+		off := int64(e * 8)
+		body = append(body,
+			ir.LOAD(ir.Fld, ir.F(2+e), ir.R(1), off), // re
+			ir.LOAD(ir.Fld, ir.F(6+e), ir.R(2), off), // im
+			ir.ALU(ir.Fmul, ir.F(10+e), ir.F(2+e), ir.F(2+e)),
+			ir.ALU(ir.Fmul, ir.F(14+e), ir.F(6+e), ir.F(6+e)),
+			ir.ALU(ir.Fadd, ir.F(18+e), ir.F(10+e), ir.F(14+e)), // |z|^2
+		)
+	}
+	body = append(body,
+		ir.LOAD(ir.Ld, ir.R(7), ir.R(6), 0), // per-group scaling flag
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 32),
+		ir.ALUI(ir.Add, ir.R(2), ir.R(2), 32),
+		ir.ALUI(ir.Add, ir.R(6), ir.R(6), 8),
+		ir.ALUI(ir.Add, ir.R(5), ir.R(5), 1),
+		ir.BRI(ir.Bne, ir.R(7), 0, "fixup"),
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(5), ir.R(4), "done"))
+	p.AddBlock("b1", body...)
+	keep := []*ir.Instr{}
+	for e := 0; e < 4; e++ {
+		keep = append(keep, ir.STORE(ir.Fst, ir.R(3), int64(e*8), ir.F(18+e)))
+	}
+	keep = append(keep,
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 32),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("keep", keep...)
+	fix := []*ir.Instr{}
+	for e := 0; e < 4; e++ {
+		fix = append(fix,
+			ir.ALU(ir.Fdiv, ir.F(22), ir.F(18+e), ir.F(1)),
+			ir.STORE(ir.Fst, ir.R(3), int64(e*8), ir.F(22)),
+		)
+	}
+	fix = append(fix,
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 32),
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("fixup", fix...)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("re", reBase, n*32)
+	m.Map("im", imBase, n*32)
+	m.Map("flags", fBase, n*8)
+	m.Map("out", oBase, n*32)
+	r := lcg(177)
+	for i := 0; i < n*4; i++ {
+		writeFP(m, reBase+int64(i)*8, float64(r.intn(300))/100.0)
+		writeFP(m, imBase+int64(i)*8, float64(r.intn(300))/100.0)
+	}
+	for i := 0; i < n; i++ {
+		if r.intn(100) < 12 {
+			m.Write(fBase+int64(i)*8, 8, 1)
+		}
+	}
+	return p, m
+}
+
+// buildTomcatv models tomcatv's relaxation sweep: three mesh points are
+// relaxed per iteration and their combined residual feeds the convergence
+// branch (a long FP chain: the sentinel gain the paper reports); the new
+// values are stored BEFORE the branch, so speculative stores add nothing
+// (the paper reports no T gain for tomcatv).
+func buildTomcatv() (*prog.Program, *mem.Memory) {
+	const (
+		xBase = 0x1000
+		yBase = 0x8000
+		n     = 798
+	)
+	p := prog.NewProgram()
+	p.AddBlock("entry",
+		ir.LI(ir.R(1), xBase+8),
+		ir.LI(ir.R(2), xBase+int64(n-3)*8),
+		ir.LI(ir.R(3), yBase+8),
+		ir.LI(ir.R(9), 0), // non-converged count
+		ir.LI(ir.R(10), 2),
+		ir.UN(ir.Cvif, ir.F(21), ir.R(10)), // eps-ish 2.0
+		ir.LI(ir.R(10), 2),
+		ir.UN(ir.Cvif, ir.F(20), ir.R(10)), // 2.0
+	)
+	body := []*ir.Instr{}
+	for k := 0; k < 3; k++ {
+		off := int64(k * 8)
+		body = append(body,
+			ir.LOAD(ir.Fld, ir.F(2+k), ir.R(1), off-8), // left
+			ir.LOAD(ir.Fld, ir.F(5+k), ir.R(1), off),   // centre
+			ir.LOAD(ir.Fld, ir.F(9+k), ir.R(1), off+8), // right
+			ir.ALU(ir.Fadd, ir.F(12+k), ir.F(2+k), ir.F(9+k)),
+			ir.ALU(ir.Fdiv, ir.F(12+k), ir.F(12+k), ir.F(20)),  // average
+			ir.ALU(ir.Fsub, ir.F(15+k), ir.F(12+k), ir.F(5+k)), // residual
+			ir.STORE(ir.Fst, ir.R(3), off, ir.F(12+k)),         // store BEFORE the branch
+		)
+	}
+	body = append(body,
+		ir.ALU(ir.Fadd, ir.F(18), ir.F(15), ir.F(16)),
+		ir.ALU(ir.Fadd, ir.F(18), ir.F(18), ir.F(17)),
+		ir.UN(ir.Fabs, ir.F(18), ir.F(18)),
+		ir.ALUI(ir.Add, ir.R(1), ir.R(1), 24),
+		ir.ALUI(ir.Add, ir.R(3), ir.R(3), 24),
+		ir.ALU(ir.Flt, ir.R(7), ir.F(18), ir.F(21)),
+		ir.BRI(ir.Bne, ir.R(7), 0, "loop"), // converged group: continue
+	)
+	p.AddBlock("loop", ir.BR(ir.Bge, ir.R(1), ir.R(2), "done"))
+	p.AddBlock("b1", body...)
+	p.AddBlock("diverged",
+		ir.ALUI(ir.Add, ir.R(9), ir.R(9), 1),
+		ir.JMP("loop"),
+	)
+	p.AddBlock("done",
+		ir.JSR("putint", ir.R(9)),
+		ir.HALT(),
+	)
+
+	m := mem.New()
+	m.Map("x", xBase, n*8)
+	m.Map("y", yBase, n*8)
+	r := lcg(188)
+	for i := 0; i < n; i++ {
+		writeFP(m, xBase+int64(i)*8, float64(r.intn(500))/100.0)
+	}
+	return p, m
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+)
+
+// compile runs the full pipeline for one benchmark and machine.
+func compile(t *testing.T, b Benchmark, md machine.Desc) (*prog.Program, *prog.Result, core.Stats) {
+	t.Helper()
+	p, m := b.Build()
+	p.Layout()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%s: invalid: %v", b.Name, err)
+	}
+	ref, err := prog.Run(p, m.Clone(), prog.Options{Collect: true})
+	if err != nil {
+		t.Fatalf("%s: reference run: %v", b.Name, err)
+	}
+	f := superblock.Form(p, ref.Profile, superblock.Options{})
+	f.Layout()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("%s: formed invalid: %v", b.Name, err)
+	}
+	sched, stats, err := core.Schedule(f, md)
+	if err != nil {
+		t.Fatalf("%s: schedule: %v", b.Name, err)
+	}
+	return sched, ref, stats
+}
+
+// TestAllBenchmarksWellFormed: every kernel builds, validates, runs on the
+// reference interpreter, and produces nonempty output.
+func TestAllBenchmarksWellFormed(t *testing.T) {
+	all := All()
+	if len(all) == 0 {
+		t.Fatal("no benchmarks registered")
+	}
+	for _, b := range all {
+		t.Run(b.Name, func(t *testing.T) {
+			p, m := b.Build()
+			p.Layout()
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			ref, err := prog.Run(p, m, prog.Options{Collect: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ref.Out) == 0 {
+				t.Error("benchmark produces no output")
+			}
+			if ref.Instrs < 5000 {
+				t.Errorf("only %d dynamic instructions; kernels should be nontrivial", ref.Instrs)
+			}
+			// There must be a hot block to form a superblock from.
+			var hot int64
+			for _, c := range ref.Profile.Blocks {
+				if c > hot {
+					hot = c
+				}
+			}
+			if hot < 100 {
+				t.Errorf("hottest block runs only %d times", hot)
+			}
+		})
+	}
+}
+
+// TestBenchmarksDifferential: the pipeline preserves architectural results
+// for every benchmark, model and width.
+func TestBenchmarksDifferential(t *testing.T) {
+	models := []machine.Model{machine.Restricted, machine.General,
+		machine.Sentinel, machine.SentinelStores, machine.Boosting}
+	widths := []int{1, 4, 8}
+	for _, b := range All() {
+		for _, model := range models {
+			for _, w := range widths {
+				name := fmt.Sprintf("%s/%v/w%d", b.Name, model, w)
+				t.Run(name, func(t *testing.T) {
+					md := machine.Base(w, model)
+					sched, ref, _ := compile(t, b, md)
+					_, m := b.Build()
+					res, err := sim.Run(sched, md, m, sim.Options{})
+					if err != nil {
+						t.Fatalf("simulate: %v", err)
+					}
+					if res.MemSum != ref.MemSum {
+						t.Errorf("memory checksum mismatch")
+					}
+					if len(res.Out) != len(ref.Out) {
+						t.Fatalf("out %v vs %v", res.Out, ref.Out)
+					}
+					for i := range res.Out {
+						if res.Out[i] != ref.Out[i] {
+							t.Errorf("out[%d] = %d, want %d", i, res.Out[i], ref.Out[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBenchmarkClassBalance: the registry must eventually contain the
+// paper's 12 non-numeric and 5 numeric programs.
+func TestBenchmarkClassBalance(t *testing.T) {
+	nn, num := 0, 0
+	for _, b := range All() {
+		if b.Numeric {
+			num++
+		} else {
+			nn++
+		}
+	}
+	if nn != 12 || num != 5 {
+		t.Skipf("registry incomplete: %d non-numeric, %d numeric (want 12+5)", nn, num)
+	}
+}

@@ -1,0 +1,243 @@
+package sentinel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testPrograms returns a set of small programs with their input memories,
+// covering loops, biased branches, FP chains, stores below branches, and
+// pointer chasing.
+func testPrograms() map[string]func() (*Program, *Memory) {
+	return map[string]func() (*Program, *Memory){
+		"sumloop":   sumLoopProgram,
+		"diamond":   diamondProgram,
+		"fpchain":   fpChainProgram,
+		"storeloop": storeLoopProgram,
+		"chase":     chaseProgram,
+	}
+}
+
+func sumLoopProgram() (*Program, *Memory) {
+	p := NewProgram()
+	p.AddBlock("entry",
+		LI(R(1), 0x1000), LI(R(2), 25), LI(R(3), 0), LI(R(4), 0))
+	p.AddBlock("loop", BR(Bge, R(4), R(2), "done"))
+	p.AddBlock("body",
+		LOAD(Ld, R(5), R(1), 0),
+		ALU(Add, R(3), R(3), R(5)),
+		ALUI(Add, R(1), R(1), 8),
+		ALUI(Add, R(4), R(4), 1),
+		JMP("loop"))
+	p.AddBlock("done", JSR("putint", R(3)), HALT())
+	m := NewMemory()
+	m.Map("data", 0x1000, 26*8)
+	for i := 0; i < 25; i++ {
+		m.Write(0x1000+int64(i)*8, 8, uint64(i*7+3))
+	}
+	return p, m
+}
+
+func diamondProgram() (*Program, *Memory) {
+	p := NewProgram()
+	p.AddBlock("entry",
+		LI(R(1), 0x1000), LI(R(2), 40), LI(R(3), 0), LI(R(7), 0))
+	p.AddBlock("head",
+		BR(Bge, R(3), R(2), "exit"),
+		LOAD(Ld, R(4), R(1), 0),
+		BRI(Bne, R(4), 0, "cold"))
+	p.AddBlock("hot", ALUI(Add, R(7), R(7), 1))
+	p.AddBlock("join",
+		ALUI(Add, R(1), R(1), 8),
+		ALUI(Add, R(3), R(3), 1),
+		JMP("head"))
+	p.AddBlock("cold",
+		ALU(Add, R(7), R(7), R(4)),
+		ALUI(Mul, R(7), R(7), 3),
+		JMP("join"))
+	p.AddBlock("exit", JSR("putint", R(7)), HALT())
+	m := NewMemory()
+	m.Map("data", 0x1000, 41*8)
+	m.Write(0x1000+8*11, 8, 5)
+	m.Write(0x1000+8*29, 8, 9)
+	return p, m
+}
+
+func fpChainProgram() (*Program, *Memory) {
+	p := NewProgram()
+	p.AddBlock("entry",
+		LI(R(1), 0x2000), LI(R(2), 16), LI(R(3), 0),
+		LI(R(9), 1), UN(Cvif, F(1), R(9))) // f1 = 1.0 accumulator
+	p.AddBlock("loop", BR(Bge, R(3), R(2), "done"))
+	p.AddBlock("body",
+		LOAD(Fld, F(2), R(1), 0),
+		ALU(Fadd, F(3), F(2), F(1)),
+		ALU(Fmul, F(1), F(3), F(2)),
+		ALU(Fdiv, F(1), F(1), F(3)),
+		ALUI(Add, R(1), R(1), 8),
+		ALUI(Add, R(3), R(3), 1),
+		JMP("loop"))
+	p.AddBlock("done",
+		UN(Cvfi, R(5), F(1)),
+		JSR("putint", R(5)),
+		HALT())
+	m := NewMemory()
+	m.Map("data", 0x2000, 17*8)
+	for i := 0; i < 16; i++ {
+		// Bit patterns of small positive floats: 2.0 + i.
+		f := float64(2 + i)
+		m.Write(0x2000+int64(i)*8, 8, floatBits(f))
+	}
+	return p, m
+}
+
+func floatBits(f float64) uint64 {
+	// local helper to avoid importing math in multiple tests
+	return mathFloat64bits(f)
+}
+
+func storeLoopProgram() (*Program, *Memory) {
+	// cmp-like: compare two arrays, store result flags; stores sit below a
+	// data-dependent branch.
+	p := NewProgram()
+	p.AddBlock("entry",
+		LI(R(1), 0x1000), LI(R(2), 0x2000), LI(R(3), 0x3000),
+		LI(R(4), 30), LI(R(5), 0), LI(R(9), 0))
+	p.AddBlock("loop", BR(Bge, R(5), R(4), "done"))
+	p.AddBlock("body",
+		LOAD(Ld, R(6), R(1), 0),
+		LOAD(Ld, R(7), R(2), 0),
+		BR(Beq, R(6), R(7), "same"))
+	p.AddBlock("diff",
+		ALUI(Add, R(9), R(9), 1),
+		STORE(St, R(3), 0, R(6)))
+	p.AddBlock("same",
+		STORE(St, R(3), 8, R(7)),
+		ALUI(Add, R(1), R(1), 8),
+		ALUI(Add, R(2), R(2), 8),
+		ALUI(Add, R(3), R(3), 16),
+		ALUI(Add, R(5), R(5), 1),
+		JMP("loop"))
+	p.AddBlock("done", JSR("putint", R(9)), HALT())
+	m := NewMemory()
+	m.Map("a", 0x1000, 31*8)
+	m.Map("b", 0x2000, 31*8)
+	m.Map("out", 0x3000, 31*16+16)
+	for i := 0; i < 30; i++ {
+		m.Write(0x1000+int64(i)*8, 8, uint64(i%7))
+		m.Write(0x2000+int64(i)*8, 8, uint64(i%5))
+	}
+	return p, m
+}
+
+func chaseProgram() (*Program, *Memory) {
+	// xlisp-like pointer chasing: follow a linked list, sum payloads.
+	p := NewProgram()
+	p.AddBlock("entry",
+		LI(R(1), 0x1000), // head pointer cell
+		LOAD(Ld, R(2), R(1), 0),
+		LI(R(3), 0))
+	p.AddBlock("loop", BRI(Beq, R(2), 0, "done"))
+	p.AddBlock("body",
+		LOAD(Ld, R(4), R(2), 8), // payload
+		ALU(Add, R(3), R(3), R(4)),
+		LOAD(Ld, R(2), R(2), 0), // next
+		JMP("loop"))
+	p.AddBlock("done", JSR("putint", R(3)), HALT())
+	m := NewMemory()
+	m.Map("heap", 0x1000, 4096)
+	// Build a 40-node list at 0x1100, nodes 16 bytes apart.
+	m.Write(0x1000, 8, 0x1100)
+	for i := 0; i < 40; i++ {
+		node := int64(0x1100 + i*16)
+		next := uint64(0)
+		if i < 39 {
+			next = uint64(node + 16)
+		}
+		m.Write(node, 8, next)
+		m.Write(node+8, 8, uint64(i*i+1))
+	}
+	return p, m
+}
+
+// TestDifferentialAllModels is the central correctness property: for every
+// test program, every scheduling model, and every issue width, the fully
+// compiled program (profile -> superblock formation -> scheduling) must
+// produce the identical architectural result as the sequential reference
+// interpreter.
+func TestDifferentialAllModels(t *testing.T) {
+	models := []Model{Restricted, General, Sentinel, SentinelStores, Boosting}
+	widths := []int{1, 2, 4, 8}
+	for name, gen := range testPrograms() {
+		p, m := gen()
+		ref, err := ProfileRun(p, m)
+		if err != nil {
+			t.Fatalf("%s: reference: %v", name, err)
+		}
+		for _, model := range models {
+			for _, w := range widths {
+				t.Run(fmt.Sprintf("%s/%v/w%d", name, model, w), func(t *testing.T) {
+					md := BaseMachine(w, model)
+					sched, _, err := Compile(p, m, md, SuperblockOptions{})
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					run := m.Clone()
+					res, err := Simulate(sched, md, run, SimOptions{})
+					if err != nil {
+						t.Fatalf("simulate: %v\n%s", err, sched)
+					}
+					if res.MemSum != ref.MemSum {
+						t.Errorf("memory checksum mismatch: %#x vs %#x", res.MemSum, ref.MemSum)
+					}
+					if len(res.Out) != len(ref.Out) {
+						t.Fatalf("output %v vs %v", res.Out, ref.Out)
+					}
+					for i := range res.Out {
+						if res.Out[i] != ref.Out[i] {
+							t.Errorf("out[%d] = %d, want %d", i, res.Out[i], ref.Out[i])
+						}
+					}
+					if res.Cycles <= 0 {
+						t.Errorf("cycles = %d", res.Cycles)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSpeedupOrdering checks the coarse performance relationships the paper
+// reports: wider machines are no slower, and on branchy load-dependent code
+// the sentinel model beats restricted percolation at width 8.
+func TestSpeedupOrdering(t *testing.T) {
+	cycles := func(name string, gen func() (*Program, *Memory), model Model, w int) int64 {
+		p, m := gen()
+		md := BaseMachine(w, model)
+		sched, _, err := Compile(p, m, md, SuperblockOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := Simulate(sched, md, m.Clone(), SimOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return res.Cycles
+	}
+	for name, gen := range testPrograms() {
+		w1 := cycles(name, gen, Restricted, 1)
+		w8r := cycles(name, gen, Restricted, 8)
+		w8s := cycles(name, gen, Sentinel, 8)
+		if w8r > w1 {
+			t.Errorf("%s: restricted w8 (%d) slower than w1 (%d)", name, w8r, w1)
+		}
+		if w8s > w8r {
+			t.Errorf("%s: sentinel w8 (%d) slower than restricted w8 (%d)", name, w8s, w8r)
+		}
+	}
+	// Pointer chasing: branch conditions depend on loads, so restricted
+	// percolation serializes; sentinel must be strictly faster at width 8.
+	if r, s := cycles("chase", chaseProgram, Restricted, 8), cycles("chase", chaseProgram, Sentinel, 8); s >= r {
+		t.Errorf("chase: sentinel w8 (%d) must beat restricted w8 (%d)", s, r)
+	}
+}

@@ -1,0 +1,18 @@
+package sentinel
+
+import (
+	"math"
+
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+)
+
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func coreSchedule(p *prog.Program, md machine.Desc) (*prog.Program, core.Stats, error) {
+	return core.Schedule(p, md)
+}
+
+// coreSchedule lets bench_test.go reach the scheduler without widening the
+// public API.
