@@ -121,6 +121,25 @@ func BenchmarkFigure5(b *testing.B) {
 	b.ReportMetric(eval.GroupImprovement(rs, false, machine.Sentinel, machine.General, 8), "S/G-nonnum-%@8")
 }
 
+// BenchmarkRunnerAll measures the concurrent evaluation engine on the full
+// Figure 4+5 cell matrix (17 benchmarks × 4 models × 3 widths + bases). A
+// fresh Runner per iteration, so per-benchmark artifact caching is measured
+// but nothing is reused across iterations. Compare with BenchmarkFigure4 +
+// BenchmarkFigure5, which walk the same matrix through the serial path.
+func BenchmarkRunnerAll(b *testing.B) {
+	models := []machine.Model{machine.Restricted, machine.General,
+		machine.Sentinel, machine.SentinelStores}
+	var rs []*eval.BenchResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rs, err = eval.NewRunner(0).RunAll(models, eval.Widths, superblock.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(eval.GroupImprovement(rs, false, machine.Sentinel, machine.Restricted, 8), "S/R-nonnum-%@8")
+}
+
 // BenchmarkKernel compiles and simulates each benchmark kernel under
 // sentinel scheduling at issue 8, reporting cycles and simulated IPC.
 func BenchmarkKernel(b *testing.B) {

@@ -7,11 +7,19 @@
 //	paperfigs -recovery            # recovery-constraint cost (extension)
 //	paperfigs -buffer              # store-buffer size sweep (extension)
 //	paperfigs -all                 # everything
+//	paperfigs -all -j 8            # everything, 8 cells compiled/simulated at once
+//
+// All sections share one evaluation runner, so per-benchmark artifacts
+// (build, reference profile, superblock formation, schedules) are computed
+// once per invocation regardless of how many sections request them, and the
+// cell matrix is fanned out over -j workers. Output is byte-identical at
+// any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sentinel/internal/eval"
@@ -19,91 +27,91 @@ import (
 	"sentinel/internal/superblock"
 )
 
-func main() {
-	fig4 := flag.Bool("fig4", false, "Figure 4: sentinel vs restricted percolation")
-	fig5 := flag.Bool("fig5", false, "Figure 5: general vs sentinel vs sentinel+stores")
-	table3 := flag.Bool("table3", false, "Table 3: instruction latencies")
-	overhead := flag.Bool("overhead", false, "sentinel overhead ablation")
-	recovery := flag.Bool("recovery", false, "recovery-constraint cost (extension)")
-	buffer := flag.Bool("buffer", false, "store-buffer size sweep (extension)")
-	faults := flag.Bool("faults", false, "fault-injection study (extension)")
-	sharing := flag.Bool("sharing", false, "shared-sentinel ablation (extension)")
-	boosting := flag.Bool("boosting", false, "instruction boosting vs sentinel (extension)")
-	all := flag.Bool("all", false, "run everything")
-	flag.Parse()
+// sections selects which tables/figures to emit, in the fixed output order
+// of run.
+type sections struct {
+	fig4, fig5, table3, overhead             bool
+	recovery, buffer, faults, sharing, boost bool
+}
 
-	if *all {
-		*fig4, *fig5, *table3, *overhead, *recovery, *buffer, *faults, *sharing, *boosting = true, true, true, true, true, true, true, true, true
-	}
-	if !*fig4 && !*fig5 && !*table3 && !*overhead && !*recovery && !*buffer && !*faults && !*sharing && !*boosting {
-		flag.Usage()
-		os.Exit(2)
-	}
+func (s sections) any() bool {
+	return s.fig4 || s.fig5 || s.table3 || s.overhead ||
+		s.recovery || s.buffer || s.faults || s.sharing || s.boost
+}
 
-	if *table3 {
-		fmt.Println(eval.Table3())
+// run renders the selected sections to w using r for every measurement.
+func run(s sections, r *eval.Runner, w io.Writer) error {
+	if s.table3 {
+		fmt.Fprintln(w, eval.Table3())
 	}
 
 	var results []*eval.BenchResult
-	need := *fig4 || *fig5 || *overhead
-	if need {
+	if s.fig4 || s.fig5 || s.overhead {
 		var err error
-		results, err = eval.RunAll(
+		results, err = r.RunAll(
 			[]machine.Model{machine.Restricted, machine.General,
 				machine.Sentinel, machine.SentinelStores},
 			eval.Widths, superblock.Options{})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
 		}
 	}
-	if *fig4 {
-		fmt.Println(eval.Figure4(results))
+	if s.fig4 {
+		fmt.Fprintln(w, eval.Figure4(results))
 	}
-	if *fig5 {
-		fmt.Println(eval.Figure5(results))
+	if s.fig5 {
+		fmt.Fprintln(w, eval.Figure5(results))
 	}
-	if *overhead {
-		fmt.Println(eval.SentinelOverheadTable(results, 8))
+	if s.overhead {
+		fmt.Fprintln(w, eval.SentinelOverheadTable(results, 8))
 	}
-	if *recovery {
-		s, err := eval.RecoveryCost()
+
+	for _, sec := range []struct {
+		on     bool
+		render func() (string, error)
+	}{
+		{s.recovery, r.RecoveryCost},
+		{s.buffer, r.StoreBufferSweep},
+		{s.faults, r.FaultInjection},
+		{s.sharing, r.SharingAblation},
+		{s.boost, r.BoostingComparison},
+	} {
+		if !sec.on {
+			continue
+		}
+		out, err := sec.render()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(s)
+		fmt.Fprintln(w, out)
 	}
-	if *buffer {
-		s, err := eval.StoreBufferSweep()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		fmt.Println(s)
+	return nil
+}
+
+func main() {
+	var s sections
+	flag.BoolVar(&s.fig4, "fig4", false, "Figure 4: sentinel vs restricted percolation")
+	flag.BoolVar(&s.fig5, "fig5", false, "Figure 5: general vs sentinel vs sentinel+stores")
+	flag.BoolVar(&s.table3, "table3", false, "Table 3: instruction latencies")
+	flag.BoolVar(&s.overhead, "overhead", false, "sentinel overhead ablation")
+	flag.BoolVar(&s.recovery, "recovery", false, "recovery-constraint cost (extension)")
+	flag.BoolVar(&s.buffer, "buffer", false, "store-buffer size sweep (extension)")
+	flag.BoolVar(&s.faults, "faults", false, "fault-injection study (extension)")
+	flag.BoolVar(&s.sharing, "sharing", false, "shared-sentinel ablation (extension)")
+	flag.BoolVar(&s.boost, "boosting", false, "instruction boosting vs sentinel (extension)")
+	all := flag.Bool("all", false, "run everything")
+	jobs := flag.Int("j", 0, "cells to compile/simulate concurrently (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *all {
+		s = sections{true, true, true, true, true, true, true, true, true}
 	}
-	if *faults {
-		s, err := eval.FaultInjection()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		fmt.Println(s)
+	if !s.any() {
+		flag.Usage()
+		os.Exit(2)
 	}
-	if *sharing {
-		s, err := eval.SharingAblation()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		fmt.Println(s)
-	}
-	if *boosting {
-		s, err := eval.BoostingComparison()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		fmt.Println(s)
+	if err := run(s, eval.NewRunner(*jobs), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sentinel/internal/eval"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenSections pins the exact output of the headline sections against
+// checked-in golden files. Regenerate intentionally with:
+//
+//	go test ./cmd/paperfigs -run TestGoldenSections -update
+//
+// One Runner serves all sections, as in main: the golden files therefore
+// also pin that artifact reuse does not bleed state between sections.
+func TestGoldenSections(t *testing.T) {
+	r := eval.NewRunner(0)
+	for _, tc := range []struct {
+		golden string
+		s      sections
+	}{
+		{"fig4.txt", sections{fig4: true}},
+		{"fig5.txt", sections{fig5: true}},
+		{"overhead.txt", sections{overhead: true}},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.s, r, &buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", tc.golden)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+					path, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestAllSectionsParallelDeterminism runs the full -all pipeline at -j 1 and
+// -j 8 and requires byte-identical output — the contract that makes the -j
+// flag safe to use when regenerating the paper's figures.
+func TestAllSectionsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full -all sweep")
+	}
+	all := sections{true, true, true, true, true, true, true, true, true}
+	var serial, parallel bytes.Buffer
+	if err := run(all, eval.NewRunner(1), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(all, eval.NewRunner(8), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Error("-all output differs between -j 1 and -j 8")
+	}
+}

@@ -5,6 +5,11 @@
 //
 //	sentinelsim -model sentinel -width 8 prog.s
 //	sentinelsim -workload cmp -model restricted -width 1
+//	sentinelsim -workload cmp -sweep -j 4
+//
+// -sweep measures the workload under every speculation model at every
+// paper issue rate through the concurrent evaluation runner (-j workers),
+// printing a cycles/speedup table instead of a single run.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 
 	"sentinel/internal/asm"
 	"sentinel/internal/core"
+	"sentinel/internal/eval"
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
 	"sentinel/internal/prog"
@@ -28,7 +34,23 @@ func main() {
 	form := flag.Bool("superblock", true, "profile and form superblocks before scheduling")
 	wl := flag.String("workload", "", "run a built-in benchmark kernel instead of a source file")
 	verify := flag.Bool("verify", true, "compare against the reference interpreter")
+	sweep := flag.Bool("sweep", false, "measure the workload under every model and width (requires -workload)")
+	jobs := flag.Int("j", 0, "cells to compile/simulate concurrently in -sweep (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *sweep {
+		if *wl == "" {
+			fatal(fmt.Errorf("-sweep requires -workload"))
+		}
+		b, ok := workload.ByName(*wl)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *wl))
+		}
+		if err := runSweep(b, *jobs); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	md, err := parseMachine(*model, *width)
 	if err != nil {
@@ -98,6 +120,34 @@ func main() {
 			fmt.Println("verified: matches the sequential reference")
 		}
 	}
+}
+
+// runSweep measures one benchmark under every speculation model at every
+// paper issue rate, all cells fanned out over the evaluation runner.
+func runSweep(b workload.Benchmark, jobs int) error {
+	models := []machine.Model{machine.Restricted, machine.General,
+		machine.Sentinel, machine.SentinelStores}
+	r := eval.NewRunner(jobs)
+	res, err := r.Run(b, models, eval.Widths, superblock.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: cycles (speedup vs issue-1 restricted base, %d cycles); %d workers\n\n",
+		b.Name, res.Base.Cycles, r.Workers())
+	fmt.Printf("%-16s", "model")
+	for _, w := range eval.Widths {
+		fmt.Printf("  %-16s", fmt.Sprintf("issue %d", w))
+	}
+	fmt.Printf("\n")
+	for _, model := range models {
+		fmt.Printf("%-16v", model)
+		for _, w := range eval.Widths {
+			c := res.Cells[eval.Key{Model: model, Width: w}]
+			fmt.Printf("  %-16s", fmt.Sprintf("%d (%.2fx)", c.Cycles, c.Speedup))
+		}
+		fmt.Printf("\n")
+	}
+	return nil
 }
 
 func parseMachine(model string, width int) (machine.Desc, error) {

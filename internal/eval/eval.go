@@ -10,6 +10,7 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 
 	"sentinel/internal/core"
@@ -22,6 +23,18 @@ import (
 
 // Widths are the issue rates evaluated in the paper's figures.
 var Widths = []int{2, 4, 8}
+
+// Sentinel errors for the Measure invariant, so callers can classify
+// verification failures with errors.Is instead of string matching. Every
+// wrapping error still carries the benchmark name and machine configuration.
+var (
+	// ErrChecksumMismatch: a scheduled run's final memory image differs
+	// from the reference interpreter's.
+	ErrChecksumMismatch = errors.New("memory checksum mismatch")
+	// ErrOutputMismatch: a scheduled run's output stream differs from the
+	// reference interpreter's.
+	ErrOutputMismatch = errors.New("output mismatch")
+)
 
 // Cell is one measurement: a benchmark compiled and simulated on one
 // machine configuration.
@@ -60,18 +73,30 @@ func Measure(b workload.Benchmark, md machine.Desc, sbo superblock.Options) (Cel
 	if err != nil {
 		return Cell{}, fmt.Errorf("%s: simulate: %w", b.Name, err)
 	}
+	if err := verifyResult(b.Name, md, res, ref); err != nil {
+		return Cell{}, err
+	}
+	return Cell{Cycles: res.Cycles, Instrs: res.Instrs, Stats: stats}, nil
+}
+
+// verifyResult enforces the Measure invariant: the scheduled run's
+// architectural result (memory checksum and output stream) must match the
+// reference interpreter's, under every model and width.
+func verifyResult(name string, md machine.Desc, res *sim.Result, ref *prog.Result) error {
 	if res.MemSum != ref.MemSum {
-		return Cell{}, fmt.Errorf("%s: memory checksum mismatch under %v w%d", b.Name, md.Model, md.IssueWidth)
+		return fmt.Errorf("%s: %w under %v w%d", name, ErrChecksumMismatch, md.Model, md.IssueWidth)
 	}
 	if len(res.Out) != len(ref.Out) {
-		return Cell{}, fmt.Errorf("%s: output length mismatch", b.Name)
+		return fmt.Errorf("%s: %w: output length %d != %d under %v w%d",
+			name, ErrOutputMismatch, len(res.Out), len(ref.Out), md.Model, md.IssueWidth)
 	}
 	for i := range res.Out {
 		if res.Out[i] != ref.Out[i] {
-			return Cell{}, fmt.Errorf("%s: output[%d] mismatch: %d != %d", b.Name, i, res.Out[i], ref.Out[i])
+			return fmt.Errorf("%s: %w: output[%d]: %d != %d under %v w%d",
+				name, ErrOutputMismatch, i, res.Out[i], ref.Out[i], md.Model, md.IssueWidth)
 		}
 	}
-	return Cell{Cycles: res.Cycles, Instrs: res.Instrs, Stats: stats}, nil
+	return nil
 }
 
 // Key identifies a machine configuration within a benchmark's results.

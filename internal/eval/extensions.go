@@ -9,30 +9,46 @@ import (
 	"sentinel/internal/workload"
 )
 
+// The extension experiments fan their per-benchmark measurements out over
+// the Runner's worker pool, then format rows strictly in benchmark order so
+// the tables are byte-identical at any worker count.
+
 // RecoveryCost quantifies the §3.7 recovery constraints' performance impact
 // — the experiment the paper defers ("We are currently quantifying this
 // performance impact"): sentinel scheduling with and without restartable-
 // sequence enforcement, at issue 8.
-func RecoveryCost() (string, error) {
+func (r *Runner) RecoveryCost() (string, error) {
+	benches := workload.All()
+	type row struct{ s, rec Cell }
+	rows := make([]row, len(benches))
+	err := r.parallelFor(len(benches), func(i int) error {
+		s, err := r.Measure(benches[i], machine.Base(8, machine.Sentinel), superblock.Options{})
+		if err != nil {
+			return err
+		}
+		rec, err := r.Measure(benches[i], machine.Base(8, machine.Sentinel).WithRecovery(), superblock.Options{})
+		if err != nil {
+			return err
+		}
+		rows[i] = row{s, rec}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Recovery-constraint cost (extension; issue 8, sentinel model)\n\n")
 	fmt.Fprintf(&sb, "%-11s %10s %10s %8s %8s %7s\n",
 		"benchmark", "S cycles", "S+rec", "slowdown", "renamed", "forced")
 	totS, totR := 0.0, 0.0
-	for _, b := range workload.All() {
-		s, err := Measure(b, machine.Base(8, machine.Sentinel), superblock.Options{})
-		if err != nil {
-			return "", err
-		}
-		r, err := Measure(b, machine.Base(8, machine.Sentinel).WithRecovery(), superblock.Options{})
-		if err != nil {
-			return "", err
-		}
-		slow := float64(r.Cycles)/float64(s.Cycles) - 1
+	for i, b := range benches {
+		s, rec := rows[i].s, rows[i].rec
+		slow := float64(rec.Cycles)/float64(s.Cycles) - 1
 		totS += 1
-		totR += float64(r.Cycles) / float64(s.Cycles)
+		totR += float64(rec.Cycles) / float64(s.Cycles)
 		fmt.Fprintf(&sb, "%-11s %10d %10d %+7.1f%% %8d %7d\n",
-			b.Name, s.Cycles, r.Cycles, slow*100, r.Stats.Renamed, r.Stats.ForcedIssues)
+			b.Name, s.Cycles, rec.Cycles, slow*100, rec.Stats.Renamed, rec.Stats.ForcedIssues)
 	}
 	fmt.Fprintf(&sb, "\naverage slowdown: %+.1f%%\n", (totR/totS-1)*100)
 	return sb.String(), nil
@@ -42,8 +58,28 @@ func RecoveryCost() (string, error) {
 // the store-buffer size varies: the §4.2 separation constraint ties a
 // speculative store to a confirm at most N-1 stores away, so small buffers
 // limit store speculation.
-func StoreBufferSweep() (string, error) {
+func (r *Runner) StoreBufferSweep() (string, error) {
 	sizes := []int{2, 4, 8, 16}
+	benches := workload.All()
+	rows := make([][]Cell, len(benches))
+	for i := range rows {
+		rows[i] = make([]Cell, len(sizes))
+	}
+	err := r.parallelFor(len(benches)*len(sizes), func(i int) error {
+		bi, si := i/len(sizes), i%len(sizes)
+		md := machine.Base(8, machine.SentinelStores)
+		md.StoreBuffer = sizes[si]
+		c, err := r.Measure(benches[bi], md, superblock.Options{})
+		if err != nil {
+			return err
+		}
+		rows[bi][si] = c
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Store-buffer size sweep (extension; issue 8, sentinel+stores)\n\n")
 	fmt.Fprintf(&sb, "%-11s", "benchmark")
@@ -51,16 +87,10 @@ func StoreBufferSweep() (string, error) {
 		fmt.Fprintf(&sb, "  N=%-7d", n)
 	}
 	fmt.Fprintf(&sb, "\n")
-	for _, b := range workload.All() {
+	for i, b := range benches {
 		fmt.Fprintf(&sb, "%-11s", b.Name)
-		for _, n := range sizes {
-			md := machine.Base(8, machine.SentinelStores)
-			md.StoreBuffer = n
-			c, err := Measure(b, md, superblock.Options{})
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&sb, "  %-9d", c.Cycles)
+		for si := range sizes {
+			fmt.Fprintf(&sb, "  %-9d", rows[i][si].Cycles)
 		}
 		fmt.Fprintf(&sb, "\n")
 	}
@@ -72,30 +102,40 @@ func StoreBufferSweep() (string, error) {
 // its sentinel; without it, every speculated trapping instruction needs its
 // own check_exception. The ablation reports the extra checks and their
 // cycle cost at issue 2 (slot-starved) and issue 8.
-func SharingAblation() (string, error) {
+func (r *Runner) SharingAblation() (string, error) {
+	widths := []int{2, 8}
+	benches := workload.All()
+	type row struct{ shared, noshare [2]Cell }
+	rows := make([]row, len(benches))
+	err := r.parallelFor(len(benches)*len(widths), func(i int) error {
+		bi, wi := i/len(widths), i%len(widths)
+		w := widths[wi]
+		shared, err := r.Measure(benches[bi], machine.Base(w, machine.Sentinel), superblock.Options{})
+		if err != nil {
+			return err
+		}
+		noshare, err := r.Measure(benches[bi], machine.Base(w, machine.Sentinel).WithoutSharedSentinels(), superblock.Options{})
+		if err != nil {
+			return err
+		}
+		rows[bi].shared[wi] = shared
+		rows[bi].noshare[wi] = noshare
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Shared-sentinel ablation (extension; sentinel model)\n\n")
 	fmt.Fprintf(&sb, "%-11s %8s %8s   %10s %10s   %10s %10s\n",
 		"benchmark", "checks", "nochecks", "cyc@2", "noshare@2", "cyc@8", "noshare@8")
-	for _, b := range workload.All() {
-		row := make(map[string]Cell)
-		for _, w := range []int{2, 8} {
-			shared, err := Measure(b, machine.Base(w, machine.Sentinel), superblock.Options{})
-			if err != nil {
-				return "", err
-			}
-			noshare, err := Measure(b, machine.Base(w, machine.Sentinel).WithoutSharedSentinels(), superblock.Options{})
-			if err != nil {
-				return "", err
-			}
-			row[fmt.Sprintf("s%d", w)] = shared
-			row[fmt.Sprintf("n%d", w)] = noshare
-		}
+	for i, b := range benches {
 		fmt.Fprintf(&sb, "%-11s %8d %8d   %10d %10d   %10d %10d\n",
 			b.Name,
-			row["s8"].Stats.Sentinels, row["n8"].Stats.Sentinels,
-			row["s2"].Cycles, row["n2"].Cycles,
-			row["s8"].Cycles, row["n8"].Cycles)
+			rows[i].shared[1].Stats.Sentinels, rows[i].noshare[1].Stats.Sentinels,
+			rows[i].shared[0].Cycles, rows[i].noshare[0].Cycles,
+			rows[i].shared[1].Cycles, rows[i].noshare[1].Cycles)
 	}
 	return sb.String(), nil
 }
@@ -107,8 +147,43 @@ func SharingAblation() (string, error) {
 // sentinel scheduling gets unlimited-depth speculation from one tag bit per
 // register: boosting should approach (but not quite reach) sentinel
 // performance as levels grow.
-func BoostingComparison() (string, error) {
+func (r *Runner) BoostingComparison() (string, error) {
 	levels := []int{1, 2, 4}
+	benches := workload.All()
+	type row struct {
+		base    Cell
+		boosted []Cell
+		s, g    Cell
+	}
+	rows := make([]row, len(benches))
+	err := r.parallelFor(len(benches), func(i int) error {
+		base, err := r.Measure(benches[i], machine.Base(1, machine.Restricted), superblock.Options{})
+		if err != nil {
+			return err
+		}
+		boosted := make([]Cell, len(levels))
+		for li, l := range levels {
+			md := machine.Base(8, machine.Boosting)
+			md.BoostLevels = l
+			if boosted[li], err = r.Measure(benches[i], md, superblock.Options{}); err != nil {
+				return err
+			}
+		}
+		s, err := r.Measure(benches[i], machine.Base(8, machine.Sentinel), superblock.Options{})
+		if err != nil {
+			return err
+		}
+		g, err := r.Measure(benches[i], machine.Base(8, machine.General), superblock.Options{})
+		if err != nil {
+			return err
+		}
+		rows[i] = row{base: base, boosted: boosted, s: s, g: g}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Instruction boosting vs sentinel scheduling (extension; issue 8, speedup vs base)\n\n")
 	fmt.Fprintf(&sb, "%-11s", "benchmark")
@@ -116,31 +191,14 @@ func BoostingComparison() (string, error) {
 		fmt.Fprintf(&sb, "  B%-6d", l)
 	}
 	fmt.Fprintf(&sb, "  %-7s %-7s\n", "S", "G")
-	for _, b := range workload.All() {
-		base, err := Measure(b, machine.Base(1, machine.Restricted), superblock.Options{})
-		if err != nil {
-			return "", err
-		}
+	for i, b := range benches {
 		fmt.Fprintf(&sb, "%-11s", b.Name)
-		for _, l := range levels {
-			md := machine.Base(8, machine.Boosting)
-			md.BoostLevels = l
-			c, err := Measure(b, md, superblock.Options{})
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(&sb, "  %-7.2f", float64(base.Cycles)/float64(c.Cycles))
-		}
-		s, err := Measure(b, machine.Base(8, machine.Sentinel), superblock.Options{})
-		if err != nil {
-			return "", err
-		}
-		g, err := Measure(b, machine.Base(8, machine.General), superblock.Options{})
-		if err != nil {
-			return "", err
+		for li := range levels {
+			fmt.Fprintf(&sb, "  %-7.2f", float64(rows[i].base.Cycles)/float64(rows[i].boosted[li].Cycles))
 		}
 		fmt.Fprintf(&sb, "  %-7.2f %-7.2f\n",
-			float64(base.Cycles)/float64(s.Cycles), float64(base.Cycles)/float64(g.Cycles))
+			float64(rows[i].base.Cycles)/float64(rows[i].s.Cycles),
+			float64(rows[i].base.Cycles)/float64(rows[i].g.Cycles))
 	}
 	return sb.String(), nil
 }

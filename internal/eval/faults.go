@@ -4,10 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"sentinel/internal/core"
 	"sentinel/internal/ir"
 	"sentinel/internal/machine"
-	"sentinel/internal/prog"
 	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
 	"sentinel/internal/workload"
@@ -35,15 +33,26 @@ type FaultOutcome struct {
 // the correct result; restricted percolation traps precisely (but runs
 // slowly); general percolation silently corrupts or misattributes — the
 // §2.4 failure this paper exists to fix.
-func FaultInjection() (string, error) {
+func (r *Runner) FaultInjection() (string, error) {
+	benches := workload.All()
+	rows := make([]FaultOutcome, len(benches))
+	err := r.parallelFor(len(benches), func(i int) error {
+		o, err := r.injectOne(benches[i])
+		if err != nil {
+			return fmt.Errorf("%s: %w", benches[i].Name, err)
+		}
+		rows[i] = o
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Fault injection (extension; issue 8): primary input segment paged out at start\n\n")
 	fmt.Fprintf(&sb, "%-11s  %-28s %-12s %-s\n", "benchmark", "sentinel+recovery", "restricted", "general percolation")
-	for _, b := range workload.All() {
-		o, err := injectOne(b)
-		if err != nil {
-			return "", fmt.Errorf("%s: %w", b.Name, err)
-		}
+	for i, b := range benches {
+		o := rows[i]
 		sentinelCol := fmt.Sprintf("%d signals, exact=%v, ok=%v",
 			o.SentinelSignals, o.SentinelExactPC, o.SentinelRecovered)
 		restrictedCol := fmt.Sprintf("exact=%v", o.RestrictedExact)
@@ -63,57 +72,44 @@ func FaultInjection() (string, error) {
 	return sb.String(), nil
 }
 
-// firstSegment returns the name of the benchmark's first mapped segment —
-// by construction of the kernels, their primary input.
-func firstSegment(b workload.Benchmark) (string, error) {
-	_, m := b.Build()
+// injectOne runs the fault-injection campaign for one benchmark, reusing
+// the Runner's cached build/reference/schedule artifacts; only the memory
+// image (whose segment is paged out and repaired) is cloned per run.
+func (r *Runner) injectOne(b workload.Benchmark) (FaultOutcome, error) {
+	out := FaultOutcome{Name: b.Name}
+	art, err := r.build(b)
+	if err != nil {
+		return out, err
+	}
+	segName := ""
 	for _, name := range []string{"text", "input", "src", "a", "heap",
 		"cells", "x", "re", "b-data", "tokens"} {
-		if m.Segment(name) != nil {
-			return name, nil
+		if art.mem.Segment(name) != nil {
+			segName = name
+			break
 		}
 	}
-	return "", fmt.Errorf("no known input segment")
-}
-
-func injectOne(b workload.Benchmark) (FaultOutcome, error) {
-	out := FaultOutcome{Name: b.Name}
-	segName, err := firstSegment(b)
-	if err != nil {
-		return out, err
+	if segName == "" {
+		return out, fmt.Errorf("no known input segment")
 	}
-
-	// Fault-free reference.
-	p, m := b.Build()
-	p.Layout()
-	ref, err := prog.Run(p, m.Clone(), prog.Options{Collect: true})
-	if err != nil {
-		return out, err
-	}
-	form := superblock.Form(p, ref.Profile, superblock.Options{})
-	form.Layout()
-
-	compile := func(md machine.Desc) (*prog.Program, error) {
-		sched, _, err := core.Schedule(form, md)
-		return sched, err
-	}
+	ref := art.ref
 
 	// Sentinel with recovery constraints: must detect at the exact PC and
 	// recover to the reference result.
 	{
 		md := machine.Base(8, machine.Sentinel).WithRecovery()
-		sched, err := compile(md)
+		sa, err := r.scheduled(b, md, superblock.Options{})
 		if err != nil {
 			return out, err
 		}
-		_, run := b.Build()
+		run := art.mem.Clone()
 		seg := run.Segment(segName)
 		seg.Present = false
 		exact := true
-		res, err := sim.Run(sched, md, run, sim.Options{
+		res, err := sim.Run(sa.prog, md, run, sim.Options{
 			Handler: func(exc sim.Exception, mach *sim.Machine) bool {
 				out.SentinelSignals++
-				in, _, _ := sched.InstrAt(exc.ReportedPC)
+				in, _, _ := sa.prog.InstrAt(exc.ReportedPC)
 				if in == nil || !ir.IsMem(in.Op) {
 					exact = false
 				}
@@ -129,15 +125,15 @@ func injectOne(b workload.Benchmark) (FaultOutcome, error) {
 	// Restricted percolation: precise exceptions without any support.
 	{
 		md := machine.Base(8, machine.Restricted)
-		sched, err := compile(md)
+		sa, err := r.scheduled(b, md, superblock.Options{})
 		if err != nil {
 			return out, err
 		}
-		_, run := b.Build()
+		run := art.mem.Clone()
 		seg := run.Segment(segName)
 		seg.Present = false
 		exact := true
-		_, err = sim.Run(sched, md, run, sim.Options{
+		_, err = sim.Run(sa.prog, md, run, sim.Options{
 			Handler: func(exc sim.Exception, mach *sim.Machine) bool {
 				out.RestrictedSignals++
 				if exc.ReportedPC != exc.ByPC {
@@ -155,15 +151,15 @@ func injectOne(b workload.Benchmark) (FaultOutcome, error) {
 	// run can finish, then compare.
 	{
 		md := machine.Base(8, machine.General)
-		sched, err := compile(md)
+		sa, err := r.scheduled(b, md, superblock.Options{})
 		if err != nil {
 			return out, err
 		}
-		_, run := b.Build()
+		run := art.mem.Clone()
 		seg := run.Segment(segName)
 		seg.Present = false
 		signalled := 0
-		res, err := sim.Run(sched, md, run, sim.Options{
+		res, err := sim.Run(sa.prog, md, run, sim.Options{
 			Handler: func(exc sim.Exception, mach *sim.Machine) bool {
 				signalled++
 				seg.Present = true

@@ -12,9 +12,10 @@ import (
 // recovers to the fault-free result, while general percolation either
 // silently corrupts the result or traps away from the true cause.
 func TestFaultInjectionOutcomes(t *testing.T) {
+	r := NewRunner(0)
 	for _, name := range []string{"wc", "cmp", "grep", "tomcatv"} {
 		b, _ := workload.ByName(name)
-		o, err := injectOne(b)
+		o, err := r.injectOne(b)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -38,8 +39,9 @@ func TestFaultInjectionAllBenchmarks(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full fault campaign")
 	}
+	r := NewRunner(0)
 	for _, b := range workload.All() {
-		o, err := injectOne(b)
+		o, err := r.injectOne(b)
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}

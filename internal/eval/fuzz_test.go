@@ -1,0 +1,283 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+)
+
+// FuzzScheduleDifferential is the end-to-end differential oracle: a small
+// looping program is generated from the fuzz bytes, profiled, formed into
+// superblocks, scheduled under every speculation model at issue 2 and 8,
+// and simulated. When the sequential reference completes, every model must
+// reproduce its output vector and memory checksum exactly. When the
+// reference faults, every precise model (restricted, sentinel,
+// sentinel+stores) must signal the same exception kind and attribute it to
+// the same instruction — general percolation is exempt, since imprecise
+// attribution under speculation is exactly the deficiency the paper's
+// sentinel mechanism repairs (§2.4).
+//
+// Scheduling renumbers PCs (sentinel insertion re-layouts the program), so
+// "same instruction" is checked by identity of the instruction at the
+// reported PC — opcode and immediate survive scheduling unchanged, while
+// raw PCs and (because of live-range renaming) register numbers need not.
+func FuzzScheduleDifferential(f *testing.F) {
+	// Seeds cover the interesting populations: a clean ALU/memory mix, a
+	// division by zero, a load through an unmapped segment, and an FP chain
+	// that can overflow. The same byte strings are checked in under
+	// testdata/fuzz/FuzzScheduleDifferential/.
+	f.Add([]byte("\x03\x05\x07\x0b\x0d\x11\x00\x21\x86\x38\xa0\x5f\x42\x13"))
+	f.Add([]byte("\x02\x09\x04\x06\x08\x0a\x00\x09\x86\x21"))
+	f.Add([]byte("\x05\x04\x03\x02\x01\x00\x07\x00\x37\x86\x38"))
+	f.Add([]byte("\x01\x03\x05\x07\x09\x0b\x0a\x4b\x8c\x3d\x6e\x0c"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, m := genProgram(data)
+		if p == nil {
+			t.Skip("input too short to seed a program")
+		}
+		p.Layout()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generator produced an invalid program: %v", err)
+		}
+
+		// Profile the sequential program. A fault mid-profile is fine: the
+		// partial profile still drives superblock formation, and the faulting
+		// path is then the reference behavior the models must reproduce.
+		prof, _ := prog.Run(p, m.Clone(), prog.Options{Collect: true, MaxInstrs: 100_000})
+		fp := superblock.Form(p, prof.Profile, superblock.Options{})
+		fp.Layout()
+		if err := fp.Validate(); err != nil {
+			t.Fatalf("formed program invalid: %v", err)
+		}
+
+		// The formed program is the scheduler's input, so it is also the
+		// differential reference: its sequential semantics are what every
+		// scheduled variant must preserve.
+		ref, rerr := prog.Run(fp, m.Clone(), prog.Options{MaxInstrs: 100_000})
+		var refExc *prog.ExcInfo
+		if rerr != nil && !errors.As(rerr, &refExc) {
+			t.Skipf("reference did not terminate normally: %v", rerr)
+		}
+
+		for _, model := range []machine.Model{machine.Restricted, machine.General,
+			machine.Sentinel, machine.SentinelStores} {
+			for _, w := range []int{2, 8} {
+				md := machine.Base(w, model)
+				sched, _, err := core.Schedule(fp, md)
+				if err != nil {
+					// The §4.2 separation constraint makes some dense-store
+					// superblocks uncompilable under speculative stores;
+					// refusing them is the documented correct outcome, so
+					// that cell has nothing to check differentially.
+					if model == machine.SentinelStores &&
+						strings.Contains(err.Error(), "separation constraint") {
+						continue
+					}
+					t.Fatalf("%v w%d: schedule: %v", model, w, err)
+				}
+				res, serr := sim.Run(sched, md, m.Clone(), sim.Options{MaxInstrs: 1_000_000})
+
+				if refExc == nil {
+					if serr != nil {
+						t.Fatalf("%v w%d: reference completes but simulation failed: %v", model, w, serr)
+					}
+					if res.MemSum != ref.MemSum {
+						t.Errorf("%v w%d: memory checksum %#x != reference %#x",
+							model, w, res.MemSum, ref.MemSum)
+					}
+					if len(res.Out) != len(ref.Out) {
+						t.Errorf("%v w%d: output length %d != reference %d", model, w, len(res.Out), len(ref.Out))
+						continue
+					}
+					for i := range ref.Out {
+						if res.Out[i] != ref.Out[i] {
+							t.Errorf("%v w%d: out[%d] = %d != reference %d", model, w, i, res.Out[i], ref.Out[i])
+						}
+					}
+					continue
+				}
+
+				if model == machine.General {
+					// General percolation substitutes garbage for a
+					// speculative fault; results and attribution are
+					// architecturally wrong by design. Only require that the
+					// simulator itself terminates (res/serr unconstrained).
+					continue
+				}
+				if serr == nil {
+					t.Fatalf("%v w%d: reference faults (%v) but simulation completed", model, w, refExc)
+				}
+				exc, ok := sim.Unhandled(serr)
+				if !ok {
+					t.Fatalf("%v w%d: reference faults (%v) but simulation failed differently: %v",
+						model, w, refExc, serr)
+				}
+				got, _, _ := sched.InstrAt(exc.ReportedPC)
+				want, _, _ := fp.InstrAt(refExc.PC)
+				if got == nil || want == nil {
+					t.Fatalf("%v w%d: reported pc %d or reference pc %d not found",
+						model, w, exc.ReportedPC, refExc.PC)
+				}
+				// The scheduler may legally reorder independent trapping
+				// instructions, so the delivered exception need not be the
+				// sequentially first one. The sentinel guarantee is
+				// precision: the reported instruction genuinely causes the
+				// reported exception kind.
+				switch exc.Kind {
+				case ir.ExcAccessViolation, ir.ExcPageFault:
+					if !ir.IsMem(got.Op) || got.Src1 != ir.R(11) {
+						t.Errorf("%v w%d: %v attributed to %v, which cannot fault that way",
+							model, w, exc.Kind, got)
+					}
+				case ir.ExcDivZero:
+					if (got.Op != ir.Div && got.Op != ir.Rem) || got.Src2.Valid() || got.Imm != 0 {
+						t.Errorf("%v w%d: %v attributed to %v, which cannot fault that way",
+							model, w, exc.Kind, got)
+					}
+				case ir.ExcFPInvalid, ir.ExcFPOverflow:
+					switch ir.UnitOf(got.Op) {
+					case ir.UnitFPALU, ir.UnitFPConv, ir.UnitFPMul, ir.UnitFPDiv:
+					default:
+						t.Errorf("%v w%d: %v attributed to non-FP %v", model, w, exc.Kind, got)
+					}
+				default:
+					t.Errorf("%v w%d: unexpected exception kind %v at %v", model, w, exc.Kind, got)
+				}
+				// The generator emits at most one always-faulting site per
+				// kind, so when the delivered kind matches the reference the
+				// attribution must name the reference's instruction exactly.
+				if exc.Kind == refExc.Kind &&
+					(exc.Kind == ir.ExcAccessViolation || exc.Kind == ir.ExcDivZero) {
+					if got.Op != want.Op || got.Imm != want.Imm {
+						t.Errorf("%v w%d: exception attributed to %v, reference faulted at %v",
+							model, w, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
+// genProgram decodes fuzz bytes into a small looping program and its data
+// memory. The first 6 bytes seed register/loop-count initialization; each
+// remaining byte (capped at 48) decodes one loop-body instruction: low
+// nibble selects the operation, high nibble the operands. The menu spans
+// integer ALU, in-bounds loads/stores through r10 (segment "d"), loads
+// through the deliberately unmapped r11, division with a possibly-zero
+// immediate, and FP arithmetic/conversions that can trap — so the fuzzer
+// reaches both the clean-run and the faulting differential populations.
+// Always-faulting sites are capped at one per exception kind (see the
+// decode loop) to keep exception attribution uniquely checkable.
+// The loop counter r15 only ever decrements, so every program terminates.
+func genProgram(data []byte) (*prog.Program, *mem.Memory) {
+	if len(data) < 6 {
+		return nil, nil
+	}
+	hdr, body := data[:6], data[6:]
+	if len(body) > 48 {
+		body = body[:48]
+	}
+
+	p := prog.NewProgram()
+	entry := []*ir.Instr{
+		ir.LI(ir.R(10), 0x1000), // mapped data segment
+		ir.LI(ir.R(11), 0x2000), // unmapped: loads through r11 fault
+		ir.LI(ir.R(15), int64(2+hdr[0]%6)),
+	}
+	for i := 0; i < 6; i++ {
+		entry = append(entry, ir.LI(ir.R(2+i), int64(hdr[i])+1)) // +1 keeps divisors non-zero
+	}
+	for i := 0; i < 3; i++ {
+		entry = append(entry, ir.UN(ir.Cvif, ir.F(1+i), ir.R(2+i)))
+	}
+	p.AddBlock("entry", entry...)
+
+	// At most one always-faulting site of each kind per program: the
+	// scheduler may reorder independent faulting instructions, so a unique
+	// site is what makes exact exception attribution checkable. Stores are
+	// capped below the base store-buffer size, or the §4.2 separation
+	// constraint becomes unsatisfiable and sentinel+stores scheduling
+	// (correctly) refuses the program.
+	var badLoads, badDivs, stores int
+	var instrs []*ir.Instr
+	for _, b := range body {
+		op, arg := int(b&0x0F), int(b>>4)
+		rd := ir.R(2 + arg%6)
+		rs := ir.R(2 + (arg>>1)%6)
+		fd := ir.F(1 + arg%3)
+		fs := ir.F(1 + (arg>>2)%3)
+		if op == 7 {
+			if badLoads++; badLoads > 1 {
+				op = 6 // decode as an in-bounds load instead
+			}
+		}
+		if op == 9 && arg%4 == 0 {
+			if badDivs++; badDivs > 1 {
+				arg++ // divisor 1: safe
+			}
+		}
+		if op == 8 {
+			if stores++; stores > 6 {
+				op = 6 // decode as a load instead
+			}
+		}
+		switch op {
+		case 0:
+			instrs = append(instrs, ir.ALU(ir.Add, rd, rd, rs))
+		case 1:
+			instrs = append(instrs, ir.ALU(ir.Sub, rd, rd, rs))
+		case 2:
+			instrs = append(instrs, ir.ALU(ir.Mul, rd, rs, rd))
+		case 3:
+			instrs = append(instrs, ir.ALU(ir.And, rd, rd, rs))
+		case 4:
+			instrs = append(instrs, ir.ALU(ir.Xor, rd, rs, rd))
+		case 5:
+			instrs = append(instrs, ir.ALU(ir.Slt, rd, rs, rd))
+		case 6:
+			instrs = append(instrs, ir.LOAD(ir.Ld, rd, ir.R(10), int64(arg)*8))
+		case 7:
+			instrs = append(instrs, ir.LOAD(ir.Ld, rd, ir.R(11), int64(arg)*8)) // faults
+		case 8:
+			instrs = append(instrs, ir.STORE(ir.St, ir.R(10), int64(arg)*8, rs))
+		case 9:
+			instrs = append(instrs, ir.ALUI(ir.Div, rd, rs, int64(arg%4))) // arg%4==0: div-zero
+		case 10:
+			instrs = append(instrs, ir.ALU(ir.Fadd, fd, fd, fs))
+		case 11:
+			instrs = append(instrs, ir.ALU(ir.Fmul, fd, fs, fd))
+		case 12:
+			instrs = append(instrs, ir.ALU(ir.Fdiv, fd, fs, fd)) // fd may be 0: FP trap
+		case 13:
+			instrs = append(instrs, ir.UN(ir.Cvif, fd, rd))
+		case 14:
+			instrs = append(instrs, ir.UN(ir.Cvfi, rd, fs)) // out-of-range: FP trap
+		case 15:
+			instrs = append(instrs, ir.ALUI(ir.Add, rd, rd, int64(arg)-7))
+		}
+	}
+	instrs = append(instrs,
+		ir.ALUI(ir.Add, ir.R(15), ir.R(15), -1),
+		ir.BRI(ir.Bne, ir.R(15), 0, "loop"))
+	p.AddBlock("loop", instrs...)
+	p.AddBlock("tail",
+		ir.JSR("putint", ir.R(2)),
+		ir.JSR("putint", ir.R(3)),
+		ir.JSR("putint", ir.R(7)),
+		ir.HALT())
+
+	m := mem.New()
+	m.Map("d", 0x1000, 256)
+	for i := 0; i < 32; i++ {
+		m.Write(0x1000+int64(i)*8, 8, uint64(i)*0x9E3779B9+uint64(hdr[1]))
+	}
+	return p, m
+}

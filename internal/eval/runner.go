@@ -1,0 +1,323 @@
+package eval
+
+// The concurrent experiment engine. The paper's evaluation is a large cell
+// matrix (benchmark × model × width × options); the serial path in eval.go
+// rebuilds, re-profiles and re-interprets the benchmark for every cell. The
+// Runner instead computes each expensive per-benchmark artifact exactly once
+// per process — the built ir program, the reference-interpreter result and
+// profile, the formed superblock program per superblock.Options, and each
+// scheduled program per machine configuration — behind singleflight caches,
+// and fans the remaining per-cell work (simulation + verification) out over
+// a bounded worker pool. Aggregation is ordered by cell key, never by
+// completion order, so output is byte-identical at any worker count.
+//
+// Sharing discipline (see the concurrency notes on prog.Program, mem.Memory
+// and workload.Benchmark.Build): cached programs and reference results are
+// read-only once constructed; superblock.Form and core.Schedule clone their
+// input internally; every simulation gets its own mem.Memory clone.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// CellKey names one cell of the experiment matrix: a benchmark compiled
+// with the given formation options for the given machine. Runner errors
+// wrap the failing cell's key.
+type CellKey struct {
+	Bench string
+	MD    machine.Desc
+	SBO   superblock.Options
+}
+
+func (k CellKey) String() string {
+	s := fmt.Sprintf("%s/%v@%d", k.Bench, k.MD.Model, k.MD.IssueWidth)
+	if k.MD.Recovery {
+		s += "+recovery"
+	}
+	if k.MD.NoSharedSentinels {
+		s += "+noshare"
+	}
+	return s
+}
+
+// flight is a singleflight-style memo: the first caller of a key computes
+// the value while later callers block on it; afterwards the value is served
+// from the cache. Errors are cached alongside values — within one process
+// the inputs are deterministic, so recomputing a failed artifact cannot
+// succeed.
+type flight[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+func (f *flight[K, V]) get(k K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = map[K]*flightCall[V]{}
+	}
+	if c, ok := f.m[k]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.m[k] = c
+	f.mu.Unlock()
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+// buildArtifact is everything derivable from one benchmark independent of
+// machine configuration: the built, laid-out, validated program; the
+// pristine input memory image; and the reference-interpreter result with
+// its execution profile. All fields are read-only after construction —
+// simulations clone the memory, formation and scheduling clone the program.
+type buildArtifact struct {
+	prog *prog.Program
+	mem  *mem.Memory
+	ref  *prog.Result
+}
+
+type formKey struct {
+	bench string
+	sbo   superblock.Options
+}
+
+type schedArtifact struct {
+	prog  *prog.Program
+	stats core.Stats
+}
+
+// Runner runs experiment cells concurrently with per-benchmark artifact
+// caching. The zero value is not usable; construct with NewRunner. A Runner
+// is safe for concurrent use and may be shared across experiments — sharing
+// one Runner across sections is what makes `paperfigs -all` cheap, since
+// the figure sweep and the extension studies revisit many identical cells.
+type Runner struct {
+	workers int
+
+	builds flight[string, *buildArtifact]
+	forms  flight[formKey, *prog.Program]
+	scheds flight[CellKey, *schedArtifact]
+	cells  flight[CellKey, Cell]
+}
+
+// NewRunner returns a Runner that executes at most workers cells at once;
+// workers < 1 selects GOMAXPROCS.
+func NewRunner(workers int) *Runner {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// Workers reports the configured parallelism.
+func (r *Runner) Workers() int { return r.workers }
+
+// build returns the benchmark's machine-independent artifact, computing it
+// on first use: build + layout + validate + reference interpretation.
+func (r *Runner) build(b workload.Benchmark) (*buildArtifact, error) {
+	return r.builds.get(b.Name, func() (*buildArtifact, error) {
+		p, m := b.Build()
+		p.Layout()
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		ref, err := prog.Run(p, m.Clone(), prog.Options{Collect: true})
+		if err != nil {
+			return nil, fmt.Errorf("%s: reference: %w", b.Name, err)
+		}
+		return &buildArtifact{prog: p, mem: m, ref: ref}, nil
+	})
+}
+
+// formed returns the benchmark's superblock-formed program for the given
+// options, formed once per (benchmark, options) pair.
+func (r *Runner) formed(b workload.Benchmark, sbo superblock.Options) (*prog.Program, error) {
+	sbo = sbo.WithDefaults()
+	return r.forms.get(formKey{b.Name, sbo}, func() (*prog.Program, error) {
+		art, err := r.build(b)
+		if err != nil {
+			return nil, err
+		}
+		f := superblock.Form(art.prog, art.ref.Profile, sbo)
+		f.Layout()
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: formation: %w", b.Name, err)
+		}
+		return f, nil
+	})
+}
+
+// scheduled returns the benchmark's scheduled program for the given machine
+// configuration, compiled once per cell key.
+func (r *Runner) scheduled(b workload.Benchmark, md machine.Desc, sbo superblock.Options) (*schedArtifact, error) {
+	key := CellKey{b.Name, md, sbo.WithDefaults()}
+	return r.scheds.get(key, func() (*schedArtifact, error) {
+		f, err := r.formed(b, sbo)
+		if err != nil {
+			return nil, err
+		}
+		sched, stats, err := core.Schedule(f, md)
+		if err != nil {
+			return nil, fmt.Errorf("%s: schedule: %w", b.Name, err)
+		}
+		return &schedArtifact{prog: sched, stats: stats}, nil
+	})
+}
+
+// Measure is the cached equivalent of the package-level Measure: it
+// compiles and simulates one cell, verifying the architectural result
+// against the reference interpreter, reusing every artifact the Runner has
+// already computed for the benchmark. Identical cells are measured once.
+func (r *Runner) Measure(b workload.Benchmark, md machine.Desc, sbo superblock.Options) (Cell, error) {
+	key := CellKey{b.Name, md, sbo.WithDefaults()}
+	return r.cells.get(key, func() (Cell, error) {
+		art, err := r.build(b)
+		if err != nil {
+			return Cell{}, err
+		}
+		sa, err := r.scheduled(b, md, sbo)
+		if err != nil {
+			return Cell{}, err
+		}
+		res, err := sim.Run(sa.prog, md, art.mem.Clone(), sim.Options{})
+		if err != nil {
+			return Cell{}, fmt.Errorf("%s: simulate: %w", b.Name, err)
+		}
+		if err := verifyResult(b.Name, md, res, art.ref); err != nil {
+			return Cell{}, err
+		}
+		return Cell{Cycles: res.Cycles, Instrs: res.Instrs, Stats: sa.stats}, nil
+	})
+}
+
+// parallelFor runs fn(0..n-1) on up to r.workers goroutines and returns the
+// lowest-index error (the same error a serial in-order run would hit
+// first), so failures are independent of scheduling order.
+func (r *Runner) parallelFor(n int, fn func(i int) error) error {
+	workers := r.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run measures benchmark b under every model at every width plus the
+// issue-1 restricted base, like the serial Run, with cells fanned out over
+// the worker pool.
+func (r *Runner) Run(b workload.Benchmark, models []machine.Model, widths []int, sbo superblock.Options) (*BenchResult, error) {
+	rs, err := r.RunBenchmarks([]workload.Benchmark{b}, models, widths, sbo)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// RunAll measures every registered benchmark, like the serial RunAll, with
+// the full cell matrix fanned out over the worker pool. Results are
+// aggregated in benchmark order regardless of completion order, so the
+// output is byte-identical to the serial path at any worker count.
+func (r *Runner) RunAll(models []machine.Model, widths []int, sbo superblock.Options) ([]*BenchResult, error) {
+	return r.RunBenchmarks(workload.All(), models, widths, sbo)
+}
+
+// RunBenchmarks measures the full cell matrix benches × (base ∪ models ×
+// widths) concurrently and aggregates deterministically.
+func (r *Runner) RunBenchmarks(benches []workload.Benchmark, models []machine.Model, widths []int, sbo superblock.Options) ([]*BenchResult, error) {
+	type spec struct {
+		bench int
+		md    machine.Desc
+	}
+	var specs []spec
+	for bi := range benches {
+		specs = append(specs, spec{bi, machine.Base(1, machine.Restricted)})
+		for _, model := range models {
+			for _, w := range widths {
+				specs = append(specs, spec{bi, machine.Base(w, model)})
+			}
+		}
+	}
+	cells := make([]Cell, len(specs))
+	err := r.parallelFor(len(specs), func(i int) error {
+		c, err := r.Measure(benches[specs[i].bench], specs[i].md, sbo)
+		if err != nil {
+			return fmt.Errorf("cell %v: %w",
+				CellKey{benches[specs[i].bench].Name, specs[i].md, sbo.WithDefaults()}, err)
+		}
+		cells[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic aggregation: specs are laid out per benchmark as
+	// [base, models × widths...], in the caller's order.
+	stride := 1 + len(models)*len(widths)
+	out := make([]*BenchResult, len(benches))
+	for bi, b := range benches {
+		base := cells[bi*stride]
+		base.Speedup = 1
+		br := &BenchResult{Name: b.Name, Numeric: b.Numeric, Base: base, Cells: map[Key]Cell{}}
+		i := bi*stride + 1
+		for _, model := range models {
+			for _, w := range widths {
+				c := cells[i]
+				c.Speedup = float64(base.Cycles) / float64(c.Cycles)
+				br.Cells[Key{model, w}] = c
+				i++
+			}
+		}
+		out[bi] = br
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package eval
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+var allModels = []machine.Model{machine.Restricted, machine.General,
+	machine.Sentinel, machine.SentinelStores}
+
+// TestRunnerMatchesSerial: the parallel engine must render byte-identical
+// figures to the serial path over the same matrix slice, at any worker
+// count. Run with -race this doubles as the engine's data-race audit.
+func TestRunnerMatchesSerial(t *testing.T) {
+	benches := []workload.Benchmark{
+		bench(t, "grep"), bench(t, "wc"), bench(t, "cmp"), bench(t, "matrix300"),
+	}
+	var serial []*BenchResult
+	for _, b := range benches {
+		r, err := Run(b, allModels, Widths, superblock.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial = append(serial, r)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		parallel, err := NewRunner(workers).RunBenchmarks(benches, allModels, Widths, superblock.Options{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, render := range []struct {
+			name string
+			fn   func([]*BenchResult) string
+		}{
+			{"Figure4", Figure4},
+			{"Figure5", Figure5},
+			{"Overhead", func(rs []*BenchResult) string { return SentinelOverheadTable(rs, 8) }},
+		} {
+			want, got := render.fn(serial), render.fn(parallel)
+			if want != got {
+				t.Errorf("workers=%d: %s differs from serial path:\nserial:\n%s\nparallel:\n%s",
+					workers, render.name, want, got)
+			}
+		}
+	}
+}
+
+// TestConcurrentMeasureSharedCache: many goroutines measuring the same
+// benchmark through one Runner must not interfere — every call sees the
+// same cell, and the shared cached artifacts (program, memory image,
+// reference result) are never corrupted by cache aliasing. -race enforces
+// the "never corrupted" half; the value comparison the rest.
+func TestConcurrentMeasureSharedCache(t *testing.T) {
+	r := NewRunner(8)
+	b := bench(t, "wc")
+	md := machine.Base(8, machine.Sentinel)
+
+	want, err := Measure(b, md, superblock.Options{}) // independent serial baseline
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 16
+	cells := make([]Cell, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Half the callers measure the same cell, half a different
+			// width of the same benchmark, so the underlying build/form
+			// artifacts are shared across distinct schedules too.
+			m := md
+			if i%2 == 1 {
+				m = machine.Base(2, machine.Sentinel)
+			}
+			cells[i], errs[i] = r.Measure(b, m, superblock.Options{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+	}
+	for i := 0; i < callers; i += 2 {
+		if cells[i] != want {
+			t.Errorf("caller %d: cell %+v != serial %+v", i, cells[i], want)
+		}
+		if cells[i] != cells[0] {
+			t.Errorf("caller %d: cell differs from caller 0", i)
+		}
+	}
+}
+
+// TestRunnerSurfacesCellKey: when a cell fails, the error must name the
+// failing cell (benchmark, model, width) so a 221-cell sweep is debuggable.
+func TestRunnerSurfacesCellKey(t *testing.T) {
+	// Issue width 0 fails machine.Desc.Validate inside core.Schedule.
+	_, err := NewRunner(4).Run(bench(t, "grep"), []machine.Model{machine.Sentinel}, []int{0}, superblock.Options{})
+	if err == nil {
+		t.Fatal("want error for width 0")
+	}
+	for _, want := range []string{"grep", "sentinel", "@0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name the failing cell (%q missing)", err, want)
+		}
+	}
+}
+
+// TestVerifySentinelErrors: verification failures must be classifiable with
+// errors.Is, and still carry the benchmark and configuration.
+func TestVerifySentinelErrors(t *testing.T) {
+	md := machine.Base(8, machine.Sentinel)
+	ref := &prog.Result{MemSum: 1, Out: []int64{1, 2}}
+
+	err := verifyResult("x", md, &sim.Result{MemSum: 2}, ref)
+	if !errors.Is(err, ErrChecksumMismatch) {
+		t.Errorf("checksum mismatch not errors.Is(ErrChecksumMismatch): %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "x") || !strings.Contains(err.Error(), "sentinel") {
+		t.Errorf("checksum error lacks cell context: %v", err)
+	}
+
+	err = verifyResult("x", md, &sim.Result{MemSum: 1, Out: []int64{1}}, ref)
+	if !errors.Is(err, ErrOutputMismatch) {
+		t.Errorf("length mismatch not errors.Is(ErrOutputMismatch): %v", err)
+	}
+	err = verifyResult("x", md, &sim.Result{MemSum: 1, Out: []int64{1, 3}}, ref)
+	if !errors.Is(err, ErrOutputMismatch) {
+		t.Errorf("value mismatch not errors.Is(ErrOutputMismatch): %v", err)
+	}
+	if err := verifyResult("x", md, &sim.Result{MemSum: 1, Out: []int64{1, 2}}, ref); err != nil {
+		t.Errorf("matching result must verify: %v", err)
+	}
+}
+
+// TestRunnerExtensionsMatchSerial pins the extension experiments' parallel
+// rendering: -j 1 and -j 8 must agree byte for byte. (The serial originals
+// were folded into the Runner; determinism across worker counts is the
+// contract that replaced them.)
+func TestRunnerExtensionsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full extension sweep")
+	}
+	r1, r8 := NewRunner(1), NewRunner(8)
+	for _, sec := range []struct {
+		name string
+		fn   func(*Runner) (string, error)
+	}{
+		{"RecoveryCost", (*Runner).RecoveryCost},
+		{"StoreBufferSweep", (*Runner).StoreBufferSweep},
+		{"SharingAblation", (*Runner).SharingAblation},
+		{"BoostingComparison", (*Runner).BoostingComparison},
+		{"FaultInjection", (*Runner).FaultInjection},
+	} {
+		a, err := sec.fn(r1)
+		if err != nil {
+			t.Fatalf("%s -j1: %v", sec.name, err)
+		}
+		b, err := sec.fn(r8)
+		if err != nil {
+			t.Fatalf("%s -j8: %v", sec.name, err)
+		}
+		if a != b {
+			t.Errorf("%s: -j1 and -j8 outputs differ:\n%s\n----\n%s", sec.name, a, b)
+		}
+	}
+}

@@ -40,6 +40,12 @@ func (s *Segment) Contains(addr int64, size int) bool {
 }
 
 // Memory is a sparse, segment-based memory image.
+//
+// Concurrency: a Memory is not safe for concurrent use while any goroutine
+// writes it (Map, Write, WriteTagged, or segment mutation). The evaluation
+// runner keeps one pristine image per benchmark and hands every simulation
+// its own Clone; the pristine image itself is only ever read (Clone,
+// Checksum), which is safe from multiple goroutines.
 type Memory struct {
 	segs []*Segment // sorted by Base, non-overlapping
 	// tags holds the exception-tag sidecar written by SaveTR and read by

@@ -53,6 +53,13 @@ func (b *Block) Branches() []int {
 
 // Program is an ordered list of blocks; execution starts at Entry (the first
 // block when empty).
+//
+// Concurrency: a Program is not safe for concurrent mutation, but once fully
+// constructed (and laid out, if PCs are needed) every read-only method —
+// Block, BlockIndex, InstrAt, Successors, Clone, String, Validate — may be
+// called from multiple goroutines simultaneously. The evaluation runner
+// shares built and formed programs across workers on this guarantee;
+// mutating consumers (the scheduler, formation) clone first.
 type Program struct {
 	Blocks []*Block
 	Entry  string
@@ -80,10 +87,19 @@ func (p *Program) AddBlock(label string, instrs ...*ir.Instr) *Block {
 	return b
 }
 
-// Block returns the block with the given label, or nil.
+// Block returns the block with the given label, or nil. When the label
+// index has not been built (a Program assembled by hand rather than through
+// NewProgram/AddBlock/Reindex), it falls back to a linear scan instead of
+// building the index, so Block never writes and stays safe for concurrent
+// readers.
 func (p *Program) Block(label string) *Block {
 	if p.byLabel == nil {
-		p.reindex()
+		for _, b := range p.Blocks {
+			if b.Label == label {
+				return b
+			}
+		}
+		return nil
 	}
 	return p.byLabel[label]
 }
@@ -97,13 +113,6 @@ func (p *Program) BlockIndex(label string) int {
 		}
 	}
 	return -1
-}
-
-func (p *Program) reindex() {
-	p.byLabel = make(map[string]*Block, len(p.Blocks))
-	for _, b := range p.Blocks {
-		p.byLabel[b.Label] = b
-	}
 }
 
 // Reindex rebuilds the label index after direct manipulation of Blocks

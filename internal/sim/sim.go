@@ -173,14 +173,22 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 	}
 	res := &Result{}
 
-	// pcIndex maps a PC to its (block, instruction) position for recovery
-	// restarts.
+	// lookupPC maps a PC to its (block, instruction) position for recovery
+	// restarts. The index is built lazily on the first handled exception:
+	// the overwhelmingly common fault-free run never pays for it.
 	type pos struct{ block, idx int }
-	pcIndex := map[int]pos{}
-	for bi, b := range p.Blocks {
-		for ii, in := range b.Instrs {
-			pcIndex[in.PC] = pos{bi, ii}
+	var pcIndex map[int]pos
+	lookupPC := func(pc int) (pos, bool) {
+		if pcIndex == nil {
+			pcIndex = map[int]pos{}
+			for bi, b := range p.Blocks {
+				for ii, in := range b.Instrs {
+					pcIndex[in.PC] = pos{bi, ii}
+				}
+			}
 		}
+		rp, ok := pcIndex[pc]
+		return rp, ok
 	}
 
 	now := int64(0)
@@ -219,7 +227,15 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 			if t < last {
 				t = last // in-order issue: never earlier than an older instruction
 			}
-			for _, r := range in.Uses() {
+			// Scoreboard check on source operands, written out over
+			// Src1/Src2 directly: Uses() allocates a slice, and this is
+			// the simulator's per-dynamic-instruction hot path.
+			if r := in.Src1; r.Valid() && !r.IsZero() {
+				if ra := m.readyAt[r.Index()]; ra > t {
+					t = ra
+				}
+			}
+			if r := in.Src2; r.Valid() && !r.IsZero() {
 				if ra := m.readyAt[r.Index()]; ra > t {
 					t = ra
 				}
@@ -250,7 +266,7 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 				res.Exceptions = append(res.Exceptions, exc)
 				// Recovery: re-execution restarts at the reported PC
 				// (repair happened in the handler), §3.7.
-				rp, ok := pcIndex[exc.ReportedPC]
+				rp, ok := lookupPC(exc.ReportedPC)
 				if !ok {
 					res.Cycles = t
 					return res, fmt.Errorf("sim: recovery target pc %d not found", exc.ReportedPC)

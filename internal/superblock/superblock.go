@@ -40,7 +40,11 @@ type Options struct {
 	MaxInstrs int
 }
 
-func (o Options) withDefaults() Options {
+// WithDefaults returns o with unset fields replaced by the documented
+// defaults. Two Options values that normalize to the same WithDefaults
+// result configure identical formations; the evaluation runner relies on
+// this to key its formation cache.
+func (o Options) WithDefaults() Options {
 	if o.MinProb == 0 {
 		o.MinProb = 0.60
 	}
@@ -58,8 +62,9 @@ func (o Options) withDefaults() Options {
 
 // Form returns a new program in which hot traces of p have been merged into
 // superblocks. p is not modified. The profile must come from a run of p.
+// Form only reads p and prof, so concurrent formations may share both.
 func Form(p *prog.Program, prof *prog.Profile, opts Options) *prog.Program {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	p = p.Clone()
 
 	traces := selectTraces(p, prof, opts)

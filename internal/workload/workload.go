@@ -28,7 +28,10 @@ type Benchmark struct {
 	Numeric bool
 	// Profile describes the scheduling-relevant character being modelled.
 	Profile string
-	// Build returns a fresh program and its input memory image.
+	// Build returns a fresh program and its input memory image. Every call
+	// constructs new state from scratch (builders share no mutable package
+	// state), so Build is safe to call from multiple goroutines and the
+	// returned program/memory are exclusively the caller's.
 	Build func() (*prog.Program, *mem.Memory)
 }
 
