@@ -20,6 +20,7 @@ import (
 	"sentinel/internal/ir"
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
@@ -138,6 +139,37 @@ func BenchmarkRunnerAll(b *testing.B) {
 		}
 	}
 	b.ReportMetric(eval.GroupImprovement(rs, false, machine.Sentinel, machine.Restricted, 8), "S/R-nonnum-%@8")
+}
+
+// BenchmarkRunAllUntraced / BenchmarkRunAllTraced are the observability
+// overhead guard: the same full Figure 4+5 matrix through the Runner with
+// metrics disabled (the nil fast path every normal figure regeneration
+// takes) and with a live metrics registry attached. The delta is the
+// observer cost; EXPERIMENTS.md records it and it must stay under 2%.
+func BenchmarkRunAllUntraced(b *testing.B) {
+	models := []machine.Model{machine.Restricted, machine.General,
+		machine.Sentinel, machine.SentinelStores}
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.NewRunner(0).RunAll(models, eval.Widths, superblock.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllTraced(b *testing.B) {
+	models := []machine.Model{machine.Restricted, machine.General,
+		machine.Sentinel, machine.SentinelStores}
+	var cells int64
+	for i := 0; i < b.N; i++ {
+		r := eval.NewRunner(0)
+		reg := obs.NewRegistry()
+		r.SetMetrics(reg)
+		if _, err := r.RunAll(models, eval.Widths, superblock.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		cells = reg.Histogram("runner.cell_ns").Snapshot().Count
+	}
+	b.ReportMetric(float64(cells), "cells-observed")
 }
 
 // BenchmarkKernel compiles and simulates each benchmark kernel under

@@ -24,7 +24,10 @@ import (
 
 	"sentinel/internal/eval"
 	"sentinel/internal/machine"
+	"sentinel/internal/obs"
+	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
 )
 
 // sections selects which tables/figures to emit, in the fixed output order
@@ -101,6 +104,13 @@ func main() {
 	flag.BoolVar(&s.boost, "boosting", false, "instruction boosting vs sentinel (extension)")
 	all := flag.Bool("all", false, "run everything")
 	jobs := flag.Int("j", 0, "cells to compile/simulate concurrently (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print runner cache/utilization metrics to stderr after the run")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON of one benchmark cell to this file (see -tracebench)")
+	traceBench := flag.String("tracebench", "cmp", "benchmark to trace with -trace (sentinel+stores, issue 8)")
+	var prof obs.Profiles
+	flag.StringVar(&prof.CPUFile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&prof.MemFile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	flag.StringVar(&prof.HTTPAddr, "httpprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. :6060)")
 	flag.Parse()
 
 	if *all {
@@ -110,8 +120,60 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(s, eval.NewRunner(*jobs), os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
 	}
+	r := eval.NewRunner(*jobs)
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		r.SetMetrics(reg)
+		if err := reg.Publish("paperfigs"); err != nil {
+			fatal(err)
+		}
+	}
+	if err := run(s, r, os.Stdout); err != nil {
+		fatal(err)
+	}
+	// Observability side-channels write to stderr and separate files, never
+	// to stdout: figure output stays byte-identical with them on or off
+	// (the CI "no observer effect" job and TestObserverEffect pin this).
+	if *trace != "" {
+		if err := writeTrace(r, *traceBench, *trace); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "\n== runner metrics ==\n%s", r.MetricsSummary())
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+}
+
+// writeTrace re-simulates one benchmark cell (sentinel+stores, issue 8 —
+// the configuration that exercises tags, probationary stores and sentinel
+// flows) with the cycle tracer attached, reusing the runner's cached
+// artifacts, and writes Chrome trace-event JSON to path.
+func writeTrace(r *eval.Runner, bench, path string) error {
+	b, ok := workload.ByName(bench)
+	if !ok {
+		return fmt.Errorf("-tracebench: unknown workload %q", bench)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tr := obs.NewTracer(f)
+	_, err = r.Simulate(b, machine.Base(8, machine.SentinelStores), superblock.Options{}, sim.Options{Trace: tr})
+	if cerr := tr.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
 }

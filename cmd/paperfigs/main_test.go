@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"sentinel/internal/eval"
+	"sentinel/internal/obs"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -53,6 +54,38 @@ func TestGoldenSections(t *testing.T) {
 					path, buf.Bytes(), want)
 			}
 		})
+	}
+}
+
+// TestObserverEffect: attaching the metrics registry (-stats) and writing a
+// trace (-trace) must leave the figure bytes untouched — metrics go to
+// stderr, the trace to its own file, and the traced simulation never feeds
+// the measured matrix. CI re-checks the same property through the real CLI.
+func TestObserverEffect(t *testing.T) {
+	s := sections{fig4: true, overhead: true}
+	var plain bytes.Buffer
+	if err := run(s, eval.NewRunner(0), &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	r := eval.NewRunner(0)
+	r.SetMetrics(obs.NewRegistry())
+	var observed bytes.Buffer
+	if err := run(s, r, &observed); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTrace(r, "cmp", tracePath); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), observed.Bytes()) {
+		t.Error("figure output differs with metrics attached")
+	}
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Errorf("trace file missing or empty: %v", err)
+	}
+	if r.MetricsSummary() == "" {
+		t.Error("metrics summary empty after an observed run")
 	}
 }
 

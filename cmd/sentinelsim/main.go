@@ -6,15 +6,23 @@
 //	sentinelsim -model sentinel -width 8 prog.s
 //	sentinelsim -workload cmp -model restricted -width 1
 //	sentinelsim -workload cmp -sweep -j 4
+//	sentinelsim -workload cmp -stats -trace cmp.json
 //
 // -sweep measures the workload under every speculation model at every
 // paper issue rate through the concurrent evaluation runner (-j workers),
 // printing a cycles/speedup table instead of a single run.
+//
+// Observability: -stats prints the per-run stall-cause breakdown, sentinel
+// activity and dynamic opcode mix; -trace writes a Chrome trace-event JSON
+// file (open in Perfetto or chrome://tracing) with one track per issue slot
+// and flow arrows from each speculative exception to its sentinel;
+// -cpuprofile/-memprofile/-httpprof expose pprof.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sentinel/internal/asm"
@@ -22,6 +30,7 @@ import (
 	"sentinel/internal/eval"
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
@@ -36,7 +45,18 @@ func main() {
 	verify := flag.Bool("verify", true, "compare against the reference interpreter")
 	sweep := flag.Bool("sweep", false, "measure the workload under every model and width (requires -workload)")
 	jobs := flag.Int("j", 0, "cells to compile/simulate concurrently in -sweep (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print the per-run stall-cause and sentinel-activity breakdown")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file of the run (Perfetto/chrome://tracing)")
+	var prof obs.Profiles
+	flag.StringVar(&prof.CPUFile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&prof.MemFile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	flag.StringVar(&prof.HTTPAddr, "httpprof", "", "serve net/http/pprof and /debug/vars on this address (e.g. :6060)")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
 
 	if *sweep {
 		if *wl == "" {
@@ -46,7 +66,10 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown workload %q", *wl))
 		}
-		if err := runSweep(b, *jobs); err != nil {
+		if err := runSweep(b, *jobs, *stats); err != nil {
+			fatal(err)
+		}
+		if err := stopProf(); err != nil {
 			fatal(err)
 		}
 		return
@@ -78,56 +101,103 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	var tr *obs.Tracer
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		tr = obs.NewTracer(f)
+	}
+	code, err := simulate(p, m, md, runOpts{form: *form, verify: *verify, stats: *stats, trace: tr}, os.Stdout)
+	if tr != nil {
+		if cerr := tr.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", cerr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+// runOpts configures one simulate call.
+type runOpts struct {
+	form   bool
+	verify bool
+	stats  bool
+	trace  *obs.Tracer
+}
+
+// simulate compiles and runs one program, writing the report to w. The
+// returned code is the intended process exit code (0 ok, 3 unhandled
+// exception); an error is a fatal condition. Split from main so tests can
+// golden-pin the -stats output.
+func simulate(p *prog.Program, m *mem.Memory, md machine.Desc, o runOpts, w io.Writer) (code int, err error) {
 	p.Layout()
 
 	var ref *prog.Result
-	if *verify || *form {
+	if o.verify || o.form {
 		if ref, err = prog.Run(p, m.Clone(), prog.Options{Collect: true}); err != nil {
-			fatal(fmt.Errorf("reference run: %w", err))
+			return 0, fmt.Errorf("reference run: %w", err)
 		}
 	}
-	if *form {
+	if o.form {
 		p = superblock.Form(p, ref.Profile, superblock.Options{})
 		p.Layout()
 	}
 	sched, _, err := core.Schedule(p, md)
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
-	res, err := sim.Run(sched, md, m, sim.Options{})
+	res, err := sim.Run(sched, md, m, sim.Options{Trace: o.trace})
 	if err != nil {
 		if exc, ok := sim.Unhandled(err); ok {
 			in, blk, _ := sched.InstrAt(exc.ReportedPC)
-			fmt.Printf("EXCEPTION: %v\n  cause: pc %d: %v (block %s)\n  signalled by pc %d at cycle %d\n",
+			fmt.Fprintf(w, "EXCEPTION: %v\n  cause: pc %d: %v (block %s)\n  signalled by pc %d at cycle %d\n",
 				exc.Kind, exc.ReportedPC, in, blk.Label, exc.ByPC, exc.Cycle)
-			os.Exit(3)
+			return 3, nil
 		}
-		fatal(err)
+		return 0, err
 	}
 
-	fmt.Printf("machine:  %v, issue %d, %d-entry store buffer\n", md.Model, md.IssueWidth, md.StoreBuffer)
-	fmt.Printf("cycles:   %d\n", res.Cycles)
-	fmt.Printf("instrs:   %d (IPC %.2f)\n", res.Instrs, float64(res.Instrs)/float64(res.Cycles))
-	fmt.Printf("stalls:   %d\n", res.Stalls)
-	fmt.Printf("output:   %v\n", res.Out)
-	if *verify {
+	fmt.Fprintf(w, "machine:  %v, issue %d, %d-entry store buffer\n", md.Model, md.IssueWidth, md.StoreBuffer)
+	fmt.Fprintf(w, "cycles:   %d\n", res.Cycles)
+	fmt.Fprintf(w, "instrs:   %d (IPC %.2f)\n", res.Instrs, float64(res.Instrs)/float64(res.Cycles))
+	fmt.Fprintf(w, "stalls:   %d\n", res.Stalls)
+	fmt.Fprintf(w, "output:   %v\n", res.Out)
+	if o.stats {
+		fmt.Fprintf(w, "\n%s", res.Stats.String())
+	}
+	if o.verify {
 		switch {
 		case res.MemSum != ref.MemSum:
-			fatal(fmt.Errorf("VERIFICATION FAILED: memory checksum mismatch"))
+			return 0, fmt.Errorf("VERIFICATION FAILED: memory checksum mismatch")
 		case fmt.Sprint(res.Out) != fmt.Sprint(ref.Out):
-			fatal(fmt.Errorf("VERIFICATION FAILED: output %v != reference %v", res.Out, ref.Out))
+			return 0, fmt.Errorf("VERIFICATION FAILED: output %v != reference %v", res.Out, ref.Out)
 		default:
-			fmt.Println("verified: matches the sequential reference")
+			fmt.Fprintln(w, "verified: matches the sequential reference")
 		}
 	}
+	return 0, nil
 }
 
 // runSweep measures one benchmark under every speculation model at every
-// paper issue rate, all cells fanned out over the evaluation runner.
-func runSweep(b workload.Benchmark, jobs int) error {
+// paper issue rate, all cells fanned out over the evaluation runner. With
+// stats, the runner's cache and utilization metrics follow the table.
+func runSweep(b workload.Benchmark, jobs int, stats bool) error {
 	models := []machine.Model{machine.Restricted, machine.General,
 		machine.Sentinel, machine.SentinelStores}
 	r := eval.NewRunner(jobs)
+	if stats {
+		r.SetMetrics(obs.NewRegistry())
+	}
 	res, err := r.Run(b, models, eval.Widths, superblock.Options{})
 	if err != nil {
 		return err
@@ -146,6 +216,9 @@ func runSweep(b workload.Benchmark, jobs int) error {
 			fmt.Printf("  %-16s", fmt.Sprintf("%d (%.2fx)", c.Cycles, c.Speedup))
 		}
 		fmt.Printf("\n")
+	}
+	if stats {
+		fmt.Printf("\n%s", r.MetricsSummary())
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sentinel/internal/machine"
+	"sentinel/internal/obs"
+	"sentinel/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenStats pins the exact text of `sentinelsim -workload cmp -stats`:
+// the run report plus the deterministic stall-cause/sentinel-activity/op-mix
+// breakdown. Regenerate intentionally with:
+//
+//	go test ./cmd/sentinelsim -run TestGoldenStats -update
+func TestGoldenStats(t *testing.T) {
+	b, ok := workload.ByName("cmp")
+	if !ok {
+		t.Fatal("workload cmp missing")
+	}
+	p, m := b.Build()
+	var buf bytes.Buffer
+	code, err := simulate(p, m, machine.Base(8, machine.Sentinel),
+		runOpts{form: true, verify: true, stats: true}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	path := filepath.Join("testdata", "golden", "stats.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-stats output differs from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestTraceFileSchema drives the CLI's trace path end to end on a real
+// workload under sentinel+stores and validates the file the user would
+// open in Perfetto: JSON parses as Chrome trace-event format, slices cover
+// every dynamic instruction, and flow events pair starts with ends.
+func TestTraceFileSchema(t *testing.T) {
+	b, ok := workload.ByName("cmp")
+	if !ok {
+		t.Fatal("workload cmp missing")
+	}
+	p, m := b.Build()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(f)
+	var buf bytes.Buffer
+	code, err := simulate(p, m, machine.Base(8, machine.SentinelStores),
+		runOpts{form: true, verify: true, trace: tr}, &buf)
+	if cerr := tr.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil || code != 0 {
+		t.Fatalf("simulate: code %d err %v", code, err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not Chrome trace-event JSON: %v", err)
+	}
+	phases := map[string]int{}
+	width := 0
+	for _, e := range doc.TraceEvents {
+		phases[e.Ph]++
+		if e.Ph == "X" && e.Tid > width {
+			width = e.Tid
+		}
+	}
+	if phases["X"] == 0 {
+		t.Error("no duration slices in trace")
+	}
+	if width == 0 {
+		t.Error("all slices on track 0: per-slot tracks missing from a width-8 schedule")
+	}
+	if phases["f"] > phases["s"] {
+		t.Errorf("more flow ends (%d) than starts (%d)", phases["f"], phases["s"])
+	}
+}

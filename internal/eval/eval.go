@@ -15,6 +15,7 @@ import (
 
 	"sentinel/internal/core"
 	"sentinel/internal/machine"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
@@ -43,6 +44,9 @@ type Cell struct {
 	Instrs  int64
 	Speedup float64 // vs the issue-1 restricted base of the same benchmark
 	Stats   core.Stats
+	// Sim is the simulator's per-run observability breakdown (stall causes,
+	// speculation and sentinel activity, occupancy high-water marks).
+	Sim obs.SimStats
 }
 
 // Measurement errors wrap the benchmark name.
@@ -76,7 +80,7 @@ func Measure(b workload.Benchmark, md machine.Desc, sbo superblock.Options) (Cel
 	if err := verifyResult(b.Name, md, res, ref); err != nil {
 		return Cell{}, err
 	}
-	return Cell{Cycles: res.Cycles, Instrs: res.Instrs, Stats: stats}, nil
+	return Cell{Cycles: res.Cycles, Instrs: res.Instrs, Stats: stats, Sim: res.Stats}, nil
 }
 
 // verifyResult enforces the Measure invariant: the scheduled run's

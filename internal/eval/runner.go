@@ -19,12 +19,15 @@ package eval
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sentinel/internal/core"
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
@@ -55,10 +58,12 @@ func (k CellKey) String() string {
 // the value while later callers block on it; afterwards the value is served
 // from the cache. Errors are cached alongside values — within one process
 // the inputs are deterministic, so recomputing a failed artifact cannot
-// succeed.
+// succeed. Hit/miss counts are tracked so the Runner's metrics can expose
+// cache effectiveness and growth.
 type flight[K comparable, V any] struct {
-	mu sync.Mutex
-	m  map[K]*flightCall[V]
+	mu           sync.Mutex
+	m            map[K]*flightCall[V]
+	hits, misses atomic.Int64
 }
 
 type flightCall[V any] struct {
@@ -74,15 +79,32 @@ func (f *flight[K, V]) get(k K, fn func() (V, error)) (V, error) {
 	}
 	if c, ok := f.m[k]; ok {
 		f.mu.Unlock()
+		f.hits.Add(1)
 		<-c.done
 		return c.val, c.err
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.m[k] = c
 	f.mu.Unlock()
+	f.misses.Add(1)
 	c.val, c.err = fn()
 	close(c.done)
 	return c.val, c.err
+}
+
+// len returns the number of cached entries (including in-flight ones).
+func (f *flight[K, V]) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+// reset drops every cached entry. It must not race with get: callers reset
+// between sweeps, not during one.
+func (f *flight[K, V]) reset() {
+	f.mu.Lock()
+	f.m = nil
+	f.mu.Unlock()
 }
 
 // buildArtifact is everything derivable from one benchmark independent of
@@ -114,6 +136,14 @@ type schedArtifact struct {
 type Runner struct {
 	workers int
 
+	// Metrics instruments, nil unless SetMetrics was called. Every handle
+	// is nil-safe (obs's disabled path), but time.Now calls are still gated
+	// on cellTime/busy to keep the disabled path free of syscalls.
+	reg      *obs.Registry
+	cellTime *obs.Histogram // per-cell wall time, ns
+	busy     *obs.Counter   // summed worker busy time, ns
+	span     *obs.Counter   // summed parallelFor wall spans, ns
+
 	builds flight[string, *buildArtifact]
 	forms  flight[formKey, *prog.Program]
 	scheds flight[CellKey, *schedArtifact]
@@ -131,6 +161,103 @@ func NewRunner(workers int) *Runner {
 
 // Workers reports the configured parallelism.
 func (r *Runner) Workers() int { return r.workers }
+
+// SetMetrics attaches a metrics registry: per-cell wall-time histogram,
+// worker busy/span counters, and gauges for every artifact cache's size,
+// hits and misses. Pass nil to detach (the default: no metrics, no timing
+// syscalls on the measurement path). Call before running cells, not during.
+func (r *Runner) SetMetrics(reg *obs.Registry) {
+	r.reg = reg
+	if reg == nil {
+		r.cellTime, r.busy, r.span = nil, nil, nil
+		return
+	}
+	r.cellTime = reg.Histogram("runner.cell_ns")
+	r.busy = reg.Counter("runner.busy_ns")
+	r.span = reg.Counter("runner.span_ns")
+	reg.Gauge("runner.workers", func() int64 { return int64(r.workers) })
+	for name, c := range r.cacheMap() {
+		name, c := name, c
+		reg.Gauge("runner.cache."+name+".size", func() int64 { return int64(c.size()) })
+		reg.Gauge("runner.cache."+name+".hits", func() int64 { return c.hits() })
+		reg.Gauge("runner.cache."+name+".misses", func() int64 { return c.misses() })
+	}
+}
+
+// cacheView abstracts one generic flight cache for metrics and Reset.
+type cacheView struct {
+	size   func() int
+	hits   func() int64
+	misses func() int64
+	reset  func()
+}
+
+func view[K comparable, V any](f *flight[K, V]) cacheView {
+	return cacheView{
+		size:   f.len,
+		hits:   f.hits.Load,
+		misses: f.misses.Load,
+		reset:  f.reset,
+	}
+}
+
+func (r *Runner) cacheMap() map[string]cacheView {
+	return map[string]cacheView{
+		"builds": view(&r.builds),
+		"forms":  view(&r.forms),
+		"scheds": view(&r.scheds),
+		"cells":  view(&r.cells),
+	}
+}
+
+// CacheStats is one artifact cache's effectiveness snapshot.
+type CacheStats struct {
+	Size         int
+	Hits, Misses int64
+}
+
+// CacheStats reports every artifact cache's current size and hit/miss
+// counts, keyed by cache name (builds, forms, scheds, cells). This is how a
+// long-lived Runner's growth is observed — see Reset.
+func (r *Runner) CacheStats() map[string]CacheStats {
+	out := map[string]CacheStats{}
+	for name, c := range r.cacheMap() {
+		out[name] = CacheStats{Size: c.size(), Hits: c.hits(), Misses: c.misses()}
+	}
+	return out
+}
+
+// Reset drops every cached artifact (hit/miss counters persist). The caches
+// otherwise grow without bound across RunAll sweeps — one entry per distinct
+// cell key — which is what makes a shared Runner fast within one figure
+// regeneration but a leak in a long-lived process sweeping many
+// configurations. Must not be called concurrently with in-flight
+// measurements.
+func (r *Runner) Reset() {
+	for _, c := range r.cacheMap() {
+		c.reset()
+	}
+}
+
+// MetricsSummary renders the one-shot text summary of the attached
+// registry, prefixed with derived worker utilization (busy / span×workers).
+// Empty when SetMetrics was never called.
+func (r *Runner) MetricsSummary() string {
+	if r.reg == nil {
+		return ""
+	}
+	var b strings.Builder
+	if span := r.span.Value(); span > 0 {
+		util := float64(r.busy.Value()) / (float64(span) * float64(r.workers))
+		fmt.Fprintf(&b, "worker utilization: %.1f%% (%d workers)\n", 100*util, r.workers)
+	}
+	if s := r.cellTime.Snapshot(); s.Count > 0 {
+		fmt.Fprintf(&b, "cell wall time: n=%d mean=%s min=%s max=%s\n",
+			s.Count, time.Duration(int64(s.Mean())), time.Duration(s.Min), time.Duration(s.Max))
+	}
+	b.WriteString(r.reg.Summary())
+	return b.String()
+}
 
 // build returns the benchmark's machine-independent artifact, computing it
 // on first use: build + layout + validate + reference interpretation.
@@ -191,6 +318,10 @@ func (r *Runner) scheduled(b workload.Benchmark, md machine.Desc, sbo superblock
 func (r *Runner) Measure(b workload.Benchmark, md machine.Desc, sbo superblock.Options) (Cell, error) {
 	key := CellKey{b.Name, md, sbo.WithDefaults()}
 	return r.cells.get(key, func() (Cell, error) {
+		var t0 time.Time
+		if r.cellTime != nil {
+			t0 = time.Now()
+		}
 		art, err := r.build(b)
 		if err != nil {
 			return Cell{}, err
@@ -206,8 +337,32 @@ func (r *Runner) Measure(b workload.Benchmark, md machine.Desc, sbo superblock.O
 		if err := verifyResult(b.Name, md, res, art.ref); err != nil {
 			return Cell{}, err
 		}
-		return Cell{Cycles: res.Cycles, Instrs: res.Instrs, Stats: sa.stats}, nil
+		if r.cellTime != nil {
+			r.cellTime.Observe(time.Since(t0).Nanoseconds())
+		}
+		return Cell{Cycles: res.Cycles, Instrs: res.Instrs, Stats: sa.stats, Sim: res.Stats}, nil
 	})
+}
+
+// Simulate runs one cell's simulation with the given simulator options
+// (typically a tracer) attached, reusing every cached artifact but caching
+// nothing itself and skipping verification — the entry point `paperfigs
+// -trace` and ad-hoc profiling use to observe a cell without perturbing the
+// measured matrix.
+func (r *Runner) Simulate(b workload.Benchmark, md machine.Desc, sbo superblock.Options, opts sim.Options) (*sim.Result, error) {
+	art, err := r.build(b)
+	if err != nil {
+		return nil, err
+	}
+	sa, err := r.scheduled(b, md, sbo)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sa.prog, md, art.mem.Clone(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: simulate: %w", b.Name, err)
+	}
+	return res, nil
 }
 
 // parallelFor runs fn(0..n-1) on up to r.workers goroutines and returns the
@@ -217,6 +372,16 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 	workers := r.workers
 	if workers > n {
 		workers = n
+	}
+	if r.busy != nil {
+		inner := fn
+		fn = func(i int) error {
+			t0 := time.Now()
+			defer func() { r.busy.Add(time.Since(t0).Nanoseconds()) }()
+			return inner(i)
+		}
+		start := time.Now()
+		defer func() { r.span.Add(time.Since(start).Nanoseconds()) }()
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {

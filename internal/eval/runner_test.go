@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sentinel/internal/machine"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
@@ -142,6 +143,134 @@ func TestVerifySentinelErrors(t *testing.T) {
 	}
 	if err := verifyResult("x", md, &sim.Result{MemSum: 1, Out: []int64{1, 2}}, ref); err != nil {
 		t.Errorf("matching result must verify: %v", err)
+	}
+}
+
+// TestRunnerResetAndCacheStats: the artifact caches must be observable
+// (sizes, hits, misses) and reclaimable — Reset drops every entry and a
+// subsequent measurement recomputes from scratch with identical results,
+// so long-lived sweep processes can bound their footprint.
+func TestRunnerResetAndCacheStats(t *testing.T) {
+	r := NewRunner(2)
+	b := bench(t, "wc")
+	md := machine.Base(8, machine.Sentinel)
+
+	before, err := r.Measure(b, md, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Measure(b, md, superblock.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	cs := r.CacheStats()
+	for _, name := range []string{"builds", "forms", "scheds", "cells"} {
+		if cs[name].Size != 1 {
+			t.Errorf("cache %s size = %d, want 1", name, cs[name].Size)
+		}
+		if cs[name].Misses != 1 {
+			t.Errorf("cache %s misses = %d, want 1", name, cs[name].Misses)
+		}
+	}
+	if cs["cells"].Hits != 1 {
+		t.Errorf("cells hits = %d, want 1 (second Measure is a cache hit)", cs["cells"].Hits)
+	}
+
+	r.Reset()
+	for name, c := range r.CacheStats() {
+		if c.Size != 0 {
+			t.Errorf("cache %s size after Reset = %d, want 0", name, c.Size)
+		}
+	}
+	after, err := r.Measure(b, md, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Errorf("post-Reset cell differs: %+v vs %+v", after, before)
+	}
+	if got := r.CacheStats()["cells"].Misses; got != 2 {
+		t.Errorf("cells misses after Reset+Measure = %d, want 2 (recomputed)", got)
+	}
+}
+
+// TestRunnerMetrics: an attached registry must observe the sweep — per-cell
+// wall times, worker busy/span, cache gauges — without changing any
+// measured value relative to an uninstrumented Runner.
+func TestRunnerMetrics(t *testing.T) {
+	benches := []workload.Benchmark{bench(t, "wc"), bench(t, "cmp")}
+	models := []machine.Model{machine.Sentinel}
+
+	plain, err := NewRunner(2).RunBenchmarks(benches, models, Widths, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(2)
+	reg := obs.NewRegistry()
+	r.SetMetrics(reg)
+	observed, err := r.RunBenchmarks(benches, models, Widths, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].Base != observed[i].Base {
+			t.Errorf("%s: metrics changed the base cell", plain[i].Name)
+		}
+		for k, c := range plain[i].Cells {
+			if observed[i].Cells[k] != c {
+				t.Errorf("%s/%v: metrics changed the cell", plain[i].Name, k)
+			}
+		}
+	}
+
+	cellCount := reg.Histogram("runner.cell_ns").Snapshot().Count
+	if want := int64(len(benches) * (1 + len(Widths))); cellCount != want {
+		t.Errorf("cell_ns observations = %d, want %d", cellCount, want)
+	}
+	if reg.Counter("runner.busy_ns").Value() <= 0 {
+		t.Error("busy_ns not recorded")
+	}
+	sum := r.MetricsSummary()
+	for _, want := range []string{"worker utilization", "cell wall time",
+		"runner.cache.builds.size", "runner.cache.cells.misses", "runner.workers"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("metrics summary missing %q:\n%s", want, sum)
+		}
+	}
+	if NewRunner(1).MetricsSummary() != "" {
+		t.Error("summary without SetMetrics must be empty")
+	}
+}
+
+// TestRunnerSimulate: the trace entry point must reuse cached artifacts
+// (no new cell entries) and reproduce the measured cell's timing while
+// feeding the tracer.
+func TestRunnerSimulate(t *testing.T) {
+	r := NewRunner(1)
+	b := bench(t, "cmp")
+	md := machine.Base(8, machine.SentinelStores)
+	cell, err := r.Measure(b, md, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	tr := obs.NewTracer(&buf)
+	res, err := r.Simulate(b, md, superblock.Options{}, sim.Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != cell.Cycles || res.Instrs != cell.Instrs {
+		t.Errorf("Simulate result %d cycles/%d instrs != measured cell %d/%d",
+			res.Cycles, res.Instrs, cell.Cycles, cell.Instrs)
+	}
+	if buf.Len() == 0 {
+		t.Error("tracer received no events")
+	}
+	if got := r.CacheStats()["cells"].Size; got != 1 {
+		t.Errorf("Simulate must not grow the cells cache: size %d, want 1", got)
 	}
 }
 

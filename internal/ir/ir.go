@@ -151,6 +151,10 @@ const (
 	numOps // sentinel for table sizing; keep last
 )
 
+// NumOps is the number of MIR opcodes, for sizing per-opcode tables (e.g.
+// the simulator's dynamic opcode-mix counters).
+const NumOps = int(numOps)
+
 var opNames = [numOps]string{
 	Nop: "nop", Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
 	And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr", Slt: "slt",

@@ -1,0 +1,236 @@
+// Package obs is the observability layer shared by the simulator, the
+// scheduler and the evaluation engine: a counters/histogram registry with a
+// zero-allocation disabled path, a Chrome trace-event tracer for per-cycle
+// pipeline visualization (see trace.go), the per-run simulator statistics
+// breakdown (see simstats.go), and pprof/expvar plumbing for the CLIs (see
+// pprof.go).
+//
+// The disabled path is the nil path: every method on *Registry, *Counter and
+// *Histogram is nil-safe, so instrumented code holds a possibly-nil handle
+// and calls it unconditionally — no branches at call sites, no allocation,
+// no atomics when observability is off.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter is
+// valid and discards all updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d. No-op on nil.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram accumulates int64 observations into power-of-two buckets,
+// tracking count, sum, min and max. The nil Histogram is valid and discards
+// all observations.
+type Histogram struct {
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [65]int64 // bucket i counts v with bit length i (v<=0 in 0)
+	mu      sync.Mutex
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	b := 0
+	if v > 0 {
+		b = bits.Len64(uint64(v))
+	}
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time summary of a Histogram.
+type HistSnapshot struct {
+	Count, Sum, Min, Max int64
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot returns the histogram's current summary; the zero snapshot on nil.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// Registry is a named collection of counters, gauges and histograms. The nil
+// Registry is valid: lookups return nil instruments, which in turn discard
+// all updates — the fully disabled, zero-allocation path.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   map[string]func() int64
+	mu       sync.Mutex
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+		gauges:   map[string]func() int64{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid, discarding counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use. Returns
+// nil (a valid, discarding histogram) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge registers a callback sampled at snapshot time (cache sizes, queue
+// depths — values owned elsewhere). No-op on a nil registry.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// snapshot samples every instrument under one name → value map.
+func (r *Registry) snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	// Gauge callbacks and histogram locks are taken outside r.mu: a gauge
+	// may itself consult a structure that records into this registry.
+	for name, fn := range gauges {
+		out[name] = fn()
+	}
+	for name, h := range hists {
+		s := h.Snapshot()
+		out[name+".count"] = s.Count
+		out[name+".sum"] = s.Sum
+		out[name+".min"] = s.Min
+		out[name+".max"] = s.Max
+	}
+	return out
+}
+
+// Publish exposes the registry under the given expvar name (visible on
+// -httpprof's /debug/vars). Publishing the same name twice is an error
+// rather than the expvar panic.
+func (r *Registry) Publish(name string) error {
+	if r == nil {
+		return nil
+	}
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.snapshot() }))
+	return nil
+}
+
+// Summary renders a one-shot text summary, one "name value" line per
+// instrument, sorted by name for stable output. Empty on nil.
+func (r *Registry) Summary() string {
+	snap := r.snapshot()
+	if len(snap) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(snap))
+	width := 0
+	for name := range snap {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-*s %d\n", width+2, name, snap[name])
+	}
+	return b.String()
+}

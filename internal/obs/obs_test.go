@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilDisabledPath: every instrument obtained from a nil registry must be
+// callable and inert — the zero-allocation disabled path instrumented code
+// relies on.
+func TestNilDisabledPath(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter must discard")
+	}
+	h := r.Histogram("y")
+	h.Observe(7)
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Errorf("nil histogram snapshot = %+v, want zero", s)
+	}
+	r.Gauge("z", func() int64 { return 1 })
+	if got := r.Summary(); got != "" {
+		t.Errorf("nil registry summary = %q, want empty", got)
+	}
+	if err := r.Publish("nil-reg"); err != nil {
+		t.Errorf("nil publish: %v", err)
+	}
+}
+
+// TestNilDisabledAllocs: the disabled counter path must not allocate.
+func TestNilDisabledAllocs(t *testing.T) {
+	var r *Registry
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Counter("hot").Add(1)
+		r.Histogram("hot").Observe(3)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if r.Counter("n") != c {
+		t.Error("same name must return the same counter")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{5, 1, 9, 3} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Sum != 18 || s.Min != 1 || s.Max != 9 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.Mean() != 4.5 {
+		t.Errorf("mean = %v, want 4.5", s.Mean())
+	}
+}
+
+func TestSummaryAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Gauge("a.size", func() int64 { return 7 })
+	r.Histogram("h").Observe(10)
+	sum := r.Summary()
+	for _, want := range []string{"a.size", "b.count", "h.count", "h.sum", "h.min", "h.max"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(sum), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Errorf("summary not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+}
+
+func TestPublishDuplicate(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Publish("obs-test-reg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Publish("obs-test-reg"); err == nil {
+		t.Error("duplicate publish must error, not panic")
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles configures the profiling side-channels a CLI exposes: CPU and
+// heap profile files and an HTTP listener serving net/http/pprof (plus
+// /debug/vars for published registries).
+type Profiles struct {
+	CPUFile  string // -cpuprofile: pprof CPU profile written from start to Stop
+	MemFile  string // -memprofile: heap profile written at Stop (after a GC)
+	HTTPAddr string // -httpprof: address to serve /debug/pprof and /debug/vars on
+}
+
+// Start begins the configured profiling. The returned stop function ends
+// the CPU profile and writes the heap profile; it must be called before
+// exit (the HTTP listener, if any, stays up until the process ends).
+func (p Profiles) Start() (stop func() error, err error) {
+	var cpuOut *os.File
+	if p.CPUFile != "" {
+		cpuOut, err = os.Create(p.CPUFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if p.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", p.HTTPAddr)
+		if err != nil {
+			if cpuOut != nil {
+				pprof.StopCPUProfile()
+				cpuOut.Close()
+			}
+			return nil, fmt.Errorf("httpprof: %w", err)
+		}
+		go http.Serve(ln, nil) //nolint:errcheck // best-effort debug listener
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return err
+			}
+		}
+		if p.MemFile != "" {
+			f, err := os.Create(p.MemFile)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sentinel/internal/ir"
+)
+
+// SimStats is the per-run breakdown behind sim.Result's aggregate counters:
+// where cycles were lost, how much speculation ran, and how the sentinel
+// machinery (tags, signals, store buffer, PC queue) was exercised. It is
+// embedded by value in the simulator's machine state and updated with plain
+// (non-atomic) increments on the per-dynamic-instruction hot path — no
+// allocation, no indirection, always on. Keep the field order
+// size-descending; CI checks this struct's packing with fieldalignment.
+type SimStats struct {
+	// Stall causes, in cycles. InterlockStalls are scoreboard interlocks on
+	// source operands (including in-order issue slip); StoreBufferStalls
+	// are cycles the processor waited for a free store-buffer entry. Their
+	// sum is sim.Result.Stalls.
+	InterlockStalls   int64
+	StoreBufferStalls int64
+
+	// RedirectCycles are branch-redirect bubbles (BranchTakenPenalty per
+	// taken transfer) over BranchRedirects taken transfers. Kept separate
+	// from Stalls for compatibility: the aggregate never included them.
+	RedirectCycles  int64
+	BranchRedirects int64
+
+	// Speculation and sentinel activity.
+	SpecOps         int64 // dynamic instructions with the speculative modifier
+	TagSets         int64 // exceptions recorded by a speculative op (tag set / shadow record / probationary entry)
+	TagPropagations int64 // tag (or store-entry) propagations through speculative consumers
+	SentinelSignals int64 // architecturally signalled exceptions (all causes)
+	CheckFires      int64 // signals raised by an explicit check_exception
+
+	// Structure occupancy high-water marks.
+	StoreBufferHighWater int64
+	PCQueueHighWater     int64
+
+	// OpMix is the dynamic opcode mix, indexed by ir.Op.
+	OpMix [ir.NumOps]int64
+}
+
+// Stalls returns the aggregate stall count, the sum the pre-breakdown
+// sim.Result.Stalls field reported.
+func (s *SimStats) Stalls() int64 { return s.InterlockStalls + s.StoreBufferStalls }
+
+// Instrs returns the dynamic instruction count implied by the opcode mix.
+func (s *SimStats) Instrs() int64 {
+	var n int64
+	for _, c := range s.OpMix {
+		n += c
+	}
+	return n
+}
+
+// String renders the deterministic text block behind `sentinelsim -stats`:
+// the stall-cause breakdown, speculation and sentinel activity, occupancy
+// high-water marks, and the dynamic opcode mix (descending count, ties in
+// opcode order).
+func (s *SimStats) String() string {
+	var b strings.Builder
+	instrs := s.Instrs()
+	fmt.Fprintf(&b, "stalls:      %d (interlock %d, store-buffer %d)\n",
+		s.Stalls(), s.InterlockStalls, s.StoreBufferStalls)
+	fmt.Fprintf(&b, "redirects:   %d taken transfers (%d penalty cycles)\n",
+		s.BranchRedirects, s.RedirectCycles)
+	fmt.Fprintf(&b, "speculative: %d ops (%.1f%% of %d instrs)\n",
+		s.SpecOps, pct(s.SpecOps, instrs), instrs)
+	fmt.Fprintf(&b, "exceptions:  %d tags set, %d propagations, %d signalled (%d by check_exception)\n",
+		s.TagSets, s.TagPropagations, s.SentinelSignals, s.CheckFires)
+	fmt.Fprintf(&b, "store buf:   high-water %d entries\n", s.StoreBufferHighWater)
+	fmt.Fprintf(&b, "pc queue:    high-water %d entries\n", s.PCQueueHighWater)
+	fmt.Fprintf(&b, "op mix:\n")
+	type mix struct {
+		op ir.Op
+		n  int64
+	}
+	var ops []mix
+	for op, n := range s.OpMix {
+		if n > 0 {
+			ops = append(ops, mix{ir.Op(op), n})
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].n > ops[j].n })
+	for _, m := range ops {
+		fmt.Fprintf(&b, "  %-12s %10d  (%.1f%%)\n", m.op, m.n, pct(m.n, instrs))
+	}
+	return b.String()
+}
+
+func pct(n, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Tracer streams Chrome trace-event JSON (the "JSON Array Format" consumed
+// by Perfetto and chrome://tracing): one duration slice per issued
+// instruction on a track per issue slot, counter tracks for machine
+// occupancy, and flow arrows linking a speculative instruction that recorded
+// an exception to the sentinel that later signalled it.
+//
+// Timestamps are simulated cycles, reported as microseconds (1 cycle = 1us).
+// The simulator guards every hook on a nil *Tracer, so the disabled path is
+// a single pointer compare; none of this code is on the hot path when
+// tracing is off.
+type Tracer struct {
+	w      *bufio.Writer
+	closer io.Closer
+	err    error
+	tracks map[int]bool
+	first  bool
+}
+
+// NewTracer starts a trace on w, writing the array header immediately. If w
+// is also an io.Closer, Close closes it.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{w: bufio.NewWriterSize(w, 1<<16), tracks: map[int]bool{}, first: true}
+	if c, ok := w.(io.Closer); ok {
+		t.closer = c
+	}
+	t.raw(`{"traceEvents":[`)
+	return t
+}
+
+func (t *Tracer) raw(s string) {
+	if t.err == nil {
+		_, t.err = t.w.WriteString(s)
+	}
+}
+
+// event begins one JSON event object, handling array commas.
+func (t *Tracer) event(s string) {
+	if !t.first {
+		t.raw(",\n")
+	} else {
+		t.raw("\n")
+		t.first = false
+	}
+	t.raw(s)
+}
+
+// track emits thread metadata the first time a tid is used, so Perfetto
+// labels each track as an issue slot.
+func (t *Tracer) track(tid int) {
+	if t.tracks[tid] {
+		return
+	}
+	t.tracks[tid] = true
+	t.event(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":"issue slot %d"}}`, tid, tid))
+	t.event(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, tid, tid))
+}
+
+// Slice records a complete duration event: an instruction named name
+// occupying slot track from cycle ts for dur cycles, with its PC and
+// speculative flag as args.
+func (t *Tracer) Slice(track int, name string, ts, dur int64, pc int, spec bool) {
+	t.track(track)
+	t.event(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{"pc":%d,"spec":%v}}`,
+		track, ts, dur, strconv.Quote(name), pc, spec))
+}
+
+// Counter records a counter-track sample (e.g. store-buffer occupancy).
+func (t *Tracer) Counter(name string, ts, value int64) {
+	t.event(fmt.Sprintf(`{"ph":"C","pid":1,"ts":%d,"name":%s,"args":{"value":%d}}`,
+		ts, strconv.Quote(name), value))
+}
+
+// Instant records a zero-duration marker on a slot track.
+func (t *Tracer) Instant(track int, name string, ts int64) {
+	t.track(track)
+	t.event(fmt.Sprintf(`{"ph":"i","pid":1,"tid":%d,"ts":%d,"s":"t","name":%s}`,
+		track, ts, strconv.Quote(name)))
+}
+
+// flow emits one flow event. Chrome binds flow endpoints to the slice at the
+// same (tid, ts), drawing an arrow between the bound slices; id correlates
+// the endpoints — we use the excepting instruction's PC, which is exactly
+// the value the architecture itself threads through the tagged register.
+func (t *Tracer) flow(ph string, id int64, track int, ts int64, extra string) {
+	t.track(track)
+	t.event(fmt.Sprintf(`{"ph":%q,"pid":1,"tid":%d,"ts":%d,"id":%d,"cat":"sentinel","name":"exception"%s}`,
+		ph, track, ts, id, extra))
+}
+
+// FlowStart opens a flow arrow at the slice on track at ts: a speculative
+// instruction recorded an exception (tag set, PC id captured).
+func (t *Tracer) FlowStart(id int64, track int, ts int64) { t.flow("s", id, track, ts, "") }
+
+// FlowStep extends the flow through a propagating instruction.
+func (t *Tracer) FlowStep(id int64, track int, ts int64) { t.flow("t", id, track, ts, "") }
+
+// FlowEnd terminates the flow at the sentinel that signalled the exception.
+func (t *Tracer) FlowEnd(id int64, track int, ts int64) {
+	t.flow("f", id, track, ts, `,"bp":"e"`)
+}
+
+// Close terminates the JSON array, flushes, and closes the underlying
+// writer when it is closable, returning the first error encountered.
+func (t *Tracer) Close() error {
+	t.raw("\n]}\n")
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.closer != nil {
+		if err := t.closer.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}

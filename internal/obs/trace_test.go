@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTracerEmitsValidJSON: a tracer session with every event kind must
+// produce a parseable Chrome trace-event document with the expected phases.
+func TestTracerEmitsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Slice(0, `ld "quoted"`, 0, 2, 10, true)
+	tr.Slice(1, "add", 1, 1, 11, false)
+	tr.FlowStart(10, 0, 0)
+	tr.FlowStep(10, 1, 1)
+	tr.FlowEnd(10, 2, 3)
+	tr.Counter("store-buffer", 2, 5)
+	tr.Instant(0, "signal", 3)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+	}
+	for _, want := range []string{"X", "s", "t", "f", "C", "i", "M"} {
+		if phases[want] == 0 {
+			t.Errorf("no %q events emitted: %v", want, phases)
+		}
+	}
+	// Slot metadata is emitted once per track: tracks 0, 1, 2 were used.
+	if phases["M"] != 6 {
+		t.Errorf("metadata events = %d, want 6 (name + sort index per track)", phases["M"])
+	}
+}
+
+// TestTracerEmptyTrace: opening and closing without events must still be a
+// valid document.
+func TestTracerEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTracer(&buf).Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is invalid JSON: %v\n%s", err, buf.String())
+	}
+}
+
+// errWriter fails after n bytes, to exercise sticky error handling.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestTracerWriteErrorSurfacesAtClose(t *testing.T) {
+	tr := NewTracer(&errWriter{n: 8})
+	for i := 0; i < 10000; i++ {
+		tr.Slice(0, "add", int64(i), 1, i, false)
+	}
+	if err := tr.Close(); err == nil {
+		t.Error("write failure must surface from Close")
+	}
+}

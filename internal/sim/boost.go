@@ -101,6 +101,10 @@ func (m *Machine) execBoosted(in *ir.Instr, t int64) (event, error) {
 	m.curLvl = 0
 	if d, ok := in.Def(); ok {
 		if exc != ir.ExcNone {
+			m.stats.TagSets++
+			if m.trace != nil {
+				m.trace.FlowStart(int64(in.PC), traceSlot(in), t)
+			}
 			m.boost.write(lvl, d, 0, exc, int64(in.PC))
 		} else {
 			m.boost.write(lvl, d, val, ir.ExcNone, 0)
@@ -121,11 +125,16 @@ func (m *Machine) execBoostedStore(in *ir.Instr, t int64) (event, error) {
 	e := Entry{Addr: addr, Size: size, Data: data, Level: in.BoostLevel}
 	if fault := m.Mem.Check(addr, size); fault != nil {
 		e.ExcSet, e.ExcKind, e.ExcPC = true, fault.Kind, int64(in.PC)
+		m.stats.TagSets++
+		if m.trace != nil {
+			m.trace.FlowStart(int64(in.PC), traceSlot(in), t)
+		}
 	}
 	t2, err := m.buf.insert(t, e, m.Mem)
 	if err != nil {
 		return event{}, err
 	}
+	m.noteBufInsert(t2)
 	return event{stall: t2 - t}, nil
 }
 

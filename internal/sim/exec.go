@@ -176,6 +176,10 @@ func (m *Machine) execValue(in *ir.Instr, t int64, usesTags bool) (event, error)
 			// destination's tag is set and the first tagged source's data
 			// (the excepting PC) is copied through.
 			tg := m.tag(srcTag)
+			m.stats.TagPropagations++
+			if m.trace != nil {
+				m.trace.FlowStep(m.Raw(srcTag), traceSlot(in), t)
+			}
 			m.SetRaw(in.Dest, m.Raw(srcTag))
 			m.setTag(in.Dest, tg)
 			m.setReady(in.Dest, t+lat)
@@ -187,6 +191,10 @@ func (m *Machine) execValue(in *ir.Instr, t int64, usesTags bool) (event, error)
 				// Table 1, spec=1 row: tag set, data = PC of I, no signal.
 				if !m.pcq.Contains(in.PC) {
 					return event{}, fmt.Errorf("sim: pc %d aged out of the PC history queue", in.PC)
+				}
+				m.stats.TagSets++
+				if m.trace != nil {
+					m.trace.FlowStart(int64(in.PC), traceSlot(in), t)
 				}
 				m.SetRaw(in.Dest, int64(in.PC))
 				m.setTag(in.Dest, Tag{Set: true, Kind: exc})
@@ -248,6 +256,7 @@ func (m *Machine) execStore(in *ir.Instr, t int64, usesTags bool) (event, error)
 		if err != nil {
 			return event{}, err
 		}
+		m.noteBufInsert(t2)
 		return event{stall: t2 - t}, nil
 	}
 
@@ -262,15 +271,37 @@ func (m *Machine) execStore(in *ir.Instr, t int64, usesTags bool) (event, error)
 		// into the probationary entry.
 		tg := m.tag(srcTag)
 		e.ExcSet, e.ExcKind, e.ExcPC = true, tg.Kind, m.Raw(srcTag)
+		m.stats.TagPropagations++
+		if m.trace != nil {
+			m.trace.FlowStep(e.ExcPC, traceSlot(in), t)
+		}
 	case fault != nil:
 		// Table 2 row 101: record the store's own exception.
 		e.ExcSet, e.ExcKind, e.ExcPC = true, fault.Kind, int64(in.PC)
+		m.stats.TagSets++
+		if m.trace != nil {
+			m.trace.FlowStart(int64(in.PC), traceSlot(in), t)
+		}
 	}
 	t2, err := m.buf.insert(t, e, m.Mem)
 	if err != nil {
 		return event{}, err
 	}
+	m.noteBufInsert(t2)
 	return event{stall: t2 - t}, nil
+}
+
+// noteBufInsert records store-buffer occupancy observability after an
+// insert completing at time t: the high-water mark (occupancy only grows at
+// inserts) and, when tracing, a counter-track sample.
+func (m *Machine) noteBufInsert(t int64) {
+	n := int64(m.buf.Len())
+	if n > m.stats.StoreBufferHighWater {
+		m.stats.StoreBufferHighWater = n
+	}
+	if m.trace != nil {
+		m.trace.Counter("store-buffer", t, n)
+	}
 }
 
 // setReady records the scoreboard availability time of a destination.

@@ -18,6 +18,7 @@ import (
 	"sentinel/internal/ir"
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 )
 
@@ -62,16 +63,28 @@ type Options struct {
 	MaxInstrs int64
 	// Handler is consulted on signalled exceptions; nil aborts.
 	Handler Handler
+	// Trace, when non-nil, receives one Chrome trace-event slice per issued
+	// instruction (a track per issue slot), store-buffer occupancy samples,
+	// and flow events linking each speculative exception to the sentinel
+	// that signals it. Every hook is behind a nil check: a nil Trace costs
+	// one pointer compare per instruction.
+	Trace *obs.Tracer
 }
 
 // Result is the outcome of a simulated run.
 type Result struct {
-	Cycles     int64
-	Instrs     int64
-	Stalls     int64 // cycles lost to interlocks and store-buffer pressure
+	Cycles int64
+	Instrs int64
+	// Stalls aggregates interlock and store-buffer stall cycles; Stats
+	// carries the per-cause breakdown (Stalls == Stats.Stalls()).
+	Stalls     int64
 	Out        []int64
 	MemSum     uint64
 	Exceptions []Exception // signalled exceptions that were recovered
+	// Stats is the per-run observability breakdown: stall causes,
+	// speculation and sentinel activity, occupancy high-water marks, and
+	// the dynamic opcode mix.
+	Stats obs.SimStats
 }
 
 // Machine is the simulated processor state.
@@ -91,7 +104,17 @@ type Machine struct {
 	out     []int64
 
 	instrs int64
-	stalls int64
+	stats  obs.SimStats
+	trace  *obs.Tracer // nil unless Options.Trace was set
+}
+
+// traceSlot maps an instruction to its trace track: its issue slot, or 0
+// for unscheduled programs (Slot < 0).
+func traceSlot(in *ir.Instr) int {
+	if in.Slot < 0 {
+		return 0
+	}
+	return in.Slot
 }
 
 // Raw reads a register's data field as raw bits (the data field carries the
@@ -171,6 +194,7 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 	if md.Model == machine.Boosting {
 		m.boost = newShadowFile(md.BoostLevels)
 	}
+	m.trace = opts.Trace
 	res := &Result{}
 
 	// lookupPC maps a PC to its (block, instruction) position for recovery
@@ -241,10 +265,19 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 				}
 			}
 			if t > tSched {
-				m.stalls += t - tSched
+				m.stats.InterlockStalls += t - tSched
 				blockStart += t - tSched // in-order: the whole stream slips
 			}
 			last = t
+
+			m.stats.OpMix[in.Op]++
+			if in.Spec {
+				m.stats.SpecOps++
+			}
+			if m.trace != nil {
+				m.trace.Slice(traceSlot(in), in.Op.String(), t,
+					int64(machine.Latency(in.Op)), in.PC, in.Spec)
+			}
 
 			ev, err := m.exec(in, t)
 			if err != nil {
@@ -252,11 +285,18 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 				return res, err
 			}
 			if ev.stall > 0 {
-				m.stalls += ev.stall
+				m.stats.StoreBufferStalls += ev.stall
 				blockStart += ev.stall
 				last = t + ev.stall
 			}
 			if ev.signalled {
+				m.stats.SentinelSignals++
+				if in.Op == ir.Check {
+					m.stats.CheckFires++
+				}
+				if m.trace != nil {
+					m.trace.FlowEnd(int64(ev.reportPC), traceSlot(in), t)
+				}
 				exc := Exception{ReportedPC: ev.reportPC, ByPC: in.PC, Kind: ev.kind, Cycle: t}
 				if opts.Handler == nil || !opts.Handler(exc, m) {
 					res.Cycles = t
@@ -284,6 +324,8 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 				if ir.IsBranch(in.Op) {
 					m.buf.cancelProbationary()
 				}
+				m.stats.BranchRedirects++
+				m.stats.RedirectCycles += machine.BranchTakenPenalty
 				redirect = p.BlockIndex(ev.target)
 				now = t + 1 + machine.BranchTakenPenalty
 				break
@@ -327,8 +369,12 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 }
 
 func finishResult(res *Result, m *Machine) {
+	// The PC queue only ever fills (a ring of issued PCs), so its final
+	// length is its high-water mark — recorded here, off the hot path.
+	m.stats.PCQueueHighWater = int64(m.pcq.Len())
 	res.Instrs = m.instrs
-	res.Stalls = m.stalls
+	res.Stats = m.stats
+	res.Stalls = m.stats.Stalls()
 	res.Out = m.out
 	res.MemSum = m.Mem.Checksum()
 }

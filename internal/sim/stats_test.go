@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/obs"
+	"sentinel/internal/prog"
+)
+
+// TestStallCauseSplitInterlock provokes a pure scoreboard interlock (a
+// load's consumer scheduled one cycle early) and requires the breakdown to
+// attribute every stall cycle to interlocks, none to the store buffer, with
+// the compatibility aggregate equal to the sum.
+func TestStallCauseSplitInterlock(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int) *ir.Instr {
+		in.Cycle, in.Slot = cyc, slot
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		mk(ir.LI(ir.R(2), 0x1000), 0, 0),
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), 1, 0),
+		// Mis-scheduled: uses r1 one cycle too early (load latency 2).
+		mk(ir.ALUI(ir.Add, ir.R(3), ir.R(1), 0), 2, 0),
+		mk(ir.HALT(), 3, 0),
+	)
+	p.Layout()
+	m := mem.New()
+	m.Map("d", 0x1000, 8)
+	res, err := Run(p, machine.Base(1, machine.Restricted), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.InterlockStalls == 0 {
+		t.Error("expected interlock stalls")
+	}
+	if res.Stats.StoreBufferStalls != 0 {
+		t.Errorf("store-buffer stalls = %d, want 0 (no store pressure in this program)",
+			res.Stats.StoreBufferStalls)
+	}
+	if got := res.Stats.Stalls(); res.Stalls != got {
+		t.Errorf("aggregate Stalls %d != breakdown sum %d", res.Stalls, got)
+	}
+}
+
+// TestStallCauseSplitStoreBuffer provokes pure store-buffer pressure: four
+// stores issued in one cycle against a 2-entry buffer, with r0-relative
+// addressing so the scoreboard never interlocks. The breakdown must charge
+// the store buffer and only the store buffer.
+func TestStallCauseSplitStoreBuffer(t *testing.T) {
+	mk := func(in *ir.Instr, cyc, slot int) *ir.Instr {
+		in.Cycle, in.Slot = cyc, slot
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		mk(ir.STORE(ir.St, ir.R(0), 0x1000, ir.R(0)), 0, 0),
+		mk(ir.STORE(ir.St, ir.R(0), 0x1008, ir.R(0)), 0, 1),
+		mk(ir.STORE(ir.St, ir.R(0), 0x1010, ir.R(0)), 0, 2),
+		mk(ir.STORE(ir.St, ir.R(0), 0x1018, ir.R(0)), 0, 3),
+		mk(ir.HALT(), 1, 0),
+	)
+	p.Layout()
+	m := mem.New()
+	m.Map("d", 0x1000, 64)
+	md := machine.Base(8, machine.Restricted)
+	md.StoreBuffer = 2
+	res, err := Run(p, md, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.StoreBufferStalls == 0 {
+		t.Error("expected store-buffer stalls with 4 same-cycle stores into a 2-entry buffer")
+	}
+	if res.Stats.InterlockStalls != 0 {
+		t.Errorf("interlock stalls = %d, want 0 (all operands are r0)", res.Stats.InterlockStalls)
+	}
+	if got := res.Stats.Stalls(); res.Stalls != got {
+		t.Errorf("aggregate Stalls %d != breakdown sum %d", res.Stalls, got)
+	}
+	if res.Stats.StoreBufferHighWater != 2 {
+		t.Errorf("store-buffer high-water = %d, want 2 (the full buffer)", res.Stats.StoreBufferHighWater)
+	}
+}
+
+// sentinelPairProgram builds the canonical sentinel pair: a speculative
+// faulting load whose exception propagates through a speculative add and is
+// signalled by an explicit check_exception.
+func sentinelPairProgram() (*prog.Program, *mem.Memory) {
+	mk := func(in *ir.Instr, spec bool) *ir.Instr {
+		in.Spec = spec
+		return in
+	}
+	p := prog.NewProgram()
+	p.AddBlock("main",
+		mk(ir.LI(ir.R(2), 0x9000), false), // unmapped: the load faults
+		mk(ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0), true),
+		mk(ir.ALUI(ir.Add, ir.R(3), ir.R(1), 1), true),
+		mk(ir.CHECK(ir.R(3)), false),
+		mk(ir.HALT(), false),
+	)
+	p.Layout()
+	return p, mem.New()
+}
+
+// TestStatsSentinelActivity pins the tag/signal counters on the canonical
+// sentinel pair: one tag set, one propagation, one signal, fired by
+// check_exception.
+func TestStatsSentinelActivity(t *testing.T) {
+	p, m := sentinelPairProgram()
+	res, err := Run(p, machine.Base(8, machine.Sentinel), m, Options{})
+	if _, ok := Unhandled(err); !ok {
+		t.Fatalf("err = %v, want unhandled exception", err)
+	}
+	s := res.Stats
+	if s.TagSets != 1 || s.TagPropagations != 1 || s.SentinelSignals != 1 || s.CheckFires != 1 {
+		t.Errorf("sentinel activity = tags %d props %d signals %d checks %d, want 1/1/1/1",
+			s.TagSets, s.TagPropagations, s.SentinelSignals, s.CheckFires)
+	}
+	if s.SpecOps != 2 {
+		t.Errorf("spec ops = %d, want 2", s.SpecOps)
+	}
+	if s.OpMix[ir.Ld] != 1 || s.OpMix[ir.Check] != 1 {
+		t.Errorf("op mix: ld %d check %d, want 1/1", s.OpMix[ir.Ld], s.OpMix[ir.Check])
+	}
+	if !strings.Contains(s.String(), "1 signalled (1 by check_exception)") {
+		t.Errorf("stats text missing signal line:\n%s", s.String())
+	}
+}
+
+// traceEvent mirrors the Chrome trace-event fields the schema test checks.
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	Name string         `json:"name"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   *int64         `json:"ts"`
+	Dur  int64          `json:"dur"`
+	ID   int64          `json:"id"`
+	BP   string         `json:"bp"`
+	Args map[string]any `json:"args"`
+}
+
+// TestTraceChromeSchema validates that a traced run emits well-formed
+// Chrome trace-event JSON: the document parses, duration events carry
+// ts/pid/tid, and the sentinel pair produced a complete flow (start at the
+// speculative faulting op, step at the propagation, end at the sentinel)
+// sharing the excepting PC as the flow id.
+func TestTraceChromeSchema(t *testing.T) {
+	p, m := sentinelPairProgram()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	res, err := Run(p, machine.Base(8, machine.Sentinel), m, Options{Trace: tr})
+	if _, ok := Unhandled(err); !ok {
+		t.Fatalf("err = %v, want unhandled exception", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid Chrome trace-event JSON: %v\n%s", err, buf.String())
+	}
+	var flows = map[string]int{}
+	var flowID int64 = -1
+	slices := 0
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Ts == nil || e.Pid != 1 || e.Tid < 0 || e.Name == "" {
+				t.Errorf("malformed slice: %+v", e)
+			}
+		case "s", "t", "f":
+			flows[e.Ph]++
+			if flowID == -1 {
+				flowID = e.ID
+			} else if e.ID != flowID {
+				t.Errorf("flow id %d != %d: one sentinel pair must share one id", e.ID, flowID)
+			}
+			if e.Ph == "f" && e.BP != "e" {
+				t.Errorf("flow end missing bp:e: %+v", e)
+			}
+		}
+	}
+	if slices != int(res.Instrs) {
+		t.Errorf("slices = %d, want one per dynamic instruction (%d)", slices, res.Instrs)
+	}
+	// One sentinel pair → at least one complete flow: start, step, end.
+	if flows["s"] < 1 || flows["t"] < 1 || flows["f"] < 1 {
+		t.Errorf("flow events s/t/f = %d/%d/%d, want >=1 each", flows["s"], flows["t"], flows["f"])
+	}
+	if s := res.Stats; int64(flows["f"]) != s.SentinelSignals {
+		t.Errorf("flow ends %d != sentinel signals %d", flows["f"], s.SentinelSignals)
+	}
+}
+
+// TestTraceDoesNotPerturbResult runs the same program traced and untraced
+// and requires identical architectural and timing results — the "no
+// observer effect" contract the paperfigs CI job checks end to end.
+func TestTraceDoesNotPerturbResult(t *testing.T) {
+	build := func() (*prog.Program, *mem.Memory) {
+		p := prog.NewProgram()
+		p.AddBlock("entry", ir.LI(ir.R(2), 0x1000), ir.LI(ir.R(8), 0))
+		p.AddBlock("loop",
+			ir.STORE(ir.St, ir.R(2), 0, ir.R(8)),
+			ir.LOAD(ir.Ld, ir.R(3), ir.R(2), 0),
+			ir.ALUI(ir.Add, ir.R(8), ir.R(8), 1),
+			ir.BRI(ir.Blt, ir.R(8), 100, "loop"),
+		)
+		p.AddBlock("done", ir.JSR("putint", ir.R(3)), ir.HALT())
+		p.Layout()
+		m := mem.New()
+		m.Map("d", 0x1000, 8)
+		return p, m
+	}
+	md := machine.Base(8, machine.Sentinel)
+	p1, m1 := build()
+	plain, err := Run(p1, md, m1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, m2 := build()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	traced, err := Run(p2, md, m2, Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Cycles != traced.Cycles || plain.Instrs != traced.Instrs ||
+		plain.Stalls != traced.Stalls || plain.MemSum != traced.MemSum {
+		t.Errorf("traced run differs: %+v vs %+v", plain, traced)
+	}
+	if plain.Stats != traced.Stats {
+		t.Errorf("traced stats differ:\n%v\nvs\n%v", plain.Stats, traced.Stats)
+	}
+}
