@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// benchRecord is one benchmark measurement in the BENCH_*.json files CI
+// gates on: scripts/benchgate.py compares ns_per_op against the committed
+// baseline and fails the build on a >20% regression.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iters       int     `json:"iters"`
+}
+
+func record(name string, r testing.BenchmarkResult) benchRecord {
+	return benchRecord{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iters:       r.N,
+	}
+}
+
+// benchFormed builds, profiles and forms one workload kernel — everything
+// upstream of the scheduler, excluded from the measured region.
+func benchFormed(name string) (*prog.Program, *mem.Memory, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("benchjson: unknown workload %q", name)
+	}
+	p, m := w.Build()
+	p.Layout()
+	ref, err := prog.Run(p, m.Clone(), prog.Options{Collect: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	f := superblock.Form(p, ref.Profile, superblock.Options{})
+	f.Layout()
+	return f, m, nil
+}
+
+// writeBenchJSON measures the two dense-index hot paths — list scheduling
+// and the simulator inner loop — on the kernels with the largest superblocks
+// and writes BENCH_schedule.json and BENCH_sim.json into dir. The files are
+// the perf trajectory of the repo: CI regenerates them and gates merges on
+// ns_per_op regressions against the committed baselines.
+func writeBenchJSON(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	var schedRecs []benchRecord
+	for _, name := range []string{"nasa7", "tomcatv", "doduc", "espresso", "cmp"} {
+		md := machine.Base(8, machine.SentinelStores)
+		f, _, err := benchFormed(name)
+		if err != nil {
+			return err
+		}
+		var serr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Schedule(f, md); err != nil {
+					serr = err
+					b.FailNow()
+				}
+			}
+		})
+		if serr != nil {
+			return serr
+		}
+		schedRecs = append(schedRecs, record("ScheduleBlock/"+name, r))
+	}
+	{
+		md := machine.Base(8, machine.Sentinel).WithRecovery()
+		f, _, err := benchFormed("nasa7")
+		if err != nil {
+			return err
+		}
+		var serr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Schedule(f, md); err != nil {
+					serr = err
+					b.FailNow()
+				}
+			}
+		})
+		if serr != nil {
+			return serr
+		}
+		schedRecs = append(schedRecs, record("ScheduleRecovery/nasa7", r))
+	}
+
+	var simRecs []benchRecord
+	for _, name := range []string{"nasa7", "tomcatv", "doduc", "wc"} {
+		md := machine.Base(8, machine.SentinelStores)
+		f, m, err := benchFormed(name)
+		if err != nil {
+			return err
+		}
+		sched, _, err := core.Schedule(f, md)
+		if err != nil {
+			return err
+		}
+		idx := sim.NewProgIndex(sched)
+		var serr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sched, md, m.Clone(), sim.Options{Index: idx}); err != nil {
+					serr = err
+					b.FailNow()
+				}
+			}
+		})
+		if serr != nil {
+			return serr
+		}
+		simRecs = append(simRecs, record("SimRun/"+name, r))
+	}
+
+	for _, f := range []struct {
+		name string
+		recs []benchRecord
+	}{
+		{"BENCH_schedule.json", schedRecs},
+		{"BENCH_sim.json", simRecs},
+	} {
+		data, err := json.MarshalIndent(f.recs, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, f.name), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -107,6 +107,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print runner cache/utilization metrics to stderr after the run")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON of one benchmark cell to this file (see -tracebench)")
 	traceBench := flag.String("tracebench", "cmp", "benchmark to trace with -trace (sentinel+stores, issue 8)")
+	benchJSON := flag.String("benchjson", "", "measure the schedule/sim hot paths and write BENCH_schedule.json and BENCH_sim.json into this directory")
 	var prof obs.Profiles
 	flag.StringVar(&prof.CPUFile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&prof.MemFile, "memprofile", "", "write a pprof heap profile to this file on exit")
@@ -115,6 +116,13 @@ func main() {
 
 	if *all {
 		s = sections{true, true, true, true, true, true, true, true, true}
+	}
+	if !s.any() && *benchJSON != "" {
+		// Benchmark-only invocation: no figure output, just the JSON files.
+		if err := writeBenchJSON(*benchJSON); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if !s.any() {
 		flag.Usage()
@@ -141,6 +149,11 @@ func main() {
 	// (the CI "no observer effect" job and TestObserverEffect pin this).
 	if *trace != "" {
 		if err := writeTrace(r, *traceBench, *trace); err != nil {
+			fatal(err)
+		}
+	}
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON); err != nil {
 			fatal(err)
 		}
 	}

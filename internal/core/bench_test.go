@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// benchFormed builds and superblock-forms one workload kernel, returning the
+// scheduler's input program. The heavy lifting (profiling, formation) is out
+// of the measured loop.
+func benchFormed(b *testing.B, name string) *prog.Program {
+	b.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown workload %q", name)
+	}
+	p, m := w.Build()
+	p.Layout()
+	ref, err := prog.Run(p, m, prog.Options{Collect: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := superblock.Form(p, ref.Profile, superblock.Options{})
+	f.Layout()
+	return f
+}
+
+// BenchmarkScheduleBlock measures list-scheduling throughput on the kernels
+// with the largest formed superblocks (nasa7: 134 instructions, tomcatv:
+// 119, doduc: 109, espresso: 53, cmp: 45), under the model that exercises
+// every scheduler feature (sentinel + speculative stores). These are the
+// perf-trajectory benchmarks recorded in BENCH_schedule.json; CI fails on a
+// >20% ns/op regression against the committed baseline.
+func BenchmarkScheduleBlock(b *testing.B) {
+	for _, name := range []string{"nasa7", "tomcatv", "doduc", "espresso", "cmp"} {
+		b.Run(name, func(b *testing.B) {
+			f := benchFormed(b, name)
+			md := machine.Base(8, machine.SentinelStores)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Schedule(f, md); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleRecovery measures the recovery-constrained scheduler
+// (dynamic region tracking is its own hot path) on the largest kernel.
+func BenchmarkScheduleRecovery(b *testing.B) {
+	f := benchFormed(b, "nasa7")
+	md := machine.Base(8, machine.Sentinel).WithRecovery()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Schedule(f, md); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

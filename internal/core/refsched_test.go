@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// progsEqual compares two scheduled programs instruction by instruction,
+// including the schedule coordinates, and reports the first difference.
+func progsEqual(a, b *prog.Program) error {
+	if len(a.Blocks) != len(b.Blocks) {
+		return fmt.Errorf("block count %d != %d", len(a.Blocks), len(b.Blocks))
+	}
+	for bi, ba := range a.Blocks {
+		bb := b.Blocks[bi]
+		if ba.Label != bb.Label {
+			return fmt.Errorf("block %d label %q != %q", bi, ba.Label, bb.Label)
+		}
+		if len(ba.Instrs) != len(bb.Instrs) {
+			return fmt.Errorf("block %q: %d instrs != %d", ba.Label, len(ba.Instrs), len(bb.Instrs))
+		}
+		for i, ia := range ba.Instrs {
+			ib := bb.Instrs[i]
+			if ia.Op != ib.Op || ia.Dest != ib.Dest || ia.Src1 != ib.Src1 ||
+				ia.Src2 != ib.Src2 || ia.Imm != ib.Imm || ia.Target != ib.Target ||
+				ia.Spec != ib.Spec || ia.BoostLevel != ib.BoostLevel ||
+				ia.Cycle != ib.Cycle || ia.Slot != ib.Slot || ia.PC != ib.PC {
+				return fmt.Errorf("block %q instr %d: %v (cycle %d slot %d pc %d spec %v boost %d) != %v (cycle %d slot %d pc %d spec %v boost %d)",
+					ba.Label, i,
+					ia, ia.Cycle, ia.Slot, ia.PC, ia.Spec, ia.BoostLevel,
+					ib, ib.Cycle, ib.Slot, ib.PC, ib.Spec, ib.BoostLevel)
+			}
+		}
+	}
+	return nil
+}
+
+// schedulerModels covers every speculation model plus the recovery and
+// ablation variants the experiments exercise.
+func schedulerModels(width int) []machine.Desc {
+	return []machine.Desc{
+		machine.Base(width, machine.Restricted),
+		machine.Base(width, machine.General),
+		machine.Base(width, machine.Sentinel),
+		machine.Base(width, machine.SentinelStores),
+		machine.Base(width, machine.Boosting),
+		machine.Base(width, machine.Sentinel).WithRecovery(),
+		machine.Base(width, machine.SentinelStores).WithRecovery(),
+		func() machine.Desc {
+			d := machine.Base(width, machine.Sentinel)
+			d.NoSharedSentinels = true
+			return d
+		}(),
+	}
+}
+
+// TestSchedulerMatchesReference is the determinism property test for the
+// heap-based scheduler: on every workload kernel, under every model and two
+// issue widths, Schedule must emit a program byte-identical (opcode, operand,
+// cycle, slot, PC) to the seed scheduler preserved in refsched.go.
+func TestSchedulerMatchesReference(t *testing.T) {
+	for _, w := range workload.All() {
+		p, m := w.Build()
+		p.Layout()
+		ref, err := prog.Run(p, m, prog.Options{Collect: true})
+		if err != nil {
+			t.Fatalf("%s: profile: %v", w.Name, err)
+		}
+		f := superblock.Form(p, ref.Profile, superblock.Options{})
+		f.Layout()
+		for _, width := range []int{2, 8} {
+			for _, md := range schedulerModels(width) {
+				got, gotStats, err1 := Schedule(f, md)
+				want, wantStats, err2 := ScheduleReference(f, md)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s %v w%d: error mismatch: %v vs %v", w.Name, md.Model, width, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if gotStats != wantStats {
+					t.Errorf("%s %v w%d recovery=%v: stats %+v != reference %+v",
+						w.Name, md.Model, width, md.Recovery, gotStats, wantStats)
+				}
+				if err := progsEqual(got, want); err != nil {
+					t.Errorf("%s %v w%d recovery=%v: %v", w.Name, md.Model, width, md.Recovery, err)
+				}
+			}
+		}
+	}
+}
+
+// (Virtual-register handling of the dense builder state is covered at the
+// depgraph level, in TestBuildVirtualRegisters: liveness analysis rejects
+// virtual registers before core.Schedule ever sees them.)

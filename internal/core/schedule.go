@@ -11,6 +11,17 @@
 // confirm_store for stores) is inserted into its home block and added to the
 // unscheduled set; the speculative modifier is set on every instruction that
 // moved above a branch.
+//
+// The scheduler keeps all per-node state in slices indexed by depgraph node
+// ID and drives the cycle loop from two binary heaps: a ready heap ordered
+// by pick priority (under recovery: control first; then critical-path height,
+// original index, protectee-before-sentinel) and a future heap ordered by
+// earliest feasible cycle. Nodes enter the heaps when their last dependence
+// predecessor issues; edges inserted mid-schedule (sentinels, anti edges to
+// later writers of a checked register) bump a per-node generation counter so
+// stale heap entries are discarded on pop. The result is byte-identical to
+// the seed scheduler preserved in refsched.go, which TestSchedulerMatchesReference
+// enforces.
 package core
 
 import (
@@ -164,84 +175,6 @@ type openStore struct {
 	storesSince  int
 }
 
-type scheduler struct {
-	g       *depgraph.Graph
-	pv      *alias.Provenance
-	md      machine.Desc
-	cycleOf map[*depgraph.Node]int
-	slotOf  map[*depgraph.Node]int
-	height  map[*depgraph.Node]int
-	done    map[*depgraph.Node]bool
-	regions []*region
-	stores  []*openStore
-	pairs   map[*depgraph.Node]*depgraph.Node // spec store -> confirm
-	stats   Stats
-}
-
-func scheduleBlock(b *prog.Block, lv *dataflow.Liveness, pv *alias.Provenance, md machine.Desc) (Stats, error) {
-	g := depgraph.Build(b, lv, pv)
-	g.Reduce(md)
-	s := &scheduler{
-		g:       g,
-		pv:      pv,
-		md:      md,
-		cycleOf: map[*depgraph.Node]int{},
-		slotOf:  map[*depgraph.Node]int{},
-		height:  map[*depgraph.Node]int{},
-		done:    map[*depgraph.Node]bool{},
-		pairs:   map[*depgraph.Node]*depgraph.Node{},
-	}
-	s.stats.RemovedControl = g.RemovedControl
-	for _, nd := range g.Nodes {
-		s.computeHeight(nd)
-	}
-	if err := s.run(); err != nil {
-		return s.stats, err
-	}
-	s.emit(b)
-	return s.stats, nil
-}
-
-// computeHeight returns the latency-weighted critical-path height of nd.
-func (s *scheduler) computeHeight(nd *depgraph.Node) int {
-	if h, ok := s.height[nd]; ok {
-		return h
-	}
-	h := machine.Latency(nd.Instr.Op)
-	for _, e := range nd.Out {
-		if c := e.Delay + s.computeHeight(e.To); c > h {
-			h = c
-		}
-	}
-	s.height[nd] = h
-	return h
-}
-
-// ready reports whether nd can issue at the given cycle.
-func (s *scheduler) ready(nd *depgraph.Node, cycle int) bool {
-	for _, e := range nd.In {
-		if !s.done[e.From] || s.cycleOf[e.From]+e.Delay > cycle {
-			return false
-		}
-	}
-	return true
-}
-
-// earliest returns the earliest cycle nd's scheduled predecessors allow, or
-// -1 if some predecessor is unscheduled.
-func (s *scheduler) earliest(nd *depgraph.Node) int {
-	at := 0
-	for _, e := range nd.In {
-		if !s.done[e.From] {
-			return -1
-		}
-		if c := s.cycleOf[e.From] + e.Delay; c > at {
-			at = c
-		}
-	}
-	return at
-}
-
 // deferred classifies why a ready candidate may not issue this cycle.
 type deferReason int
 
@@ -250,6 +183,350 @@ const (
 	deferStoreSep
 	deferRecovery
 )
+
+// heapEnt is one candidate in the ready or future heap. Priority fields are
+// snapshotted at push time (height and the static fields never change after
+// a node is released); gen detects entries staled by mid-schedule edge
+// insertion.
+type heapEnt struct {
+	id       int32
+	gen      int32
+	height   int32
+	index    int32
+	earliest int32
+	ctrl     bool
+	sent     bool
+}
+
+// pairEnt associates a speculative store with its confirm (by node ID).
+type pairEnt struct {
+	store, confirm int32
+}
+
+type scheduler struct {
+	g  *depgraph.Graph
+	pv *alias.Provenance
+	md machine.Desc
+
+	// Per-node state, indexed by depgraph node ID.
+	cycleOf  []int32
+	slotOf   []int32
+	height   []int32
+	done     []bool
+	released []bool
+	indeg    []int32 // unscheduled dependence predecessors
+	gen      []int32 // bumped when a node's release state is invalidated
+
+	readyNow []heapEnt // heap ordered by pick priority
+	future   []heapEnt // heap ordered by earliest feasible cycle
+	stash    []heapEnt // scratch: deferred entries popped during one pick
+
+	// ctrlIdx/branchIdx list the original control/branch node IDs in
+	// program order; ctrlFront is the first possibly-unscheduled control.
+	ctrlIdx   []int32
+	ctrlFront int
+	branchIdx []int32
+	// writers lists the IDs of instructions defining each register, for the
+	// anti-dependence scan when a check_exception is inserted (only built
+	// for tag-based models, which are the only inserters).
+	writers map[ir.Reg][]int32
+
+	cycle       int32
+	unscheduled int
+
+	regions []*region
+	stores  []*openStore
+	pairs   []pairEnt
+	stats   Stats
+}
+
+func scheduleBlock(b *prog.Block, lv *dataflow.Liveness, pv *alias.Provenance, md machine.Desc) (Stats, error) {
+	g := depgraph.Build(b, lv, pv)
+	g.Reduce(md)
+	n := len(g.Nodes)
+	s := &scheduler{
+		g:        g,
+		pv:       pv,
+		md:       md,
+		cycleOf:  make([]int32, n, 2*n),
+		slotOf:   make([]int32, n, 2*n),
+		height:   make([]int32, n, 2*n),
+		done:     make([]bool, n, 2*n),
+		released: make([]bool, n, 2*n),
+		indeg:    make([]int32, n, 2*n),
+		gen:      make([]int32, n, 2*n),
+
+		unscheduled: n,
+	}
+	s.stats.RemovedControl = g.RemovedControl
+
+	// Every edge recorded during Build goes from a smaller to a larger
+	// original index, so reverse ID order is a reverse-topological order and
+	// one backward pass computes all critical-path heights (identical to the
+	// seed's memoized recursion).
+	for i := n - 1; i >= 0; i-- {
+		nd := g.Nodes[i]
+		h := int32(machine.Latency(nd.Instr.Op))
+		for _, e := range nd.Out {
+			if c := int32(e.Delay) + s.height[e.To.ID]; c > h {
+				h = c
+			}
+		}
+		s.height[i] = h
+	}
+
+	for i := 0; i < n; i++ {
+		nd := g.Nodes[i]
+		if ir.IsControl(nd.Instr.Op) {
+			s.ctrlIdx = append(s.ctrlIdx, int32(i))
+			if ir.IsBranch(nd.Instr.Op) {
+				s.branchIdx = append(s.branchIdx, int32(i))
+			}
+		}
+		s.indeg[i] = int32(len(nd.In))
+	}
+	if md.Model.UsesTags() {
+		s.writers = make(map[ir.Reg][]int32)
+		for i := 0; i < n; i++ {
+			if d, ok := g.Nodes[i].Instr.Def(); ok {
+				s.writers[d] = append(s.writers[d], int32(i))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.indeg[i] == 0 {
+			s.release(int32(i))
+		}
+	}
+
+	if err := s.run(); err != nil {
+		return s.stats, err
+	}
+	s.emit(b)
+	return s.stats, nil
+}
+
+// readyLess is the pick priority: under recovery, ready control instructions
+// go first within a cycle (an instruction issued in a later slot of a
+// branch's own cycle is not speculative — a taken branch nullifies it — so
+// fewer restartable regions open, at identical performance); then
+// critical-path height, original program order, and protectee before
+// sentinel. The ID tiebreak reproduces the seed's first-scanned-wins rule.
+func (s *scheduler) readyLess(a, b heapEnt) bool {
+	if s.md.Recovery && a.ctrl != b.ctrl {
+		return a.ctrl
+	}
+	if a.height != b.height {
+		return a.height > b.height
+	}
+	if a.index != b.index {
+		return a.index < b.index
+	}
+	if a.sent != b.sent {
+		return !a.sent
+	}
+	return a.id < b.id
+}
+
+func futureLess(a, b heapEnt) bool {
+	if a.earliest != b.earliest {
+		return a.earliest < b.earliest
+	}
+	return a.id < b.id
+}
+
+func (s *scheduler) pushReady(e heapEnt) {
+	s.readyNow = append(s.readyNow, e)
+	h := s.readyNow
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.readyLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (s *scheduler) popReady() heapEnt {
+	h := s.readyNow
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	s.readyNow = h[:last]
+	h = s.readyNow
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && s.readyLess(h[l], h[m]) {
+			m = l
+		}
+		if r < last && s.readyLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+func (s *scheduler) pushFuture(e heapEnt) {
+	s.future = append(s.future, e)
+	h := s.future
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !futureLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (s *scheduler) popFuture() heapEnt {
+	h := s.future
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	s.future = h[:last]
+	h = s.future
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && futureLess(h[l], h[m]) {
+			m = l
+		}
+		if r < last && futureLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// valid reports whether a heap entry still describes a live candidate: not
+// yet issued, and not staled by a mid-schedule edge insertion.
+func (s *scheduler) valid(e heapEnt) bool {
+	return !s.done[e.id] && s.released[e.id] && s.gen[e.id] == e.gen
+}
+
+// release enters a node whose dependence predecessors have all issued into
+// the ready or future heap, keyed by the earliest cycle they allow.
+func (s *scheduler) release(id int32) {
+	nd := s.g.Nodes[id]
+	at := int32(0)
+	for _, e := range nd.In {
+		if c := s.cycleOf[e.From.ID] + int32(e.Delay); c > at {
+			at = c
+		}
+	}
+	s.released[id] = true
+	ent := heapEnt{
+		id:       id,
+		gen:      s.gen[id],
+		height:   s.height[id],
+		index:    int32(nd.Index),
+		earliest: at,
+		ctrl:     !nd.Sentinel && ir.IsControl(nd.Instr.Op),
+		sent:     nd.Sentinel,
+	}
+	if at <= s.cycle {
+		s.pushReady(ent)
+	} else {
+		s.pushFuture(ent)
+	}
+}
+
+// invalidate marks a released node no longer issuable (an edge was inserted
+// in front of it); any heap entries it has become stale.
+func (s *scheduler) invalidate(id int32) {
+	s.gen[id]++
+	s.released[id] = false
+}
+
+// addNode registers a node inserted mid-schedule (check_exception or
+// confirm_store): grows the per-ID state, computes its height from its
+// successors' memoized heights (the seed never refreshes a predecessor's
+// height after insertion, so neither do we), accounts its edges into the
+// indegree bookkeeping, and releases it if already unblocked.
+func (s *scheduler) addNode(nd *depgraph.Node) {
+	if nd.ID != len(s.done) {
+		panic("core: node IDs out of sync with scheduler state")
+	}
+	h := int32(machine.Latency(nd.Instr.Op))
+	for _, e := range nd.Out {
+		if c := int32(e.Delay) + s.height[e.To.ID]; c > h {
+			h = c
+		}
+	}
+	indeg := int32(0)
+	for _, e := range nd.In {
+		if !s.done[e.From.ID] {
+			indeg++
+		}
+	}
+	s.cycleOf = append(s.cycleOf, 0)
+	s.slotOf = append(s.slotOf, 0)
+	s.height = append(s.height, h)
+	s.done = append(s.done, false)
+	s.released = append(s.released, false)
+	s.indeg = append(s.indeg, indeg)
+	s.gen = append(s.gen, 0)
+	s.unscheduled++
+	// The new node's outgoing edges (to its home block's closing control,
+	// or anti edges to later writers of a checked register) block targets
+	// that may already be released.
+	for _, e := range nd.Out {
+		t := int32(e.To.ID)
+		if s.done[t] {
+			continue
+		}
+		s.indeg[t]++
+		s.invalidate(t)
+	}
+	if indeg == 0 {
+		s.release(int32(nd.ID))
+	}
+}
+
+// promote moves every future entry whose earliest cycle has arrived into the
+// ready heap.
+func (s *scheduler) promote() {
+	for len(s.future) > 0 {
+		top := s.future[0]
+		if !s.valid(top) {
+			s.popFuture()
+			continue
+		}
+		if top.earliest > s.cycle {
+			return
+		}
+		s.pushReady(s.popFuture())
+	}
+}
+
+// futureMin returns the earliest cycle any released-but-not-ready node can
+// issue, or -1 if there is none.
+func (s *scheduler) futureMin() int32 {
+	for len(s.future) > 0 {
+		if top := s.future[0]; s.valid(top) {
+			return top.earliest
+		}
+		s.popFuture()
+	}
+	return -1
+}
 
 func (s *scheduler) deferral(nd *depgraph.Node) deferReason {
 	in := nd.Instr
@@ -311,25 +588,32 @@ func (s *scheduler) storeAliasesRegionLoad(st *ir.Instr) bool {
 
 // speculative reports whether issuing nd now moves it above a branch: some
 // control instruction that precedes it in the original order is still
-// unscheduled.
+// unscheduled. Control instructions never lose their control dependences on
+// one another, so they issue in program order and the first unscheduled
+// entry of ctrlIdx is the minimum unscheduled control index.
 func (s *scheduler) speculative(nd *depgraph.Node) bool {
 	if nd.Sentinel || ir.IsControl(nd.Instr.Op) {
 		return false
 	}
-	for _, other := range s.g.Nodes {
-		if !other.Sentinel && ir.IsControl(other.Instr.Op) &&
-			other.Index < nd.Index && !s.done[other] {
-			return true
-		}
+	for s.ctrlFront < len(s.ctrlIdx) && s.done[s.ctrlIdx[s.ctrlFront]] {
+		s.ctrlFront++
 	}
-	return false
+	return s.ctrlFront < len(s.ctrlIdx) &&
+		s.g.Nodes[s.ctrlIdx[s.ctrlFront]].Index < nd.Index
 }
 
-func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int) {
-	s.done[nd] = true
-	s.cycleOf[nd] = cycle
-	s.slotOf[nd] = slot
+func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int32) {
+	id := int32(nd.ID)
+	s.done[id] = true
+	s.cycleOf[id] = cycle
+	s.slotOf[id] = slot
+	s.unscheduled--
 	in := nd.Instr
+	// Sentinel insertion below appends an edge nd -> sentinel to nd.Out; the
+	// successor-release loop at the end must only walk the edges that existed
+	// while nd was unscheduled (addNode already accounts the new one: edges
+	// from done predecessors are excluded from the sentinel's indegree).
+	nOut := len(nd.Out)
 
 	willSpec := s.speculative(nd)
 
@@ -344,8 +628,9 @@ func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int) {
 			closed := rg.confirm == nd ||
 				(!nd.Sentinel && ir.IsControl(in.Op) && rg.homeEnd == nd.Index)
 			if !closed && !willSpec && !ir.IsControl(in.Op) {
-				for _, u := range in.Uses() {
-					if rg.watch.Has(u) {
+				u1, u2 := in.Uses2()
+				for _, u := range [2]ir.Reg{u1, u2} {
+					if u.Valid() && rg.watch.Has(u) {
 						closed = true // this instruction is the sentinel
 						break
 					}
@@ -400,8 +685,8 @@ func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int) {
 		case ir.IsStore(in.Op):
 			// Only SentinelStores allows this; the confirm is the sentinel.
 			confirm = s.g.InsertConfirm(nd)
-			s.computeHeight(confirm)
-			s.pairs[nd] = confirm
+			s.addNode(confirm)
+			s.pairs = append(s.pairs, pairEnt{store: id, confirm: int32(confirm.ID)})
 			s.stores = append(s.stores, &openStore{store: nd, confirm: confirm})
 			s.stats.Confirms++
 		case usesTags && nd.Unprotected:
@@ -410,16 +695,14 @@ func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int) {
 			// of that register (e.g. an unrolled copy reusing it) may be
 			// scheduled before the check reads it.
 			if d, ok := in.Def(); ok {
-				for _, w := range s.g.Nodes {
-					if w == nd || s.done[w] {
+				for _, w := range s.writers[d] {
+					if w == id || s.done[w] {
 						continue
 					}
-					if wd, wok := w.Instr.Def(); wok && wd == d {
-						s.g.AddAnti(chk, w)
-					}
+					s.g.AddAnti(chk, s.g.Nodes[w])
 				}
 			}
-			s.computeHeight(chk)
+			s.addNode(chk)
 			s.stats.Sentinels++
 		}
 	}
@@ -432,7 +715,11 @@ func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int) {
 		// memory inputs the region must preserve.
 		for _, rg := range s.regions {
 			readsWatch := false
-			for _, u := range in.Uses() {
+			u1, u2 := in.Uses2()
+			for _, u := range [2]ir.Reg{u1, u2} {
+				if !u.Valid() {
+					continue
+				}
 				rg.protected.Add(u)
 				if rg.watch.Has(u) {
 					readsWatch = true
@@ -462,8 +749,11 @@ func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int) {
 			if d, ok := in.Def(); ok {
 				rg.watch.Add(d)
 			}
-			for _, u := range in.Uses() {
-				rg.protected.Add(u)
+			u1, u2 := in.Uses2()
+			for _, u := range [2]ir.Reg{u1, u2} {
+				if u.Valid() {
+					rg.protected.Add(u)
+				}
 			}
 			if ir.IsLoad(in.Op) {
 				rg.loads = append(rg.loads, regionLoad{
@@ -475,53 +765,48 @@ func (s *scheduler) issue(nd *depgraph.Node, cycle, slot int) {
 			s.regions = append(s.regions, rg)
 		}
 	}
+
+	// Releasing successors comes after any sentinel insertion so a target
+	// of both nd and a just-inserted edge is never released prematurely.
+	for _, e := range nd.Out[:nOut] {
+		t := int32(e.To.ID)
+		if s.done[t] {
+			continue
+		}
+		if s.indeg[t]--; s.indeg[t] == 0 {
+			s.release(t)
+		}
+	}
 }
 
 // run performs the cycle-driven list scheduling loop.
 func (s *scheduler) run() error {
-	cycle := 0
+	s.cycle = 0
 	guard := 0
-	for {
-		unscheduled := 0
-		for _, nd := range s.g.Nodes {
-			if !s.done[nd] {
-				unscheduled++
-			}
-		}
-		if unscheduled == 0 {
-			return nil
-		}
+	for s.unscheduled > 0 {
 		if guard++; guard > 1000000 {
 			return fmt.Errorf("scheduler did not converge")
 		}
+		s.promote()
 
-		issued := 0
-		for issued < s.md.IssueWidth {
-			cand := s.pick(cycle)
+		issued := int32(0)
+		for issued < int32(s.md.IssueWidth) {
+			cand := s.pick()
 			if cand == nil {
 				break
 			}
-			s.issue(cand, cycle, issued)
+			s.issue(cand, s.cycle, issued)
 			issued++
 		}
 		if issued > 0 {
-			cycle++
+			s.cycle++
 			continue
 		}
 
 		// Nothing issued: either wait for latencies, or we are blocked on
 		// deferrals, or the graph is cyclic.
-		next := -1
-		for _, nd := range s.g.Nodes {
-			if s.done[nd] {
-				continue
-			}
-			if at := s.earliest(nd); at > cycle && (next == -1 || at < next) {
-				next = at
-			}
-		}
-		if next > cycle {
-			cycle = next
+		if next := s.futureMin(); next > s.cycle {
+			s.cycle = next
 			continue
 		}
 		// Deferred candidates are ready but held back. Force the
@@ -529,60 +814,70 @@ func (s *scheduler) run() error {
 		// sacrifices restartability of the affected region (counted), never
 		// architectural correctness. A forced store-separation violation
 		// could deadlock the store buffer, so it is an error instead.
-		if cand := s.pickDeferred(cycle, deferRecovery); cand != nil {
+		if cand := s.pickDeferred(deferRecovery); cand != nil {
 			s.stats.ForcedIssues++
-			s.issue(cand, cycle, 0)
-			cycle++
+			s.issue(cand, s.cycle, 0)
+			s.cycle++
 			continue
 		}
-		if s.pickDeferred(cycle, deferStoreSep) != nil {
+		if s.pickDeferred(deferStoreSep) != nil {
 			return fmt.Errorf("store-buffer separation constraint is unsatisfiable (buffer size %d)", s.md.StoreBuffer)
 		}
 		return fmt.Errorf("dependence cycle detected")
 	}
+	return nil
 }
 
-// pick returns the best ready, non-deferred candidate at cycle, or nil.
-// Under recovery constraints, ready control instructions go first within a
-// cycle: an instruction issued in a later slot of a branch's own cycle is
-// not speculative (a taken branch nullifies it), so fewer restartable
-// regions open — at identical performance.
-func (s *scheduler) pick(cycle int) *depgraph.Node {
-	var best *depgraph.Node
-	for _, nd := range s.g.Nodes {
-		if s.done[nd] || !s.ready(nd, cycle) || s.deferral(nd) != deferNo {
+// pick pops the best ready, non-deferred candidate, or nil. Deferred
+// entries are stashed and re-pushed: deferral state changes with every
+// issue, so they are re-examined at the next pick.
+func (s *scheduler) pick() *depgraph.Node {
+	var chosen *depgraph.Node
+	for len(s.readyNow) > 0 {
+		ent := s.popReady()
+		if !s.valid(ent) {
 			continue
 		}
-		if s.md.Recovery {
-			bc := best != nil && ir.IsControl(best.Instr.Op)
-			nc := ir.IsControl(nd.Instr.Op)
-			if nc != bc {
-				if nc {
-					best = nd
-				}
-				continue
-			}
+		nd := s.g.Nodes[ent.id]
+		if s.deferral(nd) != deferNo {
+			s.stash = append(s.stash, ent)
+			continue
 		}
-		if best == nil || s.better(nd, best) {
-			best = nd
-		}
+		chosen = nd
+		break
 	}
-	return best
+	for _, ent := range s.stash {
+		s.pushReady(ent)
+	}
+	s.stash = s.stash[:0]
+	return chosen
 }
 
 // pickDeferred returns the best ready candidate held back for the given
-// reason.
-func (s *scheduler) pickDeferred(cycle int, reason deferReason) *depgraph.Node {
-	var best *depgraph.Node
-	for _, nd := range s.g.Nodes {
-		if s.done[nd] || !s.ready(nd, cycle) || s.deferral(nd) != reason {
+// reason. Deferred candidates are never control instructions (controls
+// define no registers, do not store, and are not self-modifying), so the
+// plain heap order coincides with the seed's better-order among them even
+// under recovery's control-first rule.
+func (s *scheduler) pickDeferred(reason deferReason) *depgraph.Node {
+	var chosen *depgraph.Node
+	for len(s.readyNow) > 0 {
+		ent := s.popReady()
+		if !s.valid(ent) {
 			continue
 		}
-		if best == nil || s.better(nd, best) {
-			best = nd
+		s.stash = append(s.stash, ent)
+		if chosen == nil && s.deferral(s.g.Nodes[ent.id]) == reason {
+			chosen = s.g.Nodes[ent.id]
 		}
 	}
-	return best
+	for _, ent := range s.stash {
+		if chosen != nil && ent.id == int32(chosen.ID) {
+			continue
+		}
+		s.pushReady(ent)
+	}
+	s.stash = s.stash[:0]
+	return chosen
 }
 
 // pendingBranchesAbove counts the conditional branches that precede nd in
@@ -590,59 +885,50 @@ func (s *scheduler) pickDeferred(cycle int, reason deferReason) *depgraph.Node {
 // nd's result must survive (its boost level).
 func (s *scheduler) pendingBranchesAbove(nd *depgraph.Node) int {
 	n := 0
-	for _, other := range s.g.Nodes {
-		if !other.Sentinel && ir.IsBranch(other.Instr.Op) &&
-			other.Index < nd.Index && !s.done[other] {
+	for _, b := range s.branchIdx {
+		if s.g.Nodes[b].Index >= nd.Index {
+			break
+		}
+		if !s.done[b] {
 			n++
 		}
 	}
 	return n
 }
 
-// better orders candidates by critical-path height, then by original
-// program order for determinism.
-func (s *scheduler) better(a, b *depgraph.Node) bool {
-	ha, hb := s.height[a], s.height[b]
-	if ha != hb {
-		return ha > hb
-	}
-	if a.Index != b.Index {
-		return a.Index < b.Index
-	}
-	// A sentinel shares its protectee's index; schedule the protectee
-	// first (the sentinel depends on it anyway).
-	return !a.Sentinel && b.Sentinel
-}
-
 // emit rewrites the block's instructions in schedule order and resolves
 // confirm_store indices: the number of stores between a speculative store
 // and its confirm in the final schedule (§4.2).
 func (s *scheduler) emit(b *prog.Block) {
-	nodes := make([]*depgraph.Node, len(s.g.Nodes))
-	copy(nodes, s.g.Nodes)
-	sort.Slice(nodes, func(i, j int) bool {
-		ci, cj := s.cycleOf[nodes[i]], s.cycleOf[nodes[j]]
-		if ci != cj {
-			return ci < cj
-		}
-		return s.slotOf[nodes[i]] < s.slotOf[nodes[j]]
-	})
-	instrs := make([]*ir.Instr, len(nodes))
-	pos := map[*depgraph.Node]int{}
-	for i, nd := range nodes {
-		nd.Instr.Cycle = s.cycleOf[nd]
-		nd.Instr.Slot = s.slotOf[nd]
-		instrs[i] = nd.Instr
-		pos[nd] = i
+	n := len(s.g.Nodes)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
 	}
-	for store, confirm := range s.pairs {
-		n := int64(0)
-		for i := pos[store] + 1; i < pos[confirm]; i++ {
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if s.cycleOf[a] != s.cycleOf[c] {
+			return s.cycleOf[a] < s.cycleOf[c]
+		}
+		return s.slotOf[a] < s.slotOf[c]
+	})
+	instrs := make([]*ir.Instr, n)
+	pos := make([]int32, n)
+	for i, id := range order {
+		nd := s.g.Nodes[id]
+		nd.Instr.Cycle = int(s.cycleOf[id])
+		nd.Instr.Slot = int(s.slotOf[id])
+		instrs[i] = nd.Instr
+		pos[id] = int32(i)
+	}
+	for _, pr := range s.pairs {
+		cnt := int64(0)
+		for i := pos[pr.store] + 1; i < pos[pr.confirm]; i++ {
 			if ir.BufferedStore(instrs[i].Op) {
-				n++
+				cnt++
 			}
 		}
-		confirm.Instr.Imm = n
+		s.g.Nodes[pr.confirm].Instr.Imm = cnt
 	}
 	b.Instrs = instrs
 }

@@ -14,6 +14,13 @@
 // order-preserving 0-delay edges are sufficient for anti, output, memory and
 // control dependences, while flow edges carry the producer's latency as a
 // performance (not correctness) hint.
+//
+// Storage layout. Nodes carry a dense ID (position in Graph.Nodes) and live
+// in one arena slice; builder state is indexed by register slot rather than
+// keyed by ir.Reg maps; and the edges recorded during Build share a single
+// backing allocation, with each node's In/Out list a capacity-clamped
+// sub-slice so later insertions (sentinels, anti edges discovered during
+// scheduling) reallocate instead of clobbering a neighbour's region.
 package depgraph
 
 import (
@@ -52,9 +59,13 @@ type Edge struct {
 // Node wraps one instruction of the superblock.
 type Node struct {
 	Instr *ir.Instr
+	// ID is the node's position in Graph.Nodes. It is stable for the life of
+	// the graph (nodes are never removed) and dense, so schedulers can keep
+	// per-node state in plain slices indexed by ID.
+	ID int
 	// Index is the original position within the superblock; inserted
-	// sentinel nodes get the index of the instruction they protect plus a
-	// large offset, and are distinguishable via Sentinel.
+	// sentinel nodes get the index of the instruction they protect, and are
+	// distinguishable via Sentinel.
 	Index int
 	// Sentinel marks nodes inserted during scheduling (check_exception or
 	// confirm_store) rather than present in the original code.
@@ -82,12 +93,34 @@ type Graph struct {
 	Block *prog.Block
 	Nodes []*Node
 
+	// arena backs the nodes in Nodes. It is allocated with room for one
+	// inserted sentinel per original instruction (the scheduler inserts at
+	// most one check or confirm per speculated instruction), so pointers into
+	// it stay valid across InsertSentinel/InsertConfirm.
+	arena []Node
+	// edges backs every *Edge recorded during Build; In/Out hold pointers
+	// into it.
+	edges []Edge
+	// inBack/outBack are the shared backing arrays the per-node In/Out
+	// sub-slices are carved from.
+	inBack, outBack []*Edge
+	// branchPrefix[i] counts conditional branches at original indices < i.
+	branchPrefix []int32
+
 	lv      *dataflow.Liveness
 	pv      *alias.Provenance
 	reduced bool
 	// RemovedControl counts control dependences removed by reduction
 	// (reported by ablation experiments).
 	RemovedControl int
+}
+
+// edgeRec is one dependence recorded during Build, before the shared edge
+// backing is allocated.
+type edgeRec struct {
+	from, to int32
+	delay    int32
+	kind     Kind
 }
 
 // Build constructs the full dependence graph of superblock b (all data,
@@ -97,14 +130,26 @@ type Graph struct {
 func Build(b *prog.Block, lv *dataflow.Liveness, pv *alias.Provenance) *Graph {
 	g := &Graph{Block: b, lv: lv, pv: pv}
 	n := len(b.Instrs)
+	g.arena = make([]Node, n, 2*n)
 	g.Nodes = make([]*Node, n)
 	for i, in := range b.Instrs {
-		g.Nodes[i] = &Node{Instr: in, Index: i, HomeStart: -1, HomeEnd: n}
+		g.arena[i] = Node{Instr: in, ID: i, Index: i, HomeStart: -1, HomeEnd: n}
+		g.Nodes[i] = &g.arena[i]
 	}
 	g.homeBlocks()
-	g.registerDeps()
-	g.memoryDeps()
-	g.controlDeps()
+	g.branchPrefix = make([]int32, n+1)
+	for i, in := range b.Instrs {
+		g.branchPrefix[i+1] = g.branchPrefix[i]
+		if ir.IsBranch(in.Op) {
+			g.branchPrefix[i+1]++
+		}
+	}
+	bd := &builder{g: g}
+	bd.initSlots()
+	bd.registerDeps()
+	bd.memoryDeps()
+	bd.controlDeps()
+	bd.finalize()
 	return g
 }
 
@@ -131,35 +176,82 @@ func (g *Graph) homeBlocks() {
 	}
 }
 
-func (g *Graph) addEdge(from, to *Node, kind Kind, delay int) *Edge {
-	e := &Edge{From: from, To: to, Kind: kind, Delay: delay}
-	from.Out = append(from.Out, e)
-	to.In = append(to.In, e)
-	return e
+// builder holds the register-slot-indexed state used while recording edges.
+// Physical registers map to [0, NumIntRegs+NumFPRegs) via ir.Reg.Index;
+// virtual registers (legal in unallocated input) get slots above that.
+type builder struct {
+	g    *Graph
+	recs []edgeRec
+	virt map[ir.Reg]int32
+	nSlt int
 }
 
-func (g *Graph) registerDeps() {
-	lastDef := map[ir.Reg]*Node{}
-	usesSinceDef := map[ir.Reg][]*Node{}
-	for _, nd := range g.Nodes {
+const physSlots = ir.NumIntRegs + ir.NumFPRegs
+
+// initSlots assigns slots to every virtual register appearing in the block
+// so per-slot state arrays can be sized once.
+func (bd *builder) initSlots() {
+	bd.nSlt = physSlots
+	for _, nd := range bd.g.Nodes {
 		in := nd.Instr
-		for _, u := range in.Uses() {
-			if d := lastDef[u]; d != nil {
-				g.addEdge(d, nd, Flow, machine.Latency(d.Instr.Op))
-			}
-			usesSinceDef[u] = append(usesSinceDef[u], nd)
-		}
-		if d, ok := in.Def(); ok {
-			if prev := lastDef[d]; prev != nil {
-				g.addEdge(prev, nd, Output, 0)
-			}
-			for _, r := range usesSinceDef[d] {
-				if r != nd {
-					g.addEdge(r, nd, Anti, 0)
+		for _, r := range [3]ir.Reg{in.Dest, in.Src1, in.Src2} {
+			if r.Valid() && r.Virtual {
+				if bd.virt == nil {
+					bd.virt = map[ir.Reg]int32{}
+				}
+				if _, ok := bd.virt[r]; !ok {
+					bd.virt[r] = int32(bd.nSlt)
+					bd.nSlt++
 				}
 			}
-			lastDef[d] = nd
-			usesSinceDef[d] = nil
+		}
+	}
+}
+
+func (bd *builder) slot(r ir.Reg) int32 {
+	if r.Virtual {
+		return bd.virt[r]
+	}
+	return int32(r.Index())
+}
+
+func (bd *builder) rec(from, to int, kind Kind, delay int) {
+	bd.recs = append(bd.recs, edgeRec{from: int32(from), to: int32(to),
+		delay: int32(delay), kind: kind})
+}
+
+func (bd *builder) registerDeps() {
+	g := bd.g
+	lastDef := make([]int32, bd.nSlt)
+	for i := range lastDef {
+		lastDef[i] = -1
+	}
+	usesSinceDef := make([][]int32, bd.nSlt)
+	for _, nd := range g.Nodes {
+		in := nd.Instr
+		u1, u2 := in.Uses2()
+		for _, u := range [2]ir.Reg{u1, u2} {
+			if !u.Valid() {
+				continue
+			}
+			s := bd.slot(u)
+			if d := lastDef[s]; d >= 0 {
+				bd.rec(int(d), nd.ID, Flow, machine.Latency(g.Nodes[d].Instr.Op))
+			}
+			usesSinceDef[s] = append(usesSinceDef[s], int32(nd.ID))
+		}
+		if d, ok := in.Def(); ok {
+			s := bd.slot(d)
+			if prev := lastDef[s]; prev >= 0 {
+				bd.rec(int(prev), nd.ID, Output, 0)
+			}
+			for _, r := range usesSinceDef[s] {
+				if int(r) != nd.ID {
+					bd.rec(int(r), nd.ID, Anti, 0)
+				}
+			}
+			lastDef[s] = int32(nd.ID)
+			usesSinceDef[s] = usesSinceDef[s][:0]
 		}
 	}
 }
@@ -184,57 +276,65 @@ func (g *Graph) disjoint(a, b memRef) bool {
 	return g.pv != nil && g.pv.Disjoint(a.base, b.base)
 }
 
-func (g *Graph) memoryDeps() {
-	type baseState struct {
-		version int
-		delta   int64 // accumulated affine offset within this version
-	}
-	state := map[ir.Reg]baseState{}
+func (bd *builder) memoryDeps() {
+	g := bd.g
+	version := make([]int32, bd.nSlt)
+	delta := make([]int64, bd.nSlt)
 	type access struct {
-		node *Node
 		ref  memRef
+		node int32
 	}
 	var loads, stores []access
 	for _, nd := range g.Nodes {
 		in := nd.Instr
 		if ir.IsMem(in.Op) {
-			st := state[in.Src1]
-			ref := memRef{base: in.Src1, version: st.version,
-				lo: in.Imm + st.delta, hi: in.Imm + st.delta + int64(ir.MemSize(in.Op))}
-			a := access{nd, ref}
+			s := bd.slot(in.Src1)
+			ref := memRef{base: in.Src1, version: int(version[s]),
+				lo: in.Imm + delta[s], hi: in.Imm + delta[s] + int64(ir.MemSize(in.Op))}
 			if ir.IsStore(in.Op) {
-				for _, p := range append(loads, stores...) {
+				// A store orders against every prior may-aliasing load and
+				// store. The two slices are walked separately: combining them
+				// with append(loads, stores...) would extend loads' backing
+				// array in place when it has spare capacity, aliasing the
+				// combined view with later appends to loads.
+				for _, p := range loads {
 					if !g.disjoint(p.ref, ref) {
-						g.addEdge(p.node, nd, Mem, 0)
+						bd.rec(int(p.node), nd.ID, Mem, 0)
 					}
 				}
-				stores = append(stores, a)
+				for _, p := range stores {
+					if !g.disjoint(p.ref, ref) {
+						bd.rec(int(p.node), nd.ID, Mem, 0)
+					}
+				}
+				stores = append(stores, access{ref, int32(nd.ID)})
 			} else {
 				for _, p := range stores {
 					if !g.disjoint(p.ref, ref) {
-						g.addEdge(p.node, nd, Mem, 0)
+						bd.rec(int(p.node), nd.ID, Mem, 0)
 					}
 				}
-				loads = append(loads, a)
+				loads = append(loads, access{ref, int32(nd.ID)})
 			}
 		}
 		if d, ok := in.Def(); ok {
+			s := bd.slot(d)
 			if (in.Op == ir.Add || in.Op == ir.Sub) && !in.Src2.Valid() && in.Src1 == d {
-				st := state[d]
 				if in.Op == ir.Add {
-					st.delta += in.Imm
+					delta[s] += in.Imm
 				} else {
-					st.delta -= in.Imm
+					delta[s] -= in.Imm
 				}
-				state[d] = st
 			} else {
-				state[d] = baseState{version: state[d].version + 1}
+				version[s]++
+				delta[s] = 0
 			}
 		}
 	}
 }
 
-func (g *Graph) controlDeps() {
+func (bd *builder) controlDeps() {
+	g := bd.g
 	for ci, c := range g.Nodes {
 		if !ir.IsControl(c.Instr.Op) {
 			continue
@@ -254,7 +354,7 @@ func (g *Graph) controlDeps() {
 			if ir.IsBranch(c.Instr.Op) && ir.Traps(g.Nodes[i].Instr.Op) {
 				delay = machine.Latency(c.Instr.Op)
 			}
-			g.addEdge(c, g.Nodes[i], Control, delay)
+			bd.rec(ci, i, Control, delay)
 		}
 		// Downward-motion restrictions: instructions whose effects must be
 		// architecturally visible if the exit is taken may not sink below
@@ -277,10 +377,68 @@ func (g *Graph) controlDeps() {
 				}
 			}
 			if need {
-				g.addEdge(nd, c, Control, 0)
+				bd.rec(i, ci, Control, 0)
 			}
 		}
 	}
+}
+
+// finalize materializes the recorded edges: one shared Edge arena, and one
+// shared backing array each for the In and Out pointer lists, carved into
+// per-node sub-slices with clamped capacity. A post-Build append to any
+// node's list (sentinel insertion, AddAnti) therefore reallocates that list
+// instead of writing into the next node's region.
+func (bd *builder) finalize() {
+	g := bd.g
+	n := len(g.Nodes)
+	ne := len(bd.recs)
+	g.edges = make([]Edge, ne)
+	inCnt := make([]int32, n)
+	outCnt := make([]int32, n)
+	for _, r := range bd.recs {
+		outCnt[r.from]++
+		inCnt[r.to]++
+	}
+	g.inBack = make([]*Edge, ne)
+	g.outBack = make([]*Edge, ne)
+	inOff, outOff := 0, 0
+	for i, nd := range g.Nodes {
+		nd.In = g.inBack[inOff:inOff : inOff+int(inCnt[i])]
+		nd.Out = g.outBack[outOff:outOff : outOff+int(outCnt[i])]
+		inOff += int(inCnt[i])
+		outOff += int(outCnt[i])
+	}
+	for i, r := range bd.recs {
+		e := &g.edges[i]
+		*e = Edge{From: g.Nodes[r.from], To: g.Nodes[r.to], Kind: r.kind, Delay: int(r.delay)}
+		e.From.Out = append(e.From.Out, e)
+		e.To.In = append(e.To.In, e)
+	}
+}
+
+// addEdge inserts an edge after Build has finalized the shared backing; it
+// allocates the edge individually.
+func (g *Graph) addEdge(from, to *Node, kind Kind, delay int) *Edge {
+	e := &Edge{From: from, To: to, Kind: kind, Delay: delay}
+	from.Out = append(from.Out, e)
+	to.In = append(to.In, e)
+	return e
+}
+
+// newNode appends a sentinel node, preferring the arena's reserved capacity
+// (one slot per original instruction) so node pointers stay stable.
+func (g *Graph) newNode(tpl Node) *Node {
+	tpl.ID = len(g.Nodes)
+	var nd *Node
+	if len(g.arena) < cap(g.arena) {
+		g.arena = append(g.arena, tpl)
+		nd = &g.arena[len(g.arena)-1]
+	} else {
+		nd = new(Node)
+		*nd = tpl
+	}
+	g.Nodes = append(g.Nodes, nd)
+	return nd
 }
 
 // Reduce performs dependence-graph reduction for the given machine (Appendix
@@ -337,15 +495,18 @@ func (g *Graph) Reduce(md machine.Desc) {
 
 // branchesBetween counts conditional branches with original index in
 // [from, to): the number of branches an instruction at to crosses when
-// hoisted above the branch at from.
+// hoisted above the branch at from. Answered from the prefix sums computed
+// during Build (sentinels inserted later never count: they are appended past
+// the prefix range and are not branches).
 func (g *Graph) branchesBetween(from, to int) int {
-	n := 0
-	for i := from; i < to && i < len(g.Nodes); i++ {
-		if ir.IsBranch(g.Nodes[i].Instr.Op) {
-			n++
-		}
+	n := len(g.branchPrefix) - 1
+	if to > n {
+		to = n
 	}
-	return n
+	if from >= to {
+		return 0
+	}
+	return int(g.branchPrefix[to] - g.branchPrefix[from])
 }
 
 func removeEdge(edges []*Edge, e *Edge) []*Edge {
@@ -416,12 +577,8 @@ func (g *Graph) markUnprotected(md machine.Desc) {
 }
 
 func uses(in *ir.Instr, r ir.Reg) bool {
-	for _, u := range in.Uses() {
-		if u == r {
-			return true
-		}
-	}
-	return false
+	u1, u2 := in.Uses2()
+	return (u1.Valid() && u1 == r) || (u2.Valid() && u2 == r)
 }
 
 // InsertSentinel creates a check_exception node J for speculative
@@ -441,22 +598,22 @@ func (g *Graph) InsertSentinel(forNode *Node) *Node {
 		panic(fmt.Sprintf("depgraph: sentinel for instruction without destination: %v", in))
 	}
 	chk := ir.CHECK(d)
-	j := &Node{
+	before := len(g.Nodes)
+	j := g.newNode(Node{
 		Instr:     chk,
 		Index:     forNode.Index,
 		Sentinel:  true,
 		Protects:  forNode,
 		HomeStart: forNode.HomeStart,
 		HomeEnd:   forNode.HomeEnd,
-	}
+	})
 	g.addEdge(forNode, j, Flow, machine.Latency(in.Op))
 	if forNode.HomeStart >= 0 {
 		g.addEdge(g.Nodes[forNode.HomeStart], j, Control, 0)
 	}
-	if forNode.HomeEnd < len(g.Nodes) {
+	if forNode.HomeEnd < before {
 		g.addEdge(j, g.Nodes[forNode.HomeEnd], Control, 0)
 	}
-	g.Nodes = append(g.Nodes, j)
 	return j
 }
 
@@ -469,23 +626,23 @@ func (g *Graph) InsertConfirm(forNode *Node) *Node {
 		panic("depgraph: InsertConfirm on non-store")
 	}
 	cf := ir.CONFIRM(-1)
-	j := &Node{
+	before := len(g.Nodes)
+	j := g.newNode(Node{
 		Instr:     cf,
 		Index:     forNode.Index,
 		Sentinel:  true,
 		Protects:  forNode,
 		HomeStart: forNode.HomeStart,
 		HomeEnd:   forNode.HomeEnd,
-	}
+	})
 	// The confirm must follow the store's insertion into the buffer.
 	g.addEdge(forNode, j, Mem, machine.Latency(forNode.Instr.Op))
 	if forNode.HomeStart >= 0 {
 		g.addEdge(g.Nodes[forNode.HomeStart], j, Control, 0)
 	}
-	if forNode.HomeEnd < len(g.Nodes) {
+	if forNode.HomeEnd < before {
 		g.addEdge(j, g.Nodes[forNode.HomeEnd], Control, 0)
 	}
-	g.Nodes = append(g.Nodes, j)
 	return j
 }
 

@@ -328,3 +328,63 @@ func TestRemovedControlCount(t *testing.T) {
 		t.Errorf("restricted RemovedControl = %d, want 2", gr.RemovedControl)
 	}
 }
+
+// TestStoreOrdersAgainstPriorAccesses is the regression test for the
+// slice-aliasing hazard in memoryDeps: the seed walked prior accesses via
+// append(loads, stores...), which — once loads has spare capacity — copies
+// the stores into loads' backing array, where a later load append can clobber
+// them. The builder must record a memory edge from EVERY prior may-aliasing
+// load and store into each store, with interleaved appends in between.
+func TestStoreOrdersAgainstPriorAccesses(t *testing.T) {
+	p := prog.NewProgram()
+	sb := p.AddBlock("main",
+		ir.LOAD(ir.Ld, ir.R(1), ir.R(2), 0),   // 0: load, base r2
+		ir.LOAD(ir.Ld, ir.R(3), ir.R(4), 0),   // 1: load, base r4
+		ir.LOAD(ir.Ld, ir.R(5), ir.R(6), 0),   // 2: load, base r6
+		ir.STORE(ir.St, ir.R(7), 0, ir.R(1)),  // 3: store, base r7
+		ir.LOAD(ir.Ld, ir.R(9), ir.R(10), 0),  // 4: load, base r10
+		ir.STORE(ir.St, ir.R(11), 0, ir.R(3)), // 5: store, base r11
+		ir.HALT(),
+	)
+	sb.Superblock = true
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := Build(sb, dataflow.Compute(p), nil)
+
+	// Distinct bases with no provenance info may alias pairwise.
+	for _, from := range []int{0, 1, 2} {
+		if !edge(g, from, 3, Mem) {
+			t.Errorf("missing mem edge load %d -> store 3", from)
+		}
+	}
+	if !edge(g, 3, 4, Mem) {
+		t.Error("missing mem edge store 3 -> load 4")
+	}
+	for _, from := range []int{0, 1, 2, 3, 4} {
+		if !edge(g, from, 5, Mem) {
+			t.Errorf("missing mem edge %d -> store 5", from)
+		}
+	}
+}
+
+// TestNodeIDsAreStable pins the dense-index contract: Node.ID equals the
+// node's position in g.Nodes, for original and inserted nodes alike, and
+// insertion never renumbers existing nodes.
+func TestNodeIDsAreStable(t *testing.T) {
+	g, _ := build(t, machine.Base(8, machine.Sentinel))
+	for i, nd := range g.Nodes {
+		if nd.ID != i {
+			t.Fatalf("g.Nodes[%d].ID = %d before insertion", i, nd.ID)
+		}
+	}
+	s := g.InsertSentinel(g.Nodes[iE])
+	if s.ID != len(g.Nodes)-1 {
+		t.Errorf("inserted sentinel ID = %d, want %d", s.ID, len(g.Nodes)-1)
+	}
+	for i, nd := range g.Nodes {
+		if nd.ID != i {
+			t.Errorf("g.Nodes[%d].ID = %d after insertion", i, nd.ID)
+		}
+	}
+}

@@ -107,6 +107,7 @@ func (r *Runner) injectOne(b workload.Benchmark) (FaultOutcome, error) {
 		seg.Present = false
 		exact := true
 		res, err := sim.Run(sa.prog, md, run, sim.Options{
+			Index: sa.index,
 			Handler: func(exc sim.Exception, mach *sim.Machine) bool {
 				out.SentinelSignals++
 				in, _, _ := sa.prog.InstrAt(exc.ReportedPC)
@@ -134,6 +135,7 @@ func (r *Runner) injectOne(b workload.Benchmark) (FaultOutcome, error) {
 		seg.Present = false
 		exact := true
 		_, err = sim.Run(sa.prog, md, run, sim.Options{
+			Index: sa.index,
 			Handler: func(exc sim.Exception, mach *sim.Machine) bool {
 				out.RestrictedSignals++
 				if exc.ReportedPC != exc.ByPC {
@@ -160,6 +162,7 @@ func (r *Runner) injectOne(b workload.Benchmark) (FaultOutcome, error) {
 		seg.Present = false
 		signalled := 0
 		res, err := sim.Run(sa.prog, md, run, sim.Options{
+			Index: sa.index,
 			Handler: func(exc sim.Exception, mach *sim.Machine) bool {
 				signalled++
 				seg.Present = true

@@ -38,6 +38,19 @@ func FuzzScheduleDifferential(f *testing.F) {
 	f.Add([]byte("\x02\x09\x04\x06\x08\x0a\x00\x09\x86\x21"))
 	f.Add([]byte("\x05\x04\x03\x02\x01\x00\x07\x00\x37\x86\x38"))
 	f.Add([]byte("\x01\x03\x05\x07\x09\x0b\x0a\x4b\x8c\x3d\x6e\x0c"))
+	// Maximal-body seeds (6-byte header + the full 48-instruction body cap),
+	// the generator's stand-in for the largest workload superblocks — real
+	// benchmark blocks are not encodable in genProgram's byte menu, so these
+	// stress the same scheduler structures at the same scale instead:
+	// "wide" interleaves six equal-height ALU chains so the ready heap is
+	// persistently full of tie-broken peers; "memdense" alternates loads and
+	// immediate chains with periodic stores so issue is dominated by load
+	// latency (future-heap promotion) and store-FIFO order; "deferral" mixes
+	// stores, a faulting load, division and an FP chain so sentinel-stores
+	// scheduling exercises the §4.2 separation/deferral paths.
+	f.Add([]byte("\x05\x11\x22\x33\x44\x55\x00\x51\xa2\xf3\x44\x95\xe0\x31\x82\xd3\x24\x75\xc0\x11\x62\xb3\x04\x55\xa0\xf1\x42\x93\xe4\x35\x80\xd1\x22\x73\xc4\x15\x60\xb1\x02\x53\xa4\xf5\x40\x91\xe2\x33\x84\xd5\x20\x71\xc2\x13\x64\xb5"))
+	f.Add([]byte("\x03\x07\x0b\x0d\x11\x13\x06\x1f\x2f\x36\x4f\x5f\x66\x78\x8f\x96\xaf\xbf\xc6\xdf\xef\xf8\x0f\x1f\x26\x3f\x4f\x56\x6f\x78\x86\x9f\xaf\xb6\xcf\xdf\xe6\xf8\x0f\x16\x2f\x3f\x46\x5f\x6f\x78\x8f\x9f\xa6\xbf\xcf\xd6\xef\xf8"))
+	f.Add([]byte("\x04\x01\x02\x03\x05\x08\x08\x36\x69\x9a\xcb\xfc\x20\x58\x87\xbd\xee\x12\x48\x76\xa9\xda\x0b\x3c\x60\x98\xc7\xfd\x2e\x52\x88\xb6\xe9\x1a\x4b\x7c\xa0\xd8\x07\x3d\x6e\x92\xc8\xf6\x29\x5a\x8b\xbc\xe0\x18\x47\x7d\xae\xd2"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, m := genProgram(data)
 		if p == nil {

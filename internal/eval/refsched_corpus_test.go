@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+	"sentinel/internal/superblock"
+)
+
+// corpusProgsEqual compares two scheduled programs instruction by
+// instruction, including the schedule coordinates.
+func corpusProgsEqual(a, b *prog.Program) error {
+	if len(a.Blocks) != len(b.Blocks) {
+		return fmt.Errorf("block count %d != %d", len(a.Blocks), len(b.Blocks))
+	}
+	for bi, ba := range a.Blocks {
+		bb := b.Blocks[bi]
+		if ba.Label != bb.Label {
+			return fmt.Errorf("block %d label %q != %q", bi, ba.Label, bb.Label)
+		}
+		if len(ba.Instrs) != len(bb.Instrs) {
+			return fmt.Errorf("block %q: %d instrs != %d", ba.Label, len(ba.Instrs), len(bb.Instrs))
+		}
+		for i, ia := range ba.Instrs {
+			ib := bb.Instrs[i]
+			if ia.Op != ib.Op || ia.Dest != ib.Dest || ia.Src1 != ib.Src1 ||
+				ia.Src2 != ib.Src2 || ia.Imm != ib.Imm || ia.Target != ib.Target ||
+				ia.Spec != ib.Spec || ia.BoostLevel != ib.BoostLevel ||
+				ia.Cycle != ib.Cycle || ia.Slot != ib.Slot || ia.PC != ib.PC {
+				return fmt.Errorf("block %q instr %d: %v (cycle %d slot %d) != %v (cycle %d slot %d)",
+					ba.Label, i, ia, ia.Cycle, ia.Slot, ib, ib.Cycle, ib.Slot)
+			}
+		}
+	}
+	return nil
+}
+
+// TestScheduleMatchesReferenceOnFuzzCorpus is the corpus half of the
+// scheduler equivalence property (the workload half lives in internal/core):
+// 50 deterministically generated fuzz-shaped programs, spanning the full
+// genProgram input range (6..54 bytes), must schedule byte-identically under
+// the dense heap scheduler and the preserved seed scheduler, for every
+// speculation model, both issue widths, and the recovery variants.
+func TestScheduleMatchesReferenceOnFuzzCorpus(t *testing.T) {
+	models := []machine.Desc{
+		machine.Base(2, machine.Restricted),
+		machine.Base(2, machine.General),
+		machine.Base(2, machine.Sentinel),
+		machine.Base(2, machine.SentinelStores),
+		machine.Base(2, machine.Boosting),
+		machine.Base(2, machine.Sentinel).WithRecovery(),
+		machine.Base(2, machine.SentinelStores).WithRecovery(),
+		machine.Base(8, machine.Restricted),
+		machine.Base(8, machine.General),
+		machine.Base(8, machine.Sentinel),
+		machine.Base(8, machine.SentinelStores),
+		machine.Base(8, machine.Boosting),
+		machine.Base(8, machine.Sentinel).WithRecovery(),
+		machine.Base(8, machine.SentinelStores).WithRecovery(),
+	}
+
+	rng := rand.New(rand.NewSource(0x5e47135c0de))
+	for ci := 0; ci < 50; ci++ {
+		n := 6 + rng.Intn(49) // 6..54 bytes: header through maximal body
+		data := make([]byte, n)
+		rng.Read(data)
+
+		p, m := genProgram(data)
+		if p == nil {
+			t.Fatalf("corpus %d: generator rejected %d bytes", ci, n)
+		}
+		p.Layout()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("corpus %d: invalid program: %v", ci, err)
+		}
+		prof, _ := prog.Run(p, m.Clone(), prog.Options{Collect: true, MaxInstrs: 100_000})
+		fp := superblock.Form(p, prof.Profile, superblock.Options{})
+		fp.Layout()
+
+		for _, md := range models {
+			got, gotStats, err1 := core.Schedule(fp, md)
+			want, wantStats, err2 := core.ScheduleReference(fp, md)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("corpus %d %v w%d: error mismatch: %v vs reference %v",
+					ci, md.Model, md.IssueWidth, err1, err2)
+			}
+			if err1 != nil {
+				if err1.Error() != err2.Error() {
+					t.Errorf("corpus %d %v w%d: error %q != reference %q",
+						ci, md.Model, md.IssueWidth, err1, err2)
+				}
+				continue
+			}
+			if gotStats != wantStats {
+				t.Errorf("corpus %d %v w%d recovery=%v: stats %+v != reference %+v",
+					ci, md.Model, md.IssueWidth, md.Recovery, gotStats, wantStats)
+			}
+			if err := corpusProgsEqual(got, want); err != nil {
+				t.Errorf("corpus %d %v w%d recovery=%v: %v",
+					ci, md.Model, md.IssueWidth, md.Recovery, err)
+			}
+		}
+	}
+}

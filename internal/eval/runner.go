@@ -126,6 +126,9 @@ type formKey struct {
 type schedArtifact struct {
 	prog  *prog.Program
 	stats core.Stats
+	// index is the simulator's PC index for prog, built once alongside the
+	// schedule and shared by every simulation of this cell.
+	index *sim.ProgIndex
 }
 
 // Runner runs experiment cells concurrently with per-benchmark artifact
@@ -307,7 +310,7 @@ func (r *Runner) scheduled(b workload.Benchmark, md machine.Desc, sbo superblock
 		if err != nil {
 			return nil, fmt.Errorf("%s: schedule: %w", b.Name, err)
 		}
-		return &schedArtifact{prog: sched, stats: stats}, nil
+		return &schedArtifact{prog: sched, stats: stats, index: sim.NewProgIndex(sched)}, nil
 	})
 }
 
@@ -330,7 +333,7 @@ func (r *Runner) Measure(b workload.Benchmark, md machine.Desc, sbo superblock.O
 		if err != nil {
 			return Cell{}, err
 		}
-		res, err := sim.Run(sa.prog, md, art.mem.Clone(), sim.Options{})
+		res, err := sim.Run(sa.prog, md, art.mem.Clone(), sim.Options{Index: sa.index})
 		if err != nil {
 			return Cell{}, fmt.Errorf("%s: simulate: %w", b.Name, err)
 		}
@@ -357,6 +360,9 @@ func (r *Runner) Simulate(b workload.Benchmark, md machine.Desc, sbo superblock.
 	sa, err := r.scheduled(b, md, sbo)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Index == nil {
+		opts.Index = sa.index
 	}
 	res, err := sim.Run(sa.prog, md, art.mem.Clone(), opts)
 	if err != nil {

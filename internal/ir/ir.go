@@ -388,6 +388,19 @@ func (i *Instr) Uses() []Reg {
 	return u
 }
 
+// Uses2 is an allocation-free Uses: it returns i's source registers in the
+// same order, with NoReg filling unused positions. Callers must skip
+// positions for which Valid() is false.
+func (i *Instr) Uses2() (a, b Reg) {
+	if i.Src1.Valid() && !i.Src1.IsZero() {
+		a = i.Src1
+	}
+	if i.Src2.Valid() && !i.Src2.IsZero() {
+		b = i.Src2
+	}
+	return a, b
+}
+
 // Def returns the register written by i and whether there is one. Writes to
 // the hardwired-zero register are discarded and reported as no definition.
 func (i *Instr) Def() (Reg, bool) {

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/mem"
+	"sentinel/internal/prog"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// benchScheduled compiles one workload kernel end to end (build, profile,
+// form, schedule) for the given machine, returning the scheduled program and
+// the pristine input memory. Everything here is out of the measured loop.
+func benchScheduled(b *testing.B, name string, md machine.Desc) (*prog.Program, *mem.Memory) {
+	b.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown workload %q", name)
+	}
+	p, m := w.Build()
+	p.Layout()
+	ref, err := prog.Run(p, m.Clone(), prog.Options{Collect: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := superblock.Form(p, ref.Profile, superblock.Options{})
+	f.Layout()
+	sched, _, err := core.Schedule(f, md)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sched, m
+}
+
+// BenchmarkSimRun measures the simulator inner loop on the kernels with the
+// largest superblocks plus wc (the longest dynamic run) under sentinel +
+// speculative stores at issue 8. Memory cloning is inside the loop (every
+// real measurement pays it) but is O(segments), not O(cycles). These are the
+// perf-trajectory benchmarks recorded in BENCH_sim.json; CI fails on a >20%
+// ns/op regression against the committed baseline.
+func BenchmarkSimRun(b *testing.B) {
+	for _, name := range []string{"nasa7", "tomcatv", "doduc", "wc"} {
+		b.Run(name, func(b *testing.B) {
+			md := machine.Base(8, machine.SentinelStores)
+			sched, m := benchScheduled(b, name, md)
+			idx := NewProgIndex(sched)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(sched, md, m.Clone(), Options{Index: idx}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimRunNoIndex is BenchmarkSimRun/wc without a prebuilt ProgIndex:
+// the per-run cost of building the dense PC/target index inside Run, which
+// callers without a schedule cache (tests, one-shot tools) pay.
+func BenchmarkSimRunNoIndex(b *testing.B) {
+	md := machine.Base(8, machine.SentinelStores)
+	sched, m := benchScheduled(b, "wc", md)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(sched, md, m.Clone(), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

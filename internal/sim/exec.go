@@ -22,19 +22,6 @@ func signal(reportPC int64, kind ir.ExcKind) event {
 	return event{signalled: true, reportPC: int(reportPC), kind: kind}
 }
 
-// flushConfirmed drains all confirmed head entries immediately (used by the
-// tag-preserving spill instructions and by Table 2 row 001: "force all
-// confirmed entries at head of buffer to update cache").
-func (m *Machine) flushConfirmed() {
-	for len(m.buf.entries) > 0 && m.buf.entries[0].Confirmed {
-		h := m.buf.entries[0]
-		if f := m.Mem.Write(h.Addr, h.Size, h.Data); f != nil {
-			panic(fmt.Sprintf("sim: store buffer release faulted: %v", f))
-		}
-		m.buf.entries = m.buf.entries[1:]
-	}
-}
-
 // exec executes one instruction at issue time t, implementing Table 1
 // (exception detection with sentinel scheduling) and Table 2 (store-buffer
 // insertion).
@@ -121,7 +108,7 @@ func (m *Machine) exec(in *ir.Instr, t int64) (event, error) {
 	case ir.SaveTR:
 		// Save data AND exception tag without signalling (§3.2), e.g. for
 		// register spill, function call or context switch.
-		m.flushConfirmed()
+		m.buf.flushConfirmed(m.Mem)
 		addr := m.Int[in.Src1.N] + in.Imm
 		tg := m.tag(in.Src2)
 		var tagByte byte
@@ -134,7 +121,7 @@ func (m *Machine) exec(in *ir.Instr, t int64) (event, error) {
 		return event{}, nil
 
 	case ir.RestTR:
-		m.flushConfirmed()
+		m.buf.flushConfirmed(m.Mem)
 		addr := m.Int[in.Src1.N] + in.Imm
 		v, tagByte, f := m.Mem.ReadTagged(addr)
 		if f != nil {
@@ -249,7 +236,7 @@ func (m *Machine) execStore(in *ir.Instr, t int64, usesTags bool) (event, error)
 		if fault != nil {
 			// Table 2 row 001: force confirmed head entries to update the
 			// cache, then process the exception precisely.
-			m.flushConfirmed()
+			m.buf.flushConfirmed(m.Mem)
 			return signal(int64(in.PC), fault.Kind), nil
 		}
 		t2, err := m.buf.insert(t, Entry{Addr: addr, Size: size, Data: data, Confirmed: true}, m.Mem)

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"sentinel/internal/prog"
+)
+
+// progIndexBuilds counts ProgIndex constructions; tests assert that Run
+// builds at most one index per program regardless of how many control
+// transfers or recoveries the run takes.
+var progIndexBuilds atomic.Int64
+
+// pos is the (block, instruction) coordinate of a PC.
+type pos struct{ block, idx int32 }
+
+// ProgIndex is a dense PC-indexed acceleration structure for Run: per-PC
+// (block, instruction) positions for recovery restarts, and per-PC branch
+// target block indices so a taken transfer does not pay prog.BlockIndex's
+// linear label scan on every redirect. Build one with NewProgIndex and pass
+// it via Options.Index to amortise the construction across the many runs of
+// a single scheduled program (Run otherwise builds its own, once, up front).
+type ProgIndex struct {
+	p *prog.Program
+
+	// pos maps PC -> position when the program's PCs are the dense range
+	// 0..n-1 (the invariant prog.Layout establishes); posMap is the fallback
+	// for programs with gaps or duplicates.
+	pos    []pos
+	posMap map[int]pos
+
+	// targetBlock maps PC -> block index of that instruction's Target label,
+	// or -1 (no target, unknown label, or runtime routine).
+	targetBlock []int32
+
+	byLabel map[string]int32
+}
+
+// NewProgIndex builds the index for a laid-out program. The index is valid
+// until the program's blocks, instructions or labels change.
+func NewProgIndex(p *prog.Program) *ProgIndex {
+	progIndexBuilds.Add(1)
+	n := 0
+	for _, b := range p.Blocks {
+		n += len(b.Instrs)
+	}
+	ix := &ProgIndex{p: p, byLabel: make(map[string]int32, len(p.Blocks))}
+	for bi, b := range p.Blocks {
+		if _, dup := ix.byLabel[b.Label]; !dup {
+			ix.byLabel[b.Label] = int32(bi)
+		}
+	}
+
+	dense := true
+	seen := make([]bool, n)
+	for _, b := range p.Blocks {
+		for _, in := range b.Instrs {
+			if in.PC < 0 || in.PC >= n || seen[in.PC] {
+				dense = false
+				break
+			}
+			seen[in.PC] = true
+		}
+		if !dense {
+			break
+		}
+	}
+
+	if dense {
+		ix.pos = make([]pos, n)
+		ix.targetBlock = make([]int32, n)
+	} else {
+		ix.posMap = make(map[int]pos, n)
+	}
+	for bi, b := range p.Blocks {
+		for ii, in := range b.Instrs {
+			tb := int32(-1)
+			if in.Target != "" {
+				if t, ok := ix.byLabel[in.Target]; ok {
+					tb = t
+				}
+			}
+			if dense {
+				ix.pos[in.PC] = pos{int32(bi), int32(ii)}
+				ix.targetBlock[in.PC] = tb
+			} else {
+				ix.posMap[in.PC] = pos{int32(bi), int32(ii)}
+			}
+		}
+	}
+	return ix
+}
+
+// lookup returns the position of pc, for recovery restarts.
+func (ix *ProgIndex) lookup(pc int) (pos, bool) {
+	if ix.pos != nil {
+		if pc < 0 || pc >= len(ix.pos) {
+			return pos{}, false
+		}
+		return ix.pos[pc], true
+	}
+	rp, ok := ix.posMap[pc]
+	return rp, ok
+}
+
+// blockOf resolves a control transfer: the block index of the label targeted
+// by the instruction at pc, or -1 when the label names no block (matching
+// prog.BlockIndex). The per-PC precomputation covers the scheduled-program
+// hot path; the label map covers everything else.
+func (ix *ProgIndex) blockOf(pc int, label string) int {
+	if ix.targetBlock != nil && pc >= 0 && pc < len(ix.targetBlock) {
+		if tb := ix.targetBlock[pc]; tb >= 0 {
+			return int(tb)
+		}
+	}
+	if bi, ok := ix.byLabel[label]; ok {
+		return int(bi)
+	}
+	return -1
+}

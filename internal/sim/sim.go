@@ -69,6 +69,11 @@ type Options struct {
 	// that signals it. Every hook is behind a nil check: a nil Trace costs
 	// one pointer compare per instruction.
 	Trace *obs.Tracer
+	// Index is an optional precomputed ProgIndex for the program being run
+	// (NewProgIndex). Callers that simulate the same scheduled program many
+	// times should build it once and share it; when nil (or built for a
+	// different program), Run constructs its own, exactly once per call.
+	Index *ProgIndex
 }
 
 // Result is the outcome of a simulated run.
@@ -151,12 +156,14 @@ func (m *Machine) setTag(r ir.Reg, t Tag) {
 
 // firstTaggedSrc returns the first source operand of in whose exception tag
 // is set (Table 1: "the first source operand of I whose exception tag is
-// set"), or NoReg.
+// set"), or NoReg. Written out over Src1/Src2 directly — a slice literal
+// here would allocate on every tagged-model dynamic instruction.
 func (m *Machine) firstTaggedSrc(in *ir.Instr) ir.Reg {
-	for _, r := range []ir.Reg{in.Src1, in.Src2} {
-		if r.Valid() && !r.IsZero() && m.tag(r).Set {
-			return r
-		}
+	if r := in.Src1; r.Valid() && !r.IsZero() && m.tag(r).Set {
+		return r
+	}
+	if r := in.Src2; r.Valid() && !r.IsZero() && m.tag(r).Set {
+		return r
 	}
 	return ir.NoReg
 }
@@ -195,28 +202,23 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 		m.boost = newShadowFile(md.BoostLevels)
 	}
 	m.trace = opts.Trace
+	m.out = make([]int64, 0, 32)
 	res := &Result{}
+	if opts.Handler != nil {
+		res.Exceptions = make([]Exception, 0, 8)
+	}
 
-	// lookupPC maps a PC to its (block, instruction) position for recovery
-	// restarts. The index is built lazily on the first handled exception:
-	// the overwhelmingly common fault-free run never pays for it.
-	type pos struct{ block, idx int }
-	var pcIndex map[int]pos
-	lookupPC := func(pc int) (pos, bool) {
-		if pcIndex == nil {
-			pcIndex = map[int]pos{}
-			for bi, b := range p.Blocks {
-				for ii, in := range b.Instrs {
-					pcIndex[in.PC] = pos{bi, ii}
-				}
-			}
-		}
-		rp, ok := pcIndex[pc]
-		return rp, ok
+	// The PC index maps PCs to (block, instruction) positions for recovery
+	// restarts and precomputes branch-target block indices for redirects.
+	// It is built exactly once per program: either by the caller (shared
+	// across runs via Options.Index) or here, up front.
+	idx := opts.Index
+	if idx == nil || idx.p != p {
+		idx = NewProgIndex(p)
 	}
 
 	now := int64(0)
-	bi := p.BlockIndex(p.Entry)
+	bi := idx.blockOf(-1, p.Entry)
 	start := 0 // instruction index to start at within the block (recovery)
 	for bi >= 0 && bi < len(p.Blocks) {
 		b := p.Blocks[bi]
@@ -306,12 +308,12 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 				res.Exceptions = append(res.Exceptions, exc)
 				// Recovery: re-execution restarts at the reported PC
 				// (repair happened in the handler), §3.7.
-				rp, ok := lookupPC(exc.ReportedPC)
+				rp, ok := idx.lookup(exc.ReportedPC)
 				if !ok {
 					res.Cycles = t
 					return res, fmt.Errorf("sim: recovery target pc %d not found", exc.ReportedPC)
 				}
-				redirect, redirectStart = rp.block, rp.idx
+				redirect, redirectStart = int(rp.block), int(rp.idx)
 				now = t + 1
 				break
 			}
@@ -326,7 +328,7 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 				}
 				m.stats.BranchRedirects++
 				m.stats.RedirectCycles += machine.BranchTakenPenalty
-				redirect = p.BlockIndex(ev.target)
+				redirect = idx.blockOf(in.PC, ev.target)
 				now = t + 1 + machine.BranchTakenPenalty
 				break
 			}

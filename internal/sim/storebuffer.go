@@ -32,27 +32,66 @@ type Entry struct {
 // storeBuffer is the FIFO store buffer between CPU and data cache. Entries
 // are appended at the tail; the head releases to the cache at one entry per
 // cycle, but a probationary (unconfirmed) head entry blocks all releases.
+//
+// Storage is a fixed ring allocated once at construction: the buffer is
+// bounded by the machine's capacity, and insert/release run once per dynamic
+// store, so the ring keeps the simulator's inner loop allocation-free.
 type storeBuffer struct {
-	entries   []Entry
-	cap       int
+	data      []Entry // ring storage, len == capacity
+	head      int     // index of the oldest entry in data
+	count     int     // live entries
 	lastDrain int64
 }
 
 func newStoreBuffer(capacity int) *storeBuffer {
-	return &storeBuffer{cap: capacity}
+	return &storeBuffer{data: make([]Entry, capacity)}
+}
+
+// at returns the i-th oldest live entry (0 is the head). i < capacity, so a
+// conditional wrap suffices (and avoids a hardware divide on the hot path).
+func (sb *storeBuffer) at(i int) *Entry {
+	j := sb.head + i
+	if j >= len(sb.data) {
+		j -= len(sb.data)
+	}
+	return &sb.data[j]
+}
+
+// popHead discards the oldest entry.
+func (sb *storeBuffer) popHead() {
+	sb.head++
+	if sb.head == len(sb.data) {
+		sb.head = 0
+	}
+	sb.count--
+}
+
+// removeAt deletes the i-th oldest entry, shifting younger entries down.
+func (sb *storeBuffer) removeAt(i int) {
+	for j := i; j < sb.count-1; j++ {
+		*sb.at(j) = *sb.at(j + 1)
+	}
+	sb.count--
 }
 
 // Len returns the current occupancy.
-func (sb *storeBuffer) Len() int { return len(sb.entries) }
+func (sb *storeBuffer) Len() int { return sb.count }
 
-// Entries exposes the buffer contents (oldest first) for tests and tools.
-func (sb *storeBuffer) Entries() []Entry { return sb.entries }
+// Entries returns a copy of the buffer contents (oldest first) for tests and
+// tools; the ring layout is not exposed.
+func (sb *storeBuffer) Entries() []Entry {
+	out := make([]Entry, sb.count)
+	for i := range out {
+		out[i] = *sb.at(i)
+	}
+	return out
+}
 
 // drainTo releases confirmed head entries to memory, one per cycle, up to
 // time t.
 func (sb *storeBuffer) drainTo(t int64, m *mem.Memory) {
-	for len(sb.entries) > 0 {
-		h := sb.entries[0]
+	for sb.count > 0 {
+		h := sb.at(0)
 		if !h.Confirmed {
 			return
 		}
@@ -69,7 +108,20 @@ func (sb *storeBuffer) drainTo(t int64, m *mem.Memory) {
 			panic(fmt.Sprintf("sim: store buffer release faulted: %v", f))
 		}
 		sb.lastDrain = at
-		sb.entries = sb.entries[1:]
+		sb.popHead()
+	}
+}
+
+// flushConfirmed drains all confirmed head entries immediately (used by the
+// tag-preserving spill instructions and by Table 2 row 001: "force all
+// confirmed entries at head of buffer to update cache").
+func (sb *storeBuffer) flushConfirmed(m *mem.Memory) {
+	for sb.count > 0 && sb.at(0).Confirmed {
+		h := sb.at(0)
+		if f := m.Write(h.Addr, h.Size, h.Data); f != nil {
+			panic(fmt.Sprintf("sim: store buffer release faulted: %v", f))
+		}
+		sb.popHead()
 	}
 }
 
@@ -79,12 +131,13 @@ func (sb *storeBuffer) drainTo(t int64, m *mem.Memory) {
 // §4.2's separation constraint exists to prevent).
 func (sb *storeBuffer) insert(t int64, e Entry, m *mem.Memory) (int64, error) {
 	sb.drainTo(t, m)
-	for len(sb.entries) >= sb.cap {
-		if !sb.entries[0].Confirmed {
+	for sb.count >= len(sb.data) {
+		h := sb.at(0)
+		if !h.Confirmed {
 			return t, fmt.Errorf("sim: store buffer deadlock: full with probationary head (schedule violates the N-1 separation constraint)")
 		}
 		at := sb.lastDrain + 1
-		if h := sb.entries[0]; h.insertedAt+1 > at {
+		if h.insertedAt+1 > at {
 			at = h.insertedAt + 1
 		}
 		if at > t {
@@ -93,7 +146,8 @@ func (sb *storeBuffer) insert(t int64, e Entry, m *mem.Memory) (int64, error) {
 		sb.drainTo(t, m)
 	}
 	e.insertedAt = t
-	sb.entries = append(sb.entries, e)
+	*sb.at(sb.count) = e
+	sb.count++
 	return t, nil
 }
 
@@ -111,7 +165,8 @@ func (sb *storeBuffer) loadOverlay(addr int64, size int, m *mem.Memory) (uint64,
 	for i := 0; i < size; i++ {
 		bytes[i] = byte(v >> (8 * i))
 	}
-	for _, e := range sb.entries {
+	for i := 0; i < sb.count; i++ {
+		e := sb.at(i)
 		if e.ExcSet && !e.Confirmed {
 			continue
 		}
@@ -133,17 +188,17 @@ func (sb *storeBuffer) loadOverlay(addr int64, size int, m *mem.Memory) (uint64,
 // removed and the exception information returned for signalling (the store
 // will be re-executed under recovery).
 func (sb *storeBuffer) confirm(index int64) (exc bool, kind ir.ExcKind, excPC int64, err error) {
-	i := len(sb.entries) - 1 - int(index)
+	i := sb.count - 1 - int(index)
 	if index < 0 || i < 0 {
-		return false, 0, 0, fmt.Errorf("sim: confirm_store(%d) out of range (%d entries)", index, len(sb.entries))
+		return false, 0, 0, fmt.Errorf("sim: confirm_store(%d) out of range (%d entries)", index, sb.count)
 	}
-	e := &sb.entries[i]
+	e := sb.at(i)
 	if e.Confirmed {
 		return false, 0, 0, fmt.Errorf("sim: confirm_store(%d) targets an already confirmed entry", index)
 	}
 	if e.ExcSet {
 		kind, excPC = e.ExcKind, e.ExcPC
-		sb.entries = append(sb.entries[:i], sb.entries[i+1:]...)
+		sb.removeAt(i)
 		return true, kind, excPC, nil
 	}
 	e.Confirmed = true
@@ -155,8 +210,8 @@ func (sb *storeBuffer) confirm(index int64) (exc bool, kind ir.ExcKind, excPC in
 // signalling when their exception tag is set (and removed, like a
 // confirm-time exception).
 func (sb *storeBuffer) commitLevel() *Entry {
-	for i := range sb.entries {
-		e := &sb.entries[i]
+	for i := 0; i < sb.count; i++ {
+		e := sb.at(i)
 		if e.Confirmed || e.Level == 0 {
 			continue
 		}
@@ -164,7 +219,7 @@ func (sb *storeBuffer) commitLevel() *Entry {
 		if e.Level == 0 {
 			if e.ExcSet {
 				out := *e
-				sb.entries = append(sb.entries[:i], sb.entries[i+1:]...)
+				sb.removeAt(i)
 				return &out
 			}
 			e.Confirmed = true
@@ -176,20 +231,22 @@ func (sb *storeBuffer) commitLevel() *Entry {
 // cancelProbationary removes all unconfirmed entries (branch misprediction,
 // §4.1).
 func (sb *storeBuffer) cancelProbationary() {
-	kept := sb.entries[:0]
-	for _, e := range sb.entries {
+	kept := 0
+	for i := 0; i < sb.count; i++ {
+		e := *sb.at(i)
 		if e.Confirmed {
-			kept = append(kept, e)
+			*sb.at(kept) = e
+			kept++
 		}
 	}
-	sb.entries = kept
+	sb.count = kept
 }
 
 // drainAll flushes every remaining entry to memory and returns the cycle at
 // which the last release completes. All entries must be confirmed.
 func (sb *storeBuffer) drainAll(t int64, m *mem.Memory) int64 {
-	for len(sb.entries) > 0 {
-		h := sb.entries[0]
+	for sb.count > 0 {
+		h := sb.at(0)
 		if !h.Confirmed {
 			panic("sim: drainAll with probationary entry (unconfirmed speculative store at program end)")
 		}
@@ -201,7 +258,7 @@ func (sb *storeBuffer) drainAll(t int64, m *mem.Memory) int64 {
 			panic(fmt.Sprintf("sim: store buffer release faulted: %v", f))
 		}
 		sb.lastDrain = at
-		sb.entries = sb.entries[1:]
+		sb.popHead()
 		if at > t {
 			t = at
 		}

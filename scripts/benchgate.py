@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a freshly measured BENCH_*.json against the committed baseline and
+fails (exit 1) when any benchmark's ns_per_op regressed by more than the
+threshold (default 20%). Improvements and alloc changes are reported but
+never fail the gate: the allocation counts are pinned exactly by the JSON
+diff a reviewer sees, while wall-clock noise on shared CI runners needs the
+tolerance.
+
+Usage: benchgate.py BASELINE.json CURRENT.json [--threshold 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return {r["name"]: r for r in json.load(f)}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="maximum allowed ns_per_op regression (fraction)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failed = []
+
+    print(f"{'benchmark':<28} {'base ns/op':>14} {'cur ns/op':>14} {'delta':>8}  allocs")
+    for name, b in base.items():
+        c = cur.get(name)
+        if c is None:
+            failed.append(f"{name}: missing from current run")
+            continue
+        delta = (c["ns_per_op"] - b["ns_per_op"]) / b["ns_per_op"]
+        mark = ""
+        if delta > args.threshold:
+            failed.append(
+                f"{name}: ns/op regressed {delta:+.1%} "
+                f"({b['ns_per_op']:.0f} -> {c['ns_per_op']:.0f})")
+            mark = "  << FAIL"
+        print(f"{name:<28} {b['ns_per_op']:>14.0f} {c['ns_per_op']:>14.0f} "
+              f"{delta:>+7.1%}  {b['allocs_per_op']} -> {c['allocs_per_op']}{mark}")
+
+    for name in cur:
+        if name not in base:
+            print(f"{name}: new benchmark (no baseline), ignored")
+
+    if failed:
+        print("\nbenchmark gate FAILED:", file=sys.stderr)
+        for f in failed:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbenchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
