@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,78 +31,27 @@ import (
 	"sentinel/internal/workload"
 )
 
-// sections selects which tables/figures to emit, in the fixed output order
-// of run.
-type sections struct {
-	fig4, fig5, table3, overhead             bool
-	recovery, buffer, faults, sharing, boost bool
-}
-
-func (s sections) any() bool {
-	return s.fig4 || s.fig5 || s.table3 || s.overhead ||
-		s.recovery || s.buffer || s.faults || s.sharing || s.boost
-}
+// sections aliases the shared section selector; the rendering itself lives
+// in eval.RenderSections so `sentineld`'s /v1/figures serves the exact same
+// bytes.
+type sections = eval.Sections
 
 // run renders the selected sections to w using r for every measurement.
 func run(s sections, r *eval.Runner, w io.Writer) error {
-	if s.table3 {
-		fmt.Fprintln(w, eval.Table3())
-	}
-
-	var results []*eval.BenchResult
-	if s.fig4 || s.fig5 || s.overhead {
-		var err error
-		results, err = r.RunAll(
-			[]machine.Model{machine.Restricted, machine.General,
-				machine.Sentinel, machine.SentinelStores},
-			eval.Widths, superblock.Options{})
-		if err != nil {
-			return err
-		}
-	}
-	if s.fig4 {
-		fmt.Fprintln(w, eval.Figure4(results))
-	}
-	if s.fig5 {
-		fmt.Fprintln(w, eval.Figure5(results))
-	}
-	if s.overhead {
-		fmt.Fprintln(w, eval.SentinelOverheadTable(results, 8))
-	}
-
-	for _, sec := range []struct {
-		on     bool
-		render func() (string, error)
-	}{
-		{s.recovery, r.RecoveryCost},
-		{s.buffer, r.StoreBufferSweep},
-		{s.faults, r.FaultInjection},
-		{s.sharing, r.SharingAblation},
-		{s.boost, r.BoostingComparison},
-	} {
-		if !sec.on {
-			continue
-		}
-		out, err := sec.render()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, out)
-	}
-	return nil
+	return eval.RenderSections(context.Background(), s, r, w)
 }
 
 func main() {
 	var s sections
-	flag.BoolVar(&s.fig4, "fig4", false, "Figure 4: sentinel vs restricted percolation")
-	flag.BoolVar(&s.fig5, "fig5", false, "Figure 5: general vs sentinel vs sentinel+stores")
-	flag.BoolVar(&s.table3, "table3", false, "Table 3: instruction latencies")
-	flag.BoolVar(&s.overhead, "overhead", false, "sentinel overhead ablation")
-	flag.BoolVar(&s.recovery, "recovery", false, "recovery-constraint cost (extension)")
-	flag.BoolVar(&s.buffer, "buffer", false, "store-buffer size sweep (extension)")
-	flag.BoolVar(&s.faults, "faults", false, "fault-injection study (extension)")
-	flag.BoolVar(&s.sharing, "sharing", false, "shared-sentinel ablation (extension)")
-	flag.BoolVar(&s.boost, "boosting", false, "instruction boosting vs sentinel (extension)")
+	flag.BoolVar(&s.Fig4, "fig4", false, "Figure 4: sentinel vs restricted percolation")
+	flag.BoolVar(&s.Fig5, "fig5", false, "Figure 5: general vs sentinel vs sentinel+stores")
+	flag.BoolVar(&s.Table3, "table3", false, "Table 3: instruction latencies")
+	flag.BoolVar(&s.Overhead, "overhead", false, "sentinel overhead ablation")
+	flag.BoolVar(&s.Recovery, "recovery", false, "recovery-constraint cost (extension)")
+	flag.BoolVar(&s.Buffer, "buffer", false, "store-buffer size sweep (extension)")
+	flag.BoolVar(&s.Faults, "faults", false, "fault-injection study (extension)")
+	flag.BoolVar(&s.Sharing, "sharing", false, "shared-sentinel ablation (extension)")
+	flag.BoolVar(&s.Boost, "boosting", false, "instruction boosting vs sentinel (extension)")
 	all := flag.Bool("all", false, "run everything")
 	jobs := flag.Int("j", 0, "cells to compile/simulate concurrently (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print runner cache/utilization metrics to stderr after the run")
@@ -115,16 +65,16 @@ func main() {
 	flag.Parse()
 
 	if *all {
-		s = sections{true, true, true, true, true, true, true, true, true}
+		s = eval.AllSections()
 	}
-	if !s.any() && *benchJSON != "" {
+	if !s.Any() && *benchJSON != "" {
 		// Benchmark-only invocation: no figure output, just the JSON files.
 		if err := writeBenchJSON(*benchJSON); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if !s.any() {
+	if !s.Any() {
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -26,9 +26,9 @@ func TestGoldenSections(t *testing.T) {
 		golden string
 		s      sections
 	}{
-		{"fig4.txt", sections{fig4: true}},
-		{"fig5.txt", sections{fig5: true}},
-		{"overhead.txt", sections{overhead: true}},
+		{"fig4.txt", sections{Fig4: true}},
+		{"fig5.txt", sections{Fig5: true}},
+		{"overhead.txt", sections{Overhead: true}},
 	} {
 		t.Run(tc.golden, func(t *testing.T) {
 			var buf bytes.Buffer
@@ -62,7 +62,7 @@ func TestGoldenSections(t *testing.T) {
 // stderr, the trace to its own file, and the traced simulation never feeds
 // the measured matrix. CI re-checks the same property through the real CLI.
 func TestObserverEffect(t *testing.T) {
-	s := sections{fig4: true, overhead: true}
+	s := sections{Fig4: true, Overhead: true}
 	var plain bytes.Buffer
 	if err := run(s, eval.NewRunner(0), &plain); err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestAllSectionsParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full -all sweep")
 	}
-	all := sections{true, true, true, true, true, true, true, true, true}
+	all := eval.AllSections()
 	var serial, parallel bytes.Buffer
 	if err := run(all, eval.NewRunner(1), &serial); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,112 @@
+// Command sentineld serves the compile-and-simulate pipeline over HTTP/JSON:
+// a long-lived process owning one evaluation runner, so every benchmark
+// artifact (build, reference profile, superblock formation, schedule) is
+// compiled at most once per configuration and shared across all requests.
+//
+//	sentineld -addr :8649                      # serve
+//	sentineld -addr :8649 -warm -j 8           # prebuild the figure matrix before readying
+//
+//	curl -s localhost:8649/v1/figures?section=fig4
+//	curl -s localhost:8649/v1/simulate -d '{"workload":"cmp","model":"sentinel+stores","width":8}'
+//
+// Readiness and drain: /readyz reports 503 until warmup (if requested)
+// completes, and again as soon as SIGTERM/SIGINT arrives; in-flight
+// requests then finish (bounded by -drain) before the process exits 0.
+// Metrics are published on /debug/vars, profiles on /debug/pprof.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sentinel/internal/eval"
+	"sentinel/internal/machine"
+	"sentinel/internal/obs"
+	"sentinel/internal/server"
+	"sentinel/internal/superblock"
+)
+
+func main() {
+	addr := flag.String("addr", ":8649", "address to listen on")
+	jobs := flag.Int("j", 0, "evaluation runner workers (0 = GOMAXPROCS)")
+	inflight := flag.Int("inflight", 16, "maximum concurrently executing requests")
+	queue := flag.Int("queue", 64, "maximum requests waiting for a slot (beyond: 429)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	drain := flag.Duration("drain", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	warm := flag.Bool("warm", false, "prebuild the paper figure matrix before reporting ready")
+	flag.Parse()
+
+	log.SetPrefix("sentineld: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{
+		Workers:        *jobs,
+		MaxInFlight:    *inflight,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+		Registry:       reg,
+	})
+	if err := reg.Publish("sentineld"); err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (workers=%d inflight=%d queue=%d)",
+		ln.Addr(), srv.Runner().Workers(), *inflight, *queue)
+
+	if *warm {
+		srv.SetReady(false)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	if *warm {
+		t0 := time.Now()
+		_, err := srv.Runner().RunAll(
+			[]machine.Model{machine.Restricted, machine.General,
+				machine.Sentinel, machine.SentinelStores},
+			eval.Widths, superblock.Options{})
+		if err != nil {
+			log.Fatalf("warmup: %v", err)
+		}
+		srv.SetReady(true)
+		log.Printf("warmup complete in %s; ready", time.Since(t0).Round(time.Millisecond))
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v; draining (up to %s)", sig, *drain)
+	case err := <-serveErr:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Drain: stop admitting (readyz goes 503), let in-flight requests
+	// finish, then close the listener and connections.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v (in-flight requests abandoned)", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	log.Printf("drain complete; exiting")
+}

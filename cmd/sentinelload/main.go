@@ -1,0 +1,232 @@
+// Command sentinelload is the load generator for sentineld: it drives
+// /v1/simulate (or /v1/schedule) with a mixed workload profile and reports
+// throughput and a latency histogram.
+//
+//	sentinelload -addr http://localhost:8649 -duration 10s -c 8
+//	sentinelload -rps 500 -duration 30s -workloads cmp,wc,grep,matrix300
+//
+// Two driving modes:
+//
+//   - closed loop (default): -c workers each keep exactly one request in
+//     flight, so offered load adapts to service rate — the mode for "how
+//     fast can it go".
+//   - open loop (-rps > 0): requests start on a fixed schedule regardless
+//     of completions (up to -c concurrent), so queueing delay is visible —
+//     the mode for "what does p99 look like at this arrival rate".
+//
+// Requests cycle deterministically through the -workloads list. The exit
+// code is nonzero when any request failed or the achieved throughput fell
+// below -min-rps (the CI smoke gate).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type result struct {
+	latency time.Duration
+	status  int
+	err     bool
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8649", "base URL of the sentineld server")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	conc := flag.Int("c", 8, "concurrency: closed-loop workers, or the open-loop in-flight cap")
+	rps := flag.Float64("rps", 0, "open-loop target arrival rate in req/s (0 = closed loop)")
+	workloads := flag.String("workloads", "cmp,wc,grep,eqntott", "comma-separated workload mix, cycled per request")
+	model := flag.String("model", "sentinel+stores", "speculation model for every request")
+	width := flag.Int("width", 8, "issue width for every request")
+	endpoint := flag.String("endpoint", "simulate", "endpoint to drive: simulate or schedule")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	minRPS := flag.Float64("min-rps", 0, "exit nonzero when achieved req/s falls below this")
+	flag.Parse()
+
+	var path string
+	switch *endpoint {
+	case "simulate":
+		path = "/v1/simulate"
+	case "schedule":
+		path = "/v1/schedule"
+	default:
+		fmt.Fprintf(os.Stderr, "sentinelload: unknown -endpoint %q\n", *endpoint)
+		os.Exit(2)
+	}
+	url := strings.TrimSuffix(*addr, "/") + path
+
+	// One request body per workload, built up front.
+	var bodies [][]byte
+	names := strings.Split(*workloads, ",")
+	for _, name := range names {
+		body, err := json.Marshal(map[string]any{
+			"workload": strings.TrimSpace(name),
+			"model":    *model,
+			"width":    *width,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sentinelload: %v\n", err)
+			os.Exit(2)
+		}
+		bodies = append(bodies, body)
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc * 2,
+			MaxIdleConnsPerHost: *conc * 2,
+		},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+
+	var (
+		mu      sync.Mutex
+		results []result
+	)
+	record := func(r result) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	}
+	shoot := func(i int) {
+		body := bodies[i%len(bodies)]
+		t0 := time.Now()
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		lat := time.Since(t0)
+		if err != nil {
+			record(result{latency: lat, err: true})
+			return
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+		resp.Body.Close()
+		record(result{latency: lat, status: resp.StatusCode})
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if *rps <= 0 {
+		// Closed loop: conc workers, one request in flight each.
+		for w := 0; w < *conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; ctx.Err() == nil; i += *conc {
+					shoot(i)
+				}
+			}(w)
+		}
+	} else {
+		// Open loop: fixed arrival schedule, capped at conc in flight
+		// (arrivals beyond the cap are dropped and counted as errors —
+		// the server would see them as queue pressure anyway).
+		sem := make(chan struct{}, *conc)
+		interval := time.Duration(float64(time.Second) / *rps)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		i := 0
+	loop:
+		for {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-ticker.C:
+				select {
+				case sem <- struct{}{}:
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						defer func() { <-sem }()
+						shoot(i)
+					}(i)
+				default:
+					record(result{err: true}) // in-flight cap exceeded
+				}
+				i++
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	report(results, elapsed, *rps, *conc, path, os.Stdout)
+
+	ok, total := tally(results)
+	achieved := float64(ok) / elapsed.Seconds()
+	if ok < total || achieved < *minRPS {
+		os.Exit(1)
+	}
+}
+
+func tally(results []result) (ok, total int) {
+	for _, r := range results {
+		if !r.err && r.status == http.StatusOK {
+			ok++
+		}
+	}
+	return ok, len(results)
+}
+
+func report(results []result, elapsed time.Duration, rps float64, conc int, path string, w io.Writer) {
+	mode := fmt.Sprintf("closed loop, %d workers", conc)
+	if rps > 0 {
+		mode = fmt.Sprintf("open loop, target %.0f req/s, cap %d in flight", rps, conc)
+	}
+	fmt.Fprintf(w, "sentinelload: %s for %.1fs (%s)\n", path, elapsed.Seconds(), mode)
+
+	byStatus := map[int]int{}
+	netErrs := 0
+	var lats []time.Duration
+	for _, r := range results {
+		if r.err {
+			netErrs++
+			continue
+		}
+		byStatus[r.status]++
+		if r.status == http.StatusOK {
+			lats = append(lats, r.latency)
+		}
+	}
+	var statuses []int
+	for s := range byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	var parts []string
+	for _, s := range statuses {
+		parts = append(parts, fmt.Sprintf("%d:%d", s, byStatus[s]))
+	}
+	if netErrs > 0 {
+		parts = append(parts, fmt.Sprintf("net-error:%d", netErrs))
+	}
+	fmt.Fprintf(w, "requests:   %d total (%s)\n", len(results), strings.Join(parts, " "))
+	fmt.Fprintf(w, "throughput: %.1f req/s ok\n", float64(len(lats))/elapsed.Seconds())
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	fmt.Fprintf(w, "latency:    mean=%s p50=%s p90=%s p95=%s p99=%s max=%s\n",
+		round(sum/time.Duration(len(lats))), round(q(0.50)), round(q(0.90)),
+		round(q(0.95)), round(q(0.99)), round(lats[len(lats)-1]))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

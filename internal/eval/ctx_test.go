@@ -1,0 +1,120 @@
+package eval
+
+// Context threading through the Runner: canceled contexts fail fast, a
+// waiter abandoning a shared in-flight computation does not poison the
+// cache for everyone else.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sentinel/internal/machine"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+func TestMeasureCtxCanceledBeforeStart(t *testing.T) {
+	r := NewRunner(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, _ := workload.ByName("cmp")
+	_, err := r.MeasureCtx(ctx, b, machine.Base(8, machine.Sentinel), superblock.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Nothing may have been computed or cached on behalf of a dead request.
+	for name, cs := range r.CacheStats() {
+		if cs.Size != 0 {
+			t.Errorf("cache %s has %d entries after a canceled request", name, cs.Size)
+		}
+	}
+}
+
+func TestRunAllCtxCanceled(t *testing.T) {
+	r := NewRunner(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := r.RunAllCtx(ctx, []machine.Model{machine.Sentinel}, []int{2, 4, 8}, superblock.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("canceled RunAllCtx took %s; must fail fast", d)
+	}
+}
+
+func TestParallelForCtxCancelMidway(t *testing.T) {
+	r := NewRunner(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	err := r.parallelForCtx(ctx, 1000, func(i int) error {
+		once.Do(cancel) // first index to run cancels the rest
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFlightGetCtxWaiterAbandons: a waiter whose context expires unblocks
+// immediately, while the in-flight computation completes and is cached for
+// subsequent callers.
+func TestFlightGetCtxWaiterAbandons(t *testing.T) {
+	var f flight[int, int]
+	block := make(chan struct{})
+	computing := make(chan struct{})
+
+	go func() {
+		f.get(1, func() (int, error) { // owner: computes, slowly
+			close(computing)
+			<-block
+			return 42, nil
+		}) //nolint:errcheck
+	}()
+	<-computing
+
+	// Waiter with a deadline: must give up without waiting for the owner.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := f.getCtx(ctx, 1, func() (int, error) { return 0, nil }); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter err = %v, want DeadlineExceeded", err)
+	}
+
+	// The owner finishes; the value is cached and served to new callers.
+	close(block)
+	v, err := f.getCtx(context.Background(), 1, func() (int, error) {
+		t.Error("recompute after the owner cached the value")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("cached get = %d, %v; want 42, nil", v, err)
+	}
+}
+
+// TestCtxWrappersMatch: the context-free entry points are thin wrappers —
+// same artifacts, same results, shared caches.
+func TestCtxWrappersMatch(t *testing.T) {
+	r := NewRunner(2)
+	b, _ := workload.ByName("cmp")
+	md := machine.Base(4, machine.Sentinel)
+	viaCtx, err := r.MeasureCtx(context.Background(), b, md, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := r.Measure(b, md, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaCtx.Cycles != plain.Cycles || viaCtx.Instrs != plain.Instrs {
+		t.Errorf("MeasureCtx %d/%d != Measure %d/%d",
+			viaCtx.Cycles, viaCtx.Instrs, plain.Cycles, plain.Instrs)
+	}
+	if cs := r.CacheStats()["cells"]; cs.Size != 1 || cs.Hits == 0 {
+		t.Errorf("wrappers must share one cell cache: %+v", cs)
+	}
+}

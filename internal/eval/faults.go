@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -98,7 +99,7 @@ func (r *Runner) injectOne(b workload.Benchmark) (FaultOutcome, error) {
 	// recover to the reference result.
 	{
 		md := machine.Base(8, machine.Sentinel).WithRecovery()
-		sa, err := r.scheduled(b, md, superblock.Options{})
+		sa, err := r.scheduled(context.Background(), b, md, superblock.Options{})
 		if err != nil {
 			return out, err
 		}
@@ -126,7 +127,7 @@ func (r *Runner) injectOne(b workload.Benchmark) (FaultOutcome, error) {
 	// Restricted percolation: precise exceptions without any support.
 	{
 		md := machine.Base(8, machine.Restricted)
-		sa, err := r.scheduled(b, md, superblock.Options{})
+		sa, err := r.scheduled(context.Background(), b, md, superblock.Options{})
 		if err != nil {
 			return out, err
 		}
@@ -153,7 +154,7 @@ func (r *Runner) injectOne(b workload.Benchmark) (FaultOutcome, error) {
 	// run can finish, then compare.
 	{
 		md := machine.Base(8, machine.General)
-		sa, err := r.scheduled(b, md, superblock.Options{})
+		sa, err := r.scheduled(context.Background(), b, md, superblock.Options{})
 		if err != nil {
 			return out, err
 		}

@@ -17,6 +17,7 @@ package eval
 // input internally; every simulation gets its own mem.Memory clone.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -82,6 +83,42 @@ func (f *flight[K, V]) get(k K, fn func() (V, error)) (V, error) {
 		f.hits.Add(1)
 		<-c.done
 		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.m[k] = c
+	f.mu.Unlock()
+	f.misses.Add(1)
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+// getCtx is get with cancellation: a caller whose context expires while the
+// value is computed by another goroutine unblocks immediately with the
+// context's error, and an already-expired context never starts a
+// computation. A computation that has begun always runs to completion and is
+// cached — singleflight followers may still be waiting on it, and within one
+// process recomputing a deterministic artifact cannot produce a different
+// answer.
+func (f *flight[K, V]) getCtx(ctx context.Context, k K, fn func() (V, error)) (V, error) {
+	var zero V
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = map[K]*flightCall[V]{}
+	}
+	if c, ok := f.m[k]; ok {
+		f.mu.Unlock()
+		f.hits.Add(1)
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		f.mu.Unlock()
+		return zero, err
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	f.m[k] = c
@@ -265,7 +302,11 @@ func (r *Runner) MetricsSummary() string {
 // build returns the benchmark's machine-independent artifact, computing it
 // on first use: build + layout + validate + reference interpretation.
 func (r *Runner) build(b workload.Benchmark) (*buildArtifact, error) {
-	return r.builds.get(b.Name, func() (*buildArtifact, error) {
+	return r.buildCtx(context.Background(), b)
+}
+
+func (r *Runner) buildCtx(ctx context.Context, b workload.Benchmark) (*buildArtifact, error) {
+	return r.builds.getCtx(ctx, b.Name, func() (*buildArtifact, error) {
 		p, m := b.Build()
 		p.Layout()
 		if err := p.Validate(); err != nil {
@@ -281,10 +322,10 @@ func (r *Runner) build(b workload.Benchmark) (*buildArtifact, error) {
 
 // formed returns the benchmark's superblock-formed program for the given
 // options, formed once per (benchmark, options) pair.
-func (r *Runner) formed(b workload.Benchmark, sbo superblock.Options) (*prog.Program, error) {
+func (r *Runner) formed(ctx context.Context, b workload.Benchmark, sbo superblock.Options) (*prog.Program, error) {
 	sbo = sbo.WithDefaults()
-	return r.forms.get(formKey{b.Name, sbo}, func() (*prog.Program, error) {
-		art, err := r.build(b)
+	return r.forms.getCtx(ctx, formKey{b.Name, sbo}, func() (*prog.Program, error) {
+		art, err := r.buildCtx(ctx, b)
 		if err != nil {
 			return nil, err
 		}
@@ -299,10 +340,10 @@ func (r *Runner) formed(b workload.Benchmark, sbo superblock.Options) (*prog.Pro
 
 // scheduled returns the benchmark's scheduled program for the given machine
 // configuration, compiled once per cell key.
-func (r *Runner) scheduled(b workload.Benchmark, md machine.Desc, sbo superblock.Options) (*schedArtifact, error) {
+func (r *Runner) scheduled(ctx context.Context, b workload.Benchmark, md machine.Desc, sbo superblock.Options) (*schedArtifact, error) {
 	key := CellKey{b.Name, md, sbo.WithDefaults()}
-	return r.scheds.get(key, func() (*schedArtifact, error) {
-		f, err := r.formed(b, sbo)
+	return r.scheds.getCtx(ctx, key, func() (*schedArtifact, error) {
+		f, err := r.formed(ctx, b, sbo)
 		if err != nil {
 			return nil, err
 		}
@@ -319,17 +360,26 @@ func (r *Runner) scheduled(b workload.Benchmark, md machine.Desc, sbo superblock
 // against the reference interpreter, reusing every artifact the Runner has
 // already computed for the benchmark. Identical cells are measured once.
 func (r *Runner) Measure(b workload.Benchmark, md machine.Desc, sbo superblock.Options) (Cell, error) {
+	return r.MeasureCtx(context.Background(), b, md, sbo)
+}
+
+// MeasureCtx is Measure with cancellation: an expired context stops the
+// measurement before the next pipeline stage and unblocks a caller waiting
+// on another goroutine's in-flight computation of the same cell (which
+// itself runs to completion and is cached — concurrent identical requests
+// coalesce onto it).
+func (r *Runner) MeasureCtx(ctx context.Context, b workload.Benchmark, md machine.Desc, sbo superblock.Options) (Cell, error) {
 	key := CellKey{b.Name, md, sbo.WithDefaults()}
-	return r.cells.get(key, func() (Cell, error) {
+	return r.cells.getCtx(ctx, key, func() (Cell, error) {
 		var t0 time.Time
 		if r.cellTime != nil {
 			t0 = time.Now()
 		}
-		art, err := r.build(b)
+		art, err := r.buildCtx(ctx, b)
 		if err != nil {
 			return Cell{}, err
 		}
-		sa, err := r.scheduled(b, md, sbo)
+		sa, err := r.scheduled(ctx, b, md, sbo)
 		if err != nil {
 			return Cell{}, err
 		}
@@ -353,11 +403,18 @@ func (r *Runner) Measure(b workload.Benchmark, md machine.Desc, sbo superblock.O
 // -trace` and ad-hoc profiling use to observe a cell without perturbing the
 // measured matrix.
 func (r *Runner) Simulate(b workload.Benchmark, md machine.Desc, sbo superblock.Options, opts sim.Options) (*sim.Result, error) {
-	art, err := r.build(b)
+	return r.SimulateCtx(context.Background(), b, md, sbo, opts)
+}
+
+// SimulateCtx is Simulate with cancellation of the artifact-compilation
+// stages (see MeasureCtx). The simulation itself, once started, runs to
+// completion.
+func (r *Runner) SimulateCtx(ctx context.Context, b workload.Benchmark, md machine.Desc, sbo superblock.Options, opts sim.Options) (*sim.Result, error) {
+	art, err := r.buildCtx(ctx, b)
 	if err != nil {
 		return nil, err
 	}
-	sa, err := r.scheduled(b, md, sbo)
+	sa, err := r.scheduled(ctx, b, md, sbo)
 	if err != nil {
 		return nil, err
 	}
@@ -371,10 +428,46 @@ func (r *Runner) Simulate(b workload.Benchmark, md machine.Desc, sbo superblock.
 	return res, nil
 }
 
+// Prepared is one cell's compiled artifact set, for callers that run their
+// own simulations instead of going through Measure — fault injection,
+// tracing, and the serving layer's uncached simulate path. Prog, Index, Ref
+// and Stats are shared read-only cached artifacts; Mem is a fresh clone of
+// the benchmark's pristine input image that the caller owns outright (and
+// may mutate, e.g. paging a segment out before the run).
+type Prepared struct {
+	Prog  *prog.Program
+	Index *sim.ProgIndex
+	Stats core.Stats
+	Ref   *prog.Result
+	Mem   *mem.Memory
+}
+
+// PreparedCtx compiles (or fetches from cache) one cell's artifacts without
+// simulating it.
+func (r *Runner) PreparedCtx(ctx context.Context, b workload.Benchmark, md machine.Desc, sbo superblock.Options) (Prepared, error) {
+	art, err := r.buildCtx(ctx, b)
+	if err != nil {
+		return Prepared{}, err
+	}
+	sa, err := r.scheduled(ctx, b, md, sbo)
+	if err != nil {
+		return Prepared{}, err
+	}
+	return Prepared{Prog: sa.prog, Index: sa.index, Stats: sa.stats, Ref: art.ref, Mem: art.mem.Clone()}, nil
+}
+
 // parallelFor runs fn(0..n-1) on up to r.workers goroutines and returns the
 // lowest-index error (the same error a serial in-order run would hit
 // first), so failures are independent of scheduling order.
 func (r *Runner) parallelFor(n int, fn func(i int) error) error {
+	return r.parallelForCtx(context.Background(), n, fn)
+}
+
+// parallelForCtx is parallelFor with cancellation: once ctx expires no
+// further index is dispatched (already-running fn calls finish), and the
+// context's error is returned in place of any per-index error — the results
+// are incomplete, so no per-index error can be meaningfully "first".
+func (r *Runner) parallelForCtx(ctx context.Context, n int, fn func(i int) error) error {
 	workers := r.workers
 	if workers > n {
 		workers = n
@@ -391,6 +484,9 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -404,7 +500,7 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -414,6 +510,9 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -426,7 +525,12 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 // issue-1 restricted base, like the serial Run, with cells fanned out over
 // the worker pool.
 func (r *Runner) Run(b workload.Benchmark, models []machine.Model, widths []int, sbo superblock.Options) (*BenchResult, error) {
-	rs, err := r.RunBenchmarks([]workload.Benchmark{b}, models, widths, sbo)
+	return r.RunCtx(context.Background(), b, models, widths, sbo)
+}
+
+// RunCtx is Run with cancellation (see RunBenchmarksCtx).
+func (r *Runner) RunCtx(ctx context.Context, b workload.Benchmark, models []machine.Model, widths []int, sbo superblock.Options) (*BenchResult, error) {
+	rs, err := r.RunBenchmarksCtx(ctx, []workload.Benchmark{b}, models, widths, sbo)
 	if err != nil {
 		return nil, err
 	}
@@ -438,12 +542,24 @@ func (r *Runner) Run(b workload.Benchmark, models []machine.Model, widths []int,
 // aggregated in benchmark order regardless of completion order, so the
 // output is byte-identical to the serial path at any worker count.
 func (r *Runner) RunAll(models []machine.Model, widths []int, sbo superblock.Options) ([]*BenchResult, error) {
-	return r.RunBenchmarks(workload.All(), models, widths, sbo)
+	return r.RunAllCtx(context.Background(), models, widths, sbo)
+}
+
+// RunAllCtx is RunAll with cancellation (see RunBenchmarksCtx).
+func (r *Runner) RunAllCtx(ctx context.Context, models []machine.Model, widths []int, sbo superblock.Options) ([]*BenchResult, error) {
+	return r.RunBenchmarksCtx(ctx, workload.All(), models, widths, sbo)
 }
 
 // RunBenchmarks measures the full cell matrix benches × (base ∪ models ×
 // widths) concurrently and aggregates deterministically.
 func (r *Runner) RunBenchmarks(benches []workload.Benchmark, models []machine.Model, widths []int, sbo superblock.Options) ([]*BenchResult, error) {
+	return r.RunBenchmarksCtx(context.Background(), benches, models, widths, sbo)
+}
+
+// RunBenchmarksCtx is RunBenchmarks with cancellation: once ctx expires,
+// queued cells are no longer dispatched (in-flight cells complete and stay
+// cached) and the context's error is returned.
+func (r *Runner) RunBenchmarksCtx(ctx context.Context, benches []workload.Benchmark, models []machine.Model, widths []int, sbo superblock.Options) ([]*BenchResult, error) {
 	type spec struct {
 		bench int
 		md    machine.Desc
@@ -458,8 +574,8 @@ func (r *Runner) RunBenchmarks(benches []workload.Benchmark, models []machine.Mo
 		}
 	}
 	cells := make([]Cell, len(specs))
-	err := r.parallelFor(len(specs), func(i int) error {
-		c, err := r.Measure(benches[specs[i].bench], specs[i].md, sbo)
+	err := r.parallelForCtx(ctx, len(specs), func(i int) error {
+		c, err := r.MeasureCtx(ctx, benches[specs[i].bench], specs[i].md, sbo)
 		if err != nil {
 			return fmt.Errorf("cell %v: %w",
 				CellKey{benches[specs[i].bench].Name, specs[i].md, sbo.WithDefaults()}, err)

@@ -1,0 +1,88 @@
+package server
+
+// Admission control: a fixed number of requests execute at once, a bounded
+// number may wait for a slot, and everything beyond that is refused
+// immediately with 429 rather than queued into memory. Waiting requests
+// leave the queue the moment their deadline expires, so a burst of doomed
+// requests cannot occupy the queue. Draining flips one switch: no new
+// request is admitted (503), in-flight requests run to completion.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+var (
+	// errOverload: the admission queue is full (429).
+	errOverload = errors.New("server: admission queue full")
+	// errDraining: the server is shutting down and admits nothing new (503).
+	errDraining = errors.New("server: draining")
+)
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// admission is the bounded two-stage queue in front of the pipeline.
+type admission struct {
+	sem      chan struct{} // in-flight slots
+	maxQueue int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{sem: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire admits one request, blocking in the bounded queue if all slots are
+// busy. The returned release must be called exactly once when the request
+// finishes. Fails fast with errDraining, errOverload, or the context's
+// error.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a.draining.Load() {
+		return nil, errDraining
+	}
+	select {
+	case a.sem <- struct{}{}:
+	default:
+		// No free slot: join the bounded queue or be refused.
+		if a.queued.Add(1) > a.maxQueue {
+			a.queued.Add(-1)
+			return nil, errOverload
+		}
+		select {
+		case a.sem <- struct{}{}:
+			a.queued.Add(-1)
+		case <-ctx.Done():
+			a.queued.Add(-1)
+			return nil, ctx.Err()
+		}
+		// A drain that started while we were queued still refuses us: the
+		// drain waiter only observes in-flight requests.
+		if a.draining.Load() {
+			<-a.sem
+			return nil, errDraining
+		}
+	}
+	a.inflight.Add(1)
+	return func() {
+		a.inflight.Add(-1)
+		<-a.sem
+	}, nil
+}
+
+// startDrain stops admitting new requests. Idempotent.
+func (a *admission) startDrain() { a.draining.Store(true) }
+
+// Queued and InFlight are metrics-gauge snapshots.
+func (a *admission) Queued() int64   { return a.queued.Load() }
+func (a *admission) InFlight() int64 { return a.inflight.Load() }

@@ -1,0 +1,166 @@
+package server
+
+// The wire types and typed error vocabulary of the v1 HTTP/JSON API.
+//
+// Every error response carries a machine-readable kind so clients can
+// distinguish a bad program (assembly_error), a bad request, an
+// architecturally signalled sentinel exception (sentinel_exception, with
+// the excepting PC), an expired deadline (timeout), and the two admission
+// outcomes (overload, draining). Plain 500s are reserved for genuine
+// internal failures; a simulated program trapping is a client-visible
+// result, never a server error.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"sentinel/internal/core"
+	"sentinel/internal/obs"
+)
+
+// ProgramSpec names the program a request operates on: a built-in workload
+// kernel by name, or MIR assembly source submitted inline (exactly one must
+// be set).
+type ProgramSpec struct {
+	Workload string `json:"workload,omitempty"`
+	Source   string `json:"source,omitempty"`
+}
+
+// ScheduleRequest asks the compile pipeline to assemble (or fetch) the
+// program, form superblocks, and schedule it for one machine configuration.
+type ScheduleRequest struct {
+	ProgramSpec
+	// Model is the speculation model: restricted, general, sentinel,
+	// sentinel+stores, boosting.
+	Model string `json:"model"`
+	// Width is the issue width (default 8).
+	Width int `json:"width,omitempty"`
+	// Superblock disables profile-driven superblock formation when set to
+	// false; nil/true means form (the default pipeline).
+	Superblock *bool `json:"superblock,omitempty"`
+}
+
+// ScheduleResponse is the scheduled program and its compile statistics.
+type ScheduleResponse struct {
+	Model  string     `json:"model"`
+	Width  int        `json:"width"`
+	Blocks int        `json:"blocks"`
+	Instrs int        `json:"instrs"`
+	Stats  core.Stats `json:"stats"`
+	// Listing is the scheduled program in assembler syntax with cycle/slot
+	// annotations.
+	Listing string `json:"listing"`
+}
+
+// SimulateRequest runs a program on the cycle simulator.
+type SimulateRequest struct {
+	ProgramSpec
+	Model string `json:"model"`
+	Width int    `json:"width,omitempty"`
+	// FaultSegment, when set, pages out the named memory segment before the
+	// run, so the first access to it raises a page fault — the serving
+	// mirror of the fault-injection study. The run is uncached and
+	// unverified; a signalled exception comes back as a structured 422.
+	FaultSegment string `json:"fault_segment,omitempty"`
+	// Full forces an uncached full simulation whose response includes the
+	// program output and memory checksum. The default (workload, no fault)
+	// path serves the runner's verified cell cache, which coalesces
+	// identical concurrent requests and answers repeats without simulating.
+	Full bool `json:"full,omitempty"`
+}
+
+// SimulateResponse reports one simulated run.
+type SimulateResponse struct {
+	Model  string  `json:"model"`
+	Width  int     `json:"width"`
+	Cycles int64   `json:"cycles"`
+	Instrs int64   `json:"instrs"`
+	IPC    float64 `json:"ipc"`
+	Stalls int64   `json:"stalls"`
+	// Stats is the simulator's per-run observability breakdown.
+	Stats obs.SimStats `json:"stats"`
+	// Out and MemSum are only present on Full (uncached) runs; MemSum is a
+	// decimal string because a uint64 checksum overflows JSON numbers.
+	Out    []int64 `json:"out,omitempty"`
+	MemSum string  `json:"mem_sum,omitempty"`
+	// Exceptions counts signalled-and-recovered exceptions (Full runs).
+	Exceptions int `json:"exceptions,omitempty"`
+}
+
+// Error kinds, the machine-readable half of every error response.
+const (
+	KindBadRequest        = "bad_request"
+	KindUnknownWorkload   = "unknown_workload"
+	KindUnknownSegment    = "unknown_segment"
+	KindAssemblyError     = "assembly_error"
+	KindSentinelException = "sentinel_exception"
+	KindTimeout           = "timeout"
+	KindOverload          = "overload"
+	KindDraining          = "draining"
+	KindInternal          = "internal"
+)
+
+// APIError is an error with a fixed HTTP status and error kind; handlers
+// return it (possibly wrapped) to control the response envelope.
+type APIError struct {
+	Status  int    `json:"-"`
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	// PC is the excepting program counter of a sentinel_exception: the PC
+	// recovered from the tagged register's data field, i.e. the speculative
+	// instruction that actually faulted, not the sentinel that signalled.
+	PC *int `json:"pc,omitempty"`
+	// ExcKind is the architectural exception kind (sentinel_exception only).
+	ExcKind string `json:"exc_kind,omitempty"`
+}
+
+func (e *APIError) Error() string { return e.Kind + ": " + e.Message }
+
+func apiErrorf(status int, kind, format string, args ...any) *APIError {
+	return &APIError{Status: status, Kind: kind, Message: fmt.Sprintf(format, args...)}
+}
+
+// errorResponse is the JSON envelope of every non-2xx response.
+type errorResponse struct {
+	Error *APIError `json:"error"`
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing left to do
+}
+
+// writeError maps err onto the typed error envelope and writes it.
+func writeError(w http.ResponseWriter, err error) *APIError {
+	ae := toAPIError(err)
+	writeJSON(w, ae.Status, errorResponse{Error: ae})
+	return ae
+}
+
+// toAPIError classifies an arbitrary pipeline error. Context expiry maps to
+// timeout, admission errors to their statuses, and anything unrecognized to
+// a 500 internal.
+func toAPIError(err error) *APIError {
+	var ae *APIError
+	switch {
+	case errors.As(err, &ae):
+		return ae
+	case errors.Is(err, errOverload):
+		return apiErrorf(http.StatusTooManyRequests, KindOverload,
+			"admission queue full; retry later")
+	case errors.Is(err, errDraining):
+		return apiErrorf(http.StatusServiceUnavailable, KindDraining,
+			"server is draining")
+	case isContextErr(err):
+		return apiErrorf(http.StatusGatewayTimeout, KindTimeout,
+			"request deadline exceeded: %v", err)
+	default:
+		return apiErrorf(http.StatusInternalServerError, KindInternal, "%v", err)
+	}
+}

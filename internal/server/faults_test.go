@@ -1,0 +1,123 @@
+package server
+
+// End-to-end coverage of the fault-injection path over HTTP: paging out a
+// program's input segment must surface as a structured 422 carrying the
+// excepting PC — the serving mirror of internal/eval/faults.go — and never
+// as a bare 500.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"sentinel/internal/ir"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// faultSegment finds the benchmark's primary input segment, mirroring the
+// candidate list in eval's injection campaign.
+func faultSegment(t *testing.T, s *Server, b workload.Benchmark) string {
+	t.Helper()
+	p, err := s.runner.PreparedCtx(context.Background(), b,
+		mustMachine(t, "sentinel", 8), superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"text", "input", "src", "a", "heap",
+		"cells", "x", "re", "b-data", "tokens"} {
+		if p.Mem.Segment(name) != nil {
+			return name
+		}
+	}
+	t.Fatalf("%s: no known input segment", b.Name)
+	return ""
+}
+
+// TestFaultInjection422EveryWorkload: for every benchmark, paging out the
+// input segment under the sentinel model signals an unhandled exception,
+// and the server reports it as 422 sentinel_exception with the PC of a
+// memory instruction — the recovered excepting PC, not a 500.
+func TestFaultInjection422EveryWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("uncached per-workload simulations")
+	}
+	s, ts := newTestServer(t, Config{Workers: 4})
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			seg := faultSegment(t, s, b)
+			resp, body := postJSON(t, ts.URL+"/v1/simulate", map[string]any{
+				"workload":      b.Name,
+				"model":         "sentinel",
+				"width":         8,
+				"fault_segment": seg,
+			})
+			if resp.StatusCode == http.StatusInternalServerError {
+				t.Fatalf("fault surfaced as 500 — must be a structured 422: %s", body)
+			}
+			if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+			}
+			ae := decodeError(t, body)
+			if ae.Kind != KindSentinelException {
+				t.Errorf("kind = %q, want %q", ae.Kind, KindSentinelException)
+			}
+			if ae.ExcKind == "" {
+				t.Error("exc_kind missing")
+			}
+			if ae.PC == nil {
+				t.Fatal("pc missing from sentinel_exception response")
+			}
+			// The reported PC must identify the faulting instruction itself: a
+			// memory op in the scheduled program, recovered from the tagged
+			// register — not the sentinel that signalled.
+			p, err := s.runner.PreparedCtx(context.Background(), b,
+				mustMachine(t, "sentinel", 8), superblock.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in, _, _ := p.Prog.InstrAt(*ae.PC)
+			if in == nil || !ir.IsMem(in.Op) {
+				t.Errorf("pc %d does not name a memory instruction (got %v)", *ae.PC, in)
+			}
+		})
+	}
+}
+
+func TestFaultUnknownSegment400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", map[string]any{
+		"workload": "cmp", "model": "sentinel", "fault_segment": "no-such-segment",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if ae := decodeError(t, body); ae.Kind != KindUnknownSegment {
+		t.Errorf("kind = %q, want %q", ae.Kind, KindUnknownSegment)
+	}
+}
+
+// TestFaultResponseShape pins the exact JSON field names clients depend on.
+func TestFaultResponseShape(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	seg := faultSegment(t, s, mustWorkload(t, "cmp"))
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", map[string]any{
+		"workload": "cmp", "model": "sentinel", "width": 8, "fault_segment": seg,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+	var raw struct {
+		Error map[string]json.RawMessage `json:"error"`
+	}
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"kind", "message", "pc", "exc_kind"} {
+		if _, ok := raw.Error[field]; !ok {
+			t.Errorf("error envelope missing %q: %s", field, body)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package server
+
+// The /v1 endpoint implementations. Handlers return errors; the v1 wrapper
+// owns the envelope. Anything written directly to w is a success response.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"sentinel/internal/asm"
+	"sentinel/internal/core"
+	"sentinel/internal/eval"
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+// KindProgramError classifies a program that assembles but cannot be
+// compiled or reference-executed (e.g. traps deterministically in the
+// sequential interpreter).
+const KindProgramError = "program_error"
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return apiErrorf(http.StatusBadRequest, KindBadRequest, "invalid request body: %v", err)
+	}
+	return nil
+}
+
+func parseMachine(model string, width int) (machine.Desc, error) {
+	if width == 0 {
+		width = 8
+	}
+	var m machine.Model
+	switch model {
+	case "restricted":
+		m = machine.Restricted
+	case "general":
+		m = machine.General
+	case "", "sentinel":
+		m = machine.Sentinel
+	case "sentinel+stores", "stores":
+		m = machine.SentinelStores
+	case "boosting":
+		m = machine.Boosting
+	default:
+		return machine.Desc{}, apiErrorf(http.StatusBadRequest, KindBadRequest,
+			"unknown model %q (want restricted, general, sentinel, sentinel+stores, boosting)", model)
+	}
+	md := machine.Base(width, m)
+	if err := md.Validate(); err != nil {
+		return machine.Desc{}, apiErrorf(http.StatusBadRequest, KindBadRequest, "%v", err)
+	}
+	return md, nil
+}
+
+// prepared resolves a ProgramSpec into compile artifacts: workload kernels
+// through the Runner's caches, inline source through the content-hash
+// cache.
+func (s *Server) prepared(r *http.Request, spec ProgramSpec, md machine.Desc, form bool) (eval.Prepared, error) {
+	ctx := r.Context()
+	switch {
+	case spec.Workload != "" && spec.Source != "":
+		return eval.Prepared{}, apiErrorf(http.StatusBadRequest, KindBadRequest,
+			"workload and source are mutually exclusive")
+	case spec.Workload != "":
+		if !form {
+			return eval.Prepared{}, apiErrorf(http.StatusBadRequest, KindBadRequest,
+				"superblock=false requires an inline source program; workload cells always use the paper pipeline")
+		}
+		b, ok := workload.ByName(spec.Workload)
+		if !ok {
+			return eval.Prepared{}, apiErrorf(http.StatusNotFound, KindUnknownWorkload,
+				"unknown workload %q", spec.Workload)
+		}
+		return s.runner.PreparedCtx(ctx, b, md, superblock.Options{})
+	case spec.Source != "":
+		key := sourceKey{sum: sha256.Sum256([]byte(spec.Source)), md: md, form: form}
+		c, err := s.sources.get(ctx, key, func() (*compiled, error) {
+			return compileSource(spec.Source, md, form)
+		})
+		if err != nil {
+			return eval.Prepared{}, err
+		}
+		return eval.Prepared{Prog: c.prog, Index: c.index, Stats: c.stats,
+			Ref: c.ref, Mem: c.mem.Clone()}, nil
+	default:
+		return eval.Prepared{}, apiErrorf(http.StatusBadRequest, KindBadRequest,
+			"one of workload or source is required")
+	}
+}
+
+// compileSource runs the full compile pipeline on inline assembly: parse,
+// lay out, reference-interpret for the profile, optionally form
+// superblocks, schedule for md.
+func compileSource(src string, md machine.Desc, form bool) (*compiled, error) {
+	p, m, err := asm.Parse(src)
+	if err != nil {
+		return nil, apiErrorf(http.StatusUnprocessableEntity, KindAssemblyError, "%v", err)
+	}
+	p.Layout()
+	ref, err := prog.Run(p, m.Clone(), prog.Options{Collect: true})
+	if err != nil {
+		return nil, apiErrorf(http.StatusUnprocessableEntity, KindProgramError,
+			"reference interpretation failed: %v", err)
+	}
+	if form {
+		p = superblock.Form(p, ref.Profile, superblock.Options{})
+		p.Layout()
+		if err := p.Validate(); err != nil {
+			return nil, apiErrorf(http.StatusUnprocessableEntity, KindProgramError,
+				"superblock formation: %v", err)
+		}
+	}
+	sched, stats, err := core.Schedule(p, md)
+	if err != nil {
+		return nil, apiErrorf(http.StatusUnprocessableEntity, KindProgramError,
+			"schedule: %v", err)
+	}
+	return &compiled{prog: sched, index: sim.NewProgIndex(sched), stats: stats,
+		mem: m, ref: ref}, nil
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
+	var req ScheduleRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return err
+	}
+	md, err := parseMachine(req.Model, req.Width)
+	if err != nil {
+		return err
+	}
+	form := req.Superblock == nil || *req.Superblock
+	p, err := s.prepared(r, req.ProgramSpec, md, form)
+	if err != nil {
+		return err
+	}
+	instrs := 0
+	for _, b := range p.Prog.Blocks {
+		instrs += len(b.Instrs)
+	}
+	writeJSON(w, http.StatusOK, ScheduleResponse{
+		Model:   md.Model.String(),
+		Width:   md.IssueWidth,
+		Blocks:  len(p.Prog.Blocks),
+		Instrs:  instrs,
+		Stats:   p.Stats,
+		Listing: asm.FormatScheduled(p.Prog),
+	})
+	return nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
+	var req SimulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return err
+	}
+	md, err := parseMachine(req.Model, req.Width)
+	if err != nil {
+		return err
+	}
+
+	// Fast path: a plain workload cell is served from the Runner's verified
+	// cell cache — identical concurrent requests coalesce onto one
+	// simulation, repeats never simulate at all.
+	if req.Workload != "" && req.Source == "" && req.FaultSegment == "" && !req.Full {
+		b, ok := workload.ByName(req.Workload)
+		if !ok {
+			return apiErrorf(http.StatusNotFound, KindUnknownWorkload,
+				"unknown workload %q", req.Workload)
+		}
+		cell, err := s.runner.MeasureCtx(r.Context(), b, md, superblock.Options{})
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, SimulateResponse{
+			Model:  md.Model.String(),
+			Width:  md.IssueWidth,
+			Cycles: cell.Cycles,
+			Instrs: cell.Instrs,
+			IPC:    float64(cell.Instrs) / float64(cell.Cycles),
+			Stalls: cell.Sim.Stalls(),
+			Stats:  cell.Sim,
+		})
+		return nil
+	}
+
+	// Full path: a per-request simulation over cached compile artifacts —
+	// inline source, fault injection, or an explicit Full run that needs
+	// the program output and memory checksum.
+	p, err := s.prepared(r, req.ProgramSpec, md, true)
+	if err != nil {
+		return err
+	}
+	if req.FaultSegment != "" {
+		seg := p.Mem.Segment(req.FaultSegment)
+		if seg == nil {
+			return apiErrorf(http.StatusBadRequest, KindUnknownSegment,
+				"program has no segment %q", req.FaultSegment)
+		}
+		seg.Present = false
+	}
+	res, err := sim.Run(p.Prog, md, p.Mem, sim.Options{Index: p.Index})
+	if err != nil {
+		if exc, ok := sim.Unhandled(err); ok {
+			pc := exc.ReportedPC
+			return &APIError{
+				Status:  http.StatusUnprocessableEntity,
+				Kind:    KindSentinelException,
+				Message: fmt.Sprintf("unhandled exception: %v", exc),
+				PC:      &pc,
+				ExcKind: exc.Kind.String(),
+			}
+		}
+		return err
+	}
+	if req.FaultSegment == "" {
+		// Verification only makes sense against an unfaulted image.
+		if res.MemSum != p.Ref.MemSum || fmt.Sprint(res.Out) != fmt.Sprint(p.Ref.Out) {
+			return apiErrorf(http.StatusInternalServerError, KindInternal,
+				"verification failed: simulated result diverges from the reference interpreter")
+		}
+	}
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Model:      md.Model.String(),
+		Width:      md.IssueWidth,
+		Cycles:     res.Cycles,
+		Instrs:     res.Instrs,
+		IPC:        float64(res.Instrs) / float64(res.Cycles),
+		Stalls:     res.Stalls,
+		Stats:      res.Stats,
+		Out:        res.Out,
+		MemSum:     strconv.FormatUint(res.MemSum, 10),
+		Exceptions: len(res.Exceptions),
+	})
+	return nil
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) error {
+	var secs eval.Sections
+	names := r.URL.Query()["section"]
+	if len(names) == 0 {
+		secs = eval.AllSections()
+	}
+	for _, name := range names {
+		if !secs.SectionByName(name) {
+			return apiErrorf(http.StatusBadRequest, KindBadRequest,
+				"unknown section %q (want fig4, fig5, table3, overhead, recovery, buffer, faults, sharing, boosting, all)", name)
+		}
+	}
+	// Render into memory first: an error after bytes hit the wire could not
+	// change the status line anymore.
+	var buf bytes.Buffer
+	if err := eval.RenderSections(r.Context(), secs, s.runner, &buf); err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(buf.Bytes()) //nolint:errcheck
+	return nil
+}

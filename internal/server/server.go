@@ -1,0 +1,245 @@
+// Package server is the long-lived serving layer over the compile-and-
+// simulate pipeline: an HTTP/JSON front-end that owns one process-wide
+// eval.Runner and adds the concerns the Runner lacks — bounded admission
+// with per-request deadlines, coalescing of identical requests (workload
+// cells through the Runner's singleflight caches, inline source programs
+// through a content-hash cache), typed error responses, readiness and
+// graceful drain, and request metrics.
+//
+// Endpoints:
+//
+//	POST /v1/schedule   assemble + form superblocks + schedule a program
+//	POST /v1/simulate   run a program and return sim result + stats
+//	GET  /v1/figures    paper figure/table sections (byte-identical to paperfigs)
+//	GET  /healthz       liveness (200 while the process serves)
+//	GET  /readyz        readiness (503 while warming or draining)
+//	GET  /debug/vars    expvar (published metrics registries)
+//	GET  /debug/pprof/  net/http/pprof profiles
+package server
+
+import (
+	"context"
+	"expvar"
+	"net/http"
+	netpprof "net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sentinel/internal/eval"
+	"sentinel/internal/obs"
+)
+
+// Config sizes the serving layer. The zero value of every field selects a
+// sensible default.
+type Config struct {
+	// Workers is the eval.Runner's parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds concurrently executing requests (default 16).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; anything
+	// beyond is refused with 429 (default 64).
+	MaxQueue int
+	// RequestTimeout is the default per-request deadline; a request may
+	// shorten (never extend) it with ?timeout_ms= (default 30s).
+	RequestTimeout time.Duration
+	// MaxSourcePrograms caps the inline-source compile cache (default 256).
+	MaxSourcePrograms int
+	// Registry receives request metrics and the Runner's cache/utilization
+	// instruments; nil disables metrics entirely (the obs nil path).
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 16
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxSourcePrograms == 0 {
+		c.MaxSourcePrograms = 256
+	}
+	return c
+}
+
+// Server is the serving layer. Construct with New; safe for concurrent use.
+type Server struct {
+	cfg     Config
+	runner  *eval.Runner
+	adm     *admission
+	sources *sourceCache
+	mux     *http.ServeMux
+	ready   atomic.Bool
+
+	// Metrics, nil (the obs discard path) unless Config.Registry was set.
+	reqTime  *obs.Histogram // wall time per /v1 request, ns
+	reqs     *obs.Counter   // admitted /v1 requests
+	rejected *obs.Counter   // refused at admission (overload/draining/deadline)
+	errs4xx  *obs.Counter
+	errs5xx  *obs.Counter
+}
+
+// New builds a Server around a fresh eval.Runner. The server starts ready;
+// callers that warm caches first should SetReady(false) before serving and
+// flip it after warmup.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		runner:  eval.NewRunner(cfg.Workers),
+		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		sources: newSourceCache(cfg.MaxSourcePrograms),
+	}
+	s.ready.Store(true)
+	if reg := cfg.Registry; reg != nil {
+		s.runner.SetMetrics(reg)
+		s.reqTime = reg.Histogram("server.request_ns")
+		s.reqs = reg.Counter("server.requests")
+		s.rejected = reg.Counter("server.rejected")
+		s.errs4xx = reg.Counter("server.errors_4xx")
+		s.errs5xx = reg.Counter("server.errors_5xx")
+		reg.Gauge("server.inflight", s.adm.InFlight)
+		reg.Gauge("server.queued", s.adm.Queued)
+		reg.Gauge("server.draining", func() int64 {
+			if s.adm.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+		reg.Gauge("server.cache_hit_permille", s.cacheHitPermille)
+	}
+	s.routes()
+	return s
+}
+
+// Runner exposes the process-wide evaluation runner (tests and warmup).
+func (s *Server) Runner() *eval.Runner { return s.runner }
+
+// Handler returns the root handler serving every endpoint.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetReady flips the /readyz signal (warmup gating).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// StartDrain makes /readyz report 503 and refuses new /v1 requests while
+// in-flight ones complete. Idempotent.
+func (s *Server) StartDrain() {
+	s.adm.startDrain()
+	s.ready.Store(false)
+}
+
+// Drain starts draining and blocks until no request is in flight or ctx
+// expires. The HTTP listener's own Shutdown still applies on top: Drain
+// settles the admission layer, Shutdown the connections.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for s.adm.InFlight() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// cacheHitPermille summarizes all Runner caches into one effectiveness
+// gauge: hits per thousand lookups across builds, forms, scheds and cells.
+func (s *Server) cacheHitPermille() int64 {
+	var hits, total int64
+	for _, cs := range s.runner.CacheStats() {
+		hits += cs.Hits
+		total += cs.Hits + cs.Misses
+	}
+	if total == 0 {
+		return 0
+	}
+	return hits * 1000 / total
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/schedule", s.v1(s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/simulate", s.v1(s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/figures", s.v1(s.handleFigures))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch {
+		case s.adm.draining.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n")) //nolint:errcheck
+		case !s.ready.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("warming\n")) //nolint:errcheck
+		default:
+			w.Write([]byte("ready\n")) //nolint:errcheck
+		}
+	})
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+}
+
+// v1 wraps an API handler with the serving concerns every /v1 endpoint
+// shares: per-request deadline, admission, error envelope, and metrics.
+func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var t0 time.Time
+		if s.reqTime != nil {
+			t0 = time.Now()
+		}
+		ctx := r.Context()
+		timeout := s.cfg.RequestTimeout
+		if q := r.URL.Query().Get("timeout_ms"); q != "" {
+			ms, err := strconv.Atoi(q)
+			if err != nil || ms < 1 {
+				s.countStatus(writeError(w, apiErrorf(http.StatusBadRequest, KindBadRequest,
+					"invalid timeout_ms %q", q)).Status)
+				return
+			}
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+
+		release, err := s.adm.acquire(ctx)
+		if err != nil {
+			s.rejected.Inc()
+			s.countStatus(writeError(w, err).Status)
+			return
+		}
+		defer release()
+		s.reqs.Inc()
+
+		if err := h(w, r.WithContext(ctx)); err != nil {
+			s.countStatus(writeError(w, err).Status)
+		}
+		if s.reqTime != nil {
+			s.reqTime.Observe(time.Since(t0).Nanoseconds())
+		}
+	}
+}
+
+func (s *Server) countStatus(status int) {
+	switch {
+	case status >= 500:
+		s.errs5xx.Inc()
+	case status >= 400:
+		s.errs4xx.Inc()
+	}
+}
