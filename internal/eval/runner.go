@@ -18,6 +18,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -96,10 +97,11 @@ func (f *flight[K, V]) get(k K, fn func() (V, error)) (V, error) {
 // getCtx is get with cancellation: a caller whose context expires while the
 // value is computed by another goroutine unblocks immediately with the
 // context's error, and an already-expired context never starts a
-// computation. A computation that has begun always runs to completion and is
-// cached — singleflight followers may still be waiting on it, and within one
-// process recomputing a deterministic artifact cannot produce a different
-// answer.
+// computation. Real errors are cached like values (deterministic inputs
+// cannot recompute differently), but a context error is the owner's deadline
+// talking, not a property of the artifact: the entry is dropped before
+// waiters are released, so the next caller recomputes instead of being
+// served a dead request's timeout forever.
 func (f *flight[K, V]) getCtx(ctx context.Context, k K, fn func() (V, error)) (V, error) {
 	var zero V
 	f.mu.Lock()
@@ -125,6 +127,13 @@ func (f *flight[K, V]) getCtx(ctx context.Context, k K, fn func() (V, error)) (V
 	f.mu.Unlock()
 	f.misses.Add(1)
 	c.val, c.err = fn()
+	if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+		f.mu.Lock()
+		if f.m[k] == c {
+			delete(f.m, k)
+		}
+		f.mu.Unlock()
+	}
 	close(c.done)
 	return c.val, c.err
 }

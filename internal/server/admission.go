@@ -66,12 +66,14 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 			a.queued.Add(-1)
 			return nil, ctx.Err()
 		}
-		// A drain that started while we were queued still refuses us: the
-		// drain waiter only observes in-flight requests.
-		if a.draining.Load() {
-			<-a.sem
-			return nil, errDraining
-		}
+	}
+	// A drain that started after the first check still refuses us, on both
+	// paths: every admitted request holds its slot by the time it re-checks,
+	// so the drain waiter (settled) either sees the slot occupied or the
+	// request sees draining and bows out — never neither.
+	if a.draining.Load() {
+		<-a.sem
+		return nil, errDraining
 	}
 	a.inflight.Add(1)
 	return func() {
@@ -79,6 +81,12 @@ func (a *admission) acquire(ctx context.Context) (release func(), err error) {
 		<-a.sem
 	}, nil
 }
+
+// settled reports that no request holds an execution slot. The drain waiter
+// uses this rather than InFlight(): the slot is acquired before inflight is
+// incremented and released after it is decremented, so the semaphore is the
+// authoritative signal that admission has quiesced.
+func (a *admission) settled() bool { return len(a.sem) == 0 }
 
 // startDrain stops admitting new requests. Idempotent.
 func (a *admission) startDrain() { a.draining.Store(true) }

@@ -11,6 +11,7 @@ package server
 // result, never a server error.
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -127,13 +128,23 @@ type errorResponse struct {
 	Error *APIError `json:"error"`
 }
 
-// writeJSON writes v as the response body with the given status.
+// writeJSON writes v as the response body with the given status. The body
+// is encoded into memory first: an unencodable value (e.g. a NaN that
+// slipped into a response) must become a 500 envelope, not a 200 status
+// line with a truncated body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		status = http.StatusInternalServerError
+		buf.Reset()
+		ae := apiErrorf(status, KindInternal, "response encoding failed: %v", err)
+		enc.Encode(errorResponse{Error: ae}) //nolint:errcheck // static payload always encodes
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // client gone; nothing left to do
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing left to do
 }
 
 // writeError maps err onto the typed error envelope and writes it.

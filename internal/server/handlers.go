@@ -26,6 +26,15 @@ import (
 // sequential interpreter).
 const KindProgramError = "program_error"
 
+// ipc guards the instructions-per-cycle division: a zero-cycle result must
+// not put NaN into the response, which json.Encode would reject.
+func ipc(instrs, cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(instrs) / float64(cycles)
+}
+
 func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
 	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
 	dec := json.NewDecoder(r.Body)
@@ -187,7 +196,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 			Width:  md.IssueWidth,
 			Cycles: cell.Cycles,
 			Instrs: cell.Instrs,
-			IPC:    float64(cell.Instrs) / float64(cell.Cycles),
+			IPC:    ipc(cell.Instrs, cell.Cycles),
 			Stalls: cell.Sim.Stalls(),
 			Stats:  cell.Sim,
 		})
@@ -235,7 +244,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		Width:      md.IssueWidth,
 		Cycles:     res.Cycles,
 		Instrs:     res.Instrs,
-		IPC:        float64(res.Instrs) / float64(res.Cycles),
+		IPC:        ipc(res.Instrs, res.Cycles),
 		Stalls:     res.Stalls,
 		Stats:      res.Stats,
 		Out:        res.Out,

@@ -139,7 +139,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.StartDrain()
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
-	for s.adm.InFlight() > 0 {
+	for !s.adm.settled() {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()

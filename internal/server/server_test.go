@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -278,6 +279,41 @@ func TestRequestTimeout504(t *testing.T) {
 	}
 	if ae := decodeError(t, body); ae.Kind != KindTimeout {
 		t.Errorf("kind = %q, want %q", ae.Kind, KindTimeout)
+	}
+}
+
+// TestTimeoutDoesNotPoisonCache: a request whose deadline expires while it
+// OWNS the Runner's singleflight computation (not merely waits on it) must
+// not cache its context error — otherwise every later request for the same
+// cell serves the dead request's 504 until process restart. The doomed
+// requests below expire at whatever pipeline stage 1ms reaches; the sane
+// retry must succeed regardless.
+func TestTimeoutDoesNotPoisonCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := SimulateRequest{ProgramSpec: ProgramSpec{Workload: "cmp"}, Model: "sentinel"}
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/simulate?timeout_ms=1", req)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("doomed request %d: status %d, want 200 or 504: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after a timed-out owner: status %d, want 200 (cache poisoned): %s",
+			resp.StatusCode, body)
+	}
+}
+
+// TestWriteJSONUnencodableIs500: an unencodable response value must become
+// a 500 error envelope, never a 200 status line with a truncated body.
+func TestWriteJSONUnencodableIs500(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, math.NaN())
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if ae := decodeError(t, rec.Body.Bytes()); ae.Kind != KindInternal {
+		t.Errorf("kind = %q, want %q", ae.Kind, KindInternal)
 	}
 }
 

@@ -8,7 +8,15 @@ never fail the gate: the allocation counts are pinned exactly by the JSON
 diff a reviewer sees, while wall-clock noise on shared CI runners needs the
 tolerance.
 
+New benchmarks (in current, not in baseline) are reported and skipped so
+adding benchmarks never wedges CI before the baseline is refreshed. The
+reverse — a baseline benchmark missing from the current run — fails the
+gate: it means a benchmark was deleted or broke, and warning alone would
+let that pass silently forever. Pass --allow-missing during an intentional
+rename/removal, then refresh the baseline.
+
 Usage: benchgate.py BASELINE.json CURRENT.json [--threshold 0.20]
+       [--allow-missing]
 """
 
 import argparse
@@ -27,6 +35,10 @@ def main():
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=0.20,
                     help="maximum allowed ns_per_op regression (fraction)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="warn instead of fail when a baseline benchmark is "
+                         "missing from the current run (intentional rename "
+                         "or removal, pending a baseline refresh)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -37,11 +49,18 @@ def main():
     for name, b in base.items():
         c = cur.get(name)
         if c is None:
-            # A benchmark present only in the baseline is a rename or removal
-            # mid-flight, not a regression: warn and skip rather than fail, so
-            # refactors don't wedge the gate before the baseline is refreshed.
-            print(f"WARNING: {name}: in baseline but not in current run; "
-                  f"skipped (refresh the baseline)", file=sys.stderr)
+            # A benchmark present only in the baseline was deleted or broke.
+            # That fails the gate unless --allow-missing acknowledges an
+            # intentional rename/removal pending a baseline refresh.
+            if args.allow_missing:
+                print(f"WARNING: {name}: in baseline but not in current run; "
+                      f"skipped (--allow-missing; refresh the baseline)",
+                      file=sys.stderr)
+            else:
+                failed.append(
+                    f"{name}: in baseline but not in current run "
+                    f"(deleted or broken benchmark; pass --allow-missing "
+                    f"for an intentional removal)")
             continue
         delta = (c["ns_per_op"] - b["ns_per_op"]) / b["ns_per_op"]
         mark = ""
