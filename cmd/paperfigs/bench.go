@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
@@ -11,6 +13,7 @@ import (
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
 	"sentinel/internal/prog"
+	"sentinel/internal/server"
 	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
 	"sentinel/internal/workload"
@@ -54,6 +57,83 @@ func benchFormed(name string) (*prog.Program, *mem.Memory, error) {
 	f.Layout()
 	return f, m, nil
 }
+
+// discardWriter is the minimal ResponseWriter for handler-path benchmarks:
+// preallocated header, discarded body, remembered status.
+type discardWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardWriter) Header() http.Header         { return w.h }
+func (w *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardWriter) WriteHeader(code int)        { w.status = code }
+
+// benchServe measures the warm serving hot path — the steady state of a
+// long-lived sentineld, where every repeat request is a response-byte cache
+// hit — by driving the handler in-process with a reused request object.
+func benchServe() ([]benchRecord, error) {
+	srv := server.New(server.Config{Workers: 1})
+	h := srv.Handler()
+	cases := []struct {
+		name, method, target string
+		body                 []byte
+	}{
+		{"ServeSimulate/warm", http.MethodPost, "/v1/simulate",
+			[]byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)},
+		{"ServeSchedule/warm", http.MethodPost, "/v1/schedule",
+			[]byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)},
+		{"ServeFigures/fig4", http.MethodGet, "/v1/figures?section=fig4", nil},
+	}
+	var recs []benchRecord
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, "http://bench"+c.target, nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		// The serving fast path consumes and replaces r.Body, so a reused
+		// request needs its body reattached (and rewound) every iteration.
+		rb := &reusableBody{}
+		attach := func() {
+			if c.body != nil {
+				rb.Reset(c.body)
+				req.Body = rb
+				req.ContentLength = int64(len(c.body))
+			}
+		}
+		w := &discardWriter{h: make(http.Header, 4)}
+		attach()
+		h.ServeHTTP(w, req) // warm: populate every cache under the endpoint
+		if w.status != 0 && w.status != http.StatusOK {
+			return nil, fmt.Errorf("benchjson: warm %s %s = %d", c.method, c.target, w.status)
+		}
+		var bad int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.status = 0
+				attach()
+				h.ServeHTTP(w, req)
+				if w.status != 0 && w.status != http.StatusOK {
+					bad = w.status
+					b.FailNow()
+				}
+			}
+		})
+		if bad != 0 {
+			return nil, fmt.Errorf("benchjson: %s returned status %d mid-benchmark", c.name, bad)
+		}
+		recs = append(recs, record(c.name, r))
+	}
+	return recs, nil
+}
+
+// reusableBody is a rewindable no-op-Close request body for the reused
+// benchmark request above.
+type reusableBody struct{ bytes.Reader }
+
+func (b *reusableBody) Close() error { return nil }
 
 // writeBenchJSON measures the two dense-index hot paths — list scheduling
 // and the simulator inner loop — on the kernels with the largest superblocks
@@ -137,12 +217,18 @@ func writeBenchJSON(dir string) error {
 		simRecs = append(simRecs, record("SimRun/"+name, r))
 	}
 
+	serveRecs, err := benchServe()
+	if err != nil {
+		return err
+	}
+
 	for _, f := range []struct {
 		name string
 		recs []benchRecord
 	}{
 		{"BENCH_schedule.json", schedRecs},
 		{"BENCH_sim.json", simRecs},
+		{"BENCH_serve.json", serveRecs},
 	} {
 		data, err := json.MarshalIndent(f.recs, "", "  ")
 		if err != nil {

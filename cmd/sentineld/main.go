@@ -42,6 +42,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	drain := flag.Duration("drain", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	warm := flag.Bool("warm", false, "prebuild the paper figure matrix before reporting ready")
+	respEntries := flag.Int("respcache-entries", 0, "response-byte cache capacity (0 = default 4096, negative disables)")
 	flag.Parse()
 
 	log.SetPrefix("sentineld: ")
@@ -49,11 +50,12 @@ func main() {
 
 	reg := obs.NewRegistry()
 	srv := server.New(server.Config{
-		Workers:        *jobs,
-		MaxInFlight:    *inflight,
-		MaxQueue:       *queue,
-		RequestTimeout: *timeout,
-		Registry:       reg,
+		Workers:          *jobs,
+		MaxInFlight:      *inflight,
+		MaxQueue:         *queue,
+		RequestTimeout:   *timeout,
+		RespCacheEntries: *respEntries,
+		Registry:         reg,
 	})
 	if err := reg.Publish("sentineld"); err != nil {
 		log.Fatal(err)

@@ -17,16 +17,30 @@
 // Requests cycle deterministically through the -workloads list. The exit
 // code is nonzero when any request failed or the achieved throughput fell
 // below -min-rps (the CI smoke gate).
+//
+// The generator is built not to measure its own allocator. The closed loop
+// is a raw HTTP/1.1 client in the wrk mold: each worker owns one keep-alive
+// TCP connection and a set of fully preserialized request byte strings (one
+// per workload, request line + headers + body rendered once at startup),
+// writes them with a single syscall, and parses just enough of the response
+// — status code, Content-Length / chunked framing — to discard the body in
+// place. No net/http client, no per-request allocation, no shared state
+// between workers until results merge after the clock stops. The open loop
+// keeps net/http: arrivals spawn goroutines and the rate limiter, not the
+// client, dominates that mode.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -40,100 +54,393 @@ type result struct {
 	err     bool
 }
 
-func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8649", "base URL of the sentineld server")
-	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
-	conc := flag.Int("c", 8, "concurrency: closed-loop workers, or the open-loop in-flight cap")
-	rps := flag.Float64("rps", 0, "open-loop target arrival rate in req/s (0 = closed loop)")
-	workloads := flag.String("workloads", "cmp,wc,grep,eqntott", "comma-separated workload mix, cycled per request")
-	model := flag.String("model", "sentinel+stores", "speculation model for every request")
-	width := flag.Int("width", 8, "issue width for every request")
-	endpoint := flag.String("endpoint", "simulate", "endpoint to drive: simulate or schedule")
-	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
-	minRPS := flag.Float64("min-rps", 0, "exit nonzero when achieved req/s falls below this")
-	flag.Parse()
+// config is everything main's flags select; run is the testable core.
+type config struct {
+	addr      string
+	duration  time.Duration
+	conc      int
+	rps       float64
+	workloads string
+	model     string
+	width     int
+	endpoint  string
+	timeout   time.Duration
+	minRPS    float64
+}
 
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8649", "base URL of the sentineld server")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to drive load")
+	flag.IntVar(&cfg.conc, "c", 8, "concurrency: closed-loop workers, or the open-loop in-flight cap")
+	flag.Float64Var(&cfg.rps, "rps", 0, "open-loop target arrival rate in req/s (0 = closed loop)")
+	flag.StringVar(&cfg.workloads, "workloads", "cmp,wc,grep,eqntott", "comma-separated workload mix, cycled per request")
+	flag.StringVar(&cfg.model, "model", "sentinel+stores", "speculation model for every request")
+	flag.IntVar(&cfg.width, "width", 8, "issue width for every request")
+	flag.StringVar(&cfg.endpoint, "endpoint", "simulate", "endpoint to drive: simulate or schedule")
+	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request client timeout")
+	flag.Float64Var(&cfg.minRPS, "min-rps", 0, "exit nonzero when achieved req/s falls below this")
+	flag.Parse()
+	os.Exit(run(cfg, os.Stdout, os.Stderr))
+}
+
+// encodeBodies marshals one request body per workload, once, up front.
+func encodeBodies(cfg config) ([][]byte, error) {
+	var bodies [][]byte
+	for _, name := range strings.Split(cfg.workloads, ",") {
+		body, err := json.Marshal(map[string]any{
+			"workload": strings.TrimSpace(name),
+			"model":    cfg.model,
+			"width":    cfg.width,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}
+
+// hostFromAddr reduces the -addr base URL to a raw dial target. The closed
+// loop speaks HTTP/1.1 over plain TCP, so only http (or schemeless) bases
+// are accepted there.
+func hostFromAddr(addr string) (string, error) {
+	host := addr
+	if strings.Contains(addr, "://") {
+		u, err := url.Parse(addr)
+		if err != nil {
+			return "", err
+		}
+		if u.Scheme != "http" {
+			return "", fmt.Errorf("closed loop speaks plain http; unsupported scheme %q", u.Scheme)
+		}
+		host = u.Host
+	}
+	if host == "" {
+		return "", fmt.Errorf("no host in -addr %q", addr)
+	}
+	if _, _, err := net.SplitHostPort(host); err != nil {
+		host = net.JoinHostPort(host, "80")
+	}
+	return host, nil
+}
+
+// rawRequest renders one complete HTTP/1.1 request — line, headers, body —
+// into a byte string a worker can write with a single syscall forever.
+func rawRequest(host, path string, body []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
+		path, host, len(body))
+	b.Write(body)
+	return b.Bytes()
+}
+
+// worker is one closed-loop driver: a dedicated keep-alive connection, the
+// preserialized request per workload in the mix, and a private result slice
+// nothing else touches until the merge.
+type worker struct {
+	host    string
+	reqs    [][]byte
+	conn    net.Conn
+	br      *bufio.Reader
+	results []result
+	timeout time.Duration
+}
+
+func newWorker(host, path string, bodies [][]byte, timeout time.Duration) *worker {
+	w := &worker{host: host, timeout: timeout}
+	for _, body := range bodies {
+		w.reqs = append(w.reqs, rawRequest(host, path, body))
+	}
+	return w
+}
+
+// shoot sends preserialized request j and records the outcome locally. Any
+// transport or framing error drops the connection; the next shot redials.
+func (w *worker) shoot(j int) {
+	t0 := time.Now()
+	status, err := w.do(j)
+	lat := time.Since(t0)
+	if err != nil {
+		if w.conn != nil {
+			w.conn.Close()
+			w.conn = nil
+		}
+		w.results = append(w.results, result{latency: lat, err: true})
+		return
+	}
+	w.results = append(w.results, result{latency: lat, status: status})
+}
+
+func (w *worker) do(j int) (int, error) {
+	if w.conn == nil {
+		c, err := net.DialTimeout("tcp", w.host, w.timeout)
+		if err != nil {
+			return 0, err
+		}
+		w.conn = c
+		if w.br == nil {
+			w.br = bufio.NewReaderSize(c, 16<<10)
+		} else {
+			w.br.Reset(c)
+		}
+	}
+	if err := w.conn.SetDeadline(time.Now().Add(w.timeout)); err != nil {
+		return 0, err
+	}
+	if _, err := w.conn.Write(w.reqs[j]); err != nil {
+		return 0, err
+	}
+	return w.readResponse()
+}
+
+func (w *worker) close() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+}
+
+// trimCRLF strips the line terminator ReadSlice leaves on.
+func trimCRLF(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+		if n > 1 && b[n-2] == '\r' {
+			b = b[:n-2]
+		}
+	}
+	return b
+}
+
+// headerValue matches a header line against a lowercase name and returns
+// the trimmed value — case-insensitive, allocation-free.
+func headerValue(line []byte, name string) ([]byte, bool) {
+	if len(line) <= len(name) || line[len(name)] != ':' {
+		return nil, false
+	}
+	for i := 0; i < len(name); i++ {
+		c := line[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != name[i] {
+			return nil, false
+		}
+	}
+	return bytes.TrimSpace(line[len(name)+1:]), true
+}
+
+func parseDecimal(b []byte) (int, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// readResponse consumes exactly one HTTP/1.1 response from the worker's
+// buffered connection: status line, headers (only Content-Length,
+// Transfer-Encoding and Connection matter), then the body, discarded in
+// place. A response without body framing must be terminated by connection
+// close, so the connection is drained and dropped.
+func (w *worker) readResponse() (int, error) {
+	line, err := w.br.ReadSlice('\n')
+	if err != nil {
+		return 0, err
+	}
+	if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.")) {
+		return 0, fmt.Errorf("malformed status line %q", trimCRLF(line))
+	}
+	status := 0
+	for _, c := range line[9:12] {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("malformed status line %q", trimCRLF(line))
+		}
+		status = status*10 + int(c-'0')
+	}
+	clen := -1
+	chunked, closeAfter := false, false
+	for {
+		h, err := w.br.ReadSlice('\n')
+		if err != nil {
+			return 0, err
+		}
+		h = trimCRLF(h)
+		if len(h) == 0 {
+			break
+		}
+		if v, ok := headerValue(h, "content-length"); ok {
+			n, ok := parseDecimal(v)
+			if !ok {
+				return 0, fmt.Errorf("malformed Content-Length %q", v)
+			}
+			clen = n
+		} else if v, ok := headerValue(h, "transfer-encoding"); ok {
+			if bytes.EqualFold(v, []byte("chunked")) {
+				chunked = true
+			}
+		} else if v, ok := headerValue(h, "connection"); ok {
+			if bytes.EqualFold(v, []byte("close")) {
+				closeAfter = true
+			}
+		}
+	}
+	switch {
+	case chunked:
+		if err := w.discardChunked(); err != nil {
+			return 0, err
+		}
+	case clen >= 0:
+		if _, err := w.br.Discard(clen); err != nil {
+			return 0, err
+		}
+	default:
+		// No framing: body runs to EOF, connection cannot be reused.
+		closeAfter = true
+		io.Copy(io.Discard, w.br) //nolint:errcheck
+	}
+	if closeAfter {
+		w.conn.Close()
+		w.conn = nil
+	}
+	return status, nil
+}
+
+// discardChunked skips a chunked body: size line, chunk bytes + CRLF,
+// repeat; the zero chunk is followed by trailers up to a blank line.
+func (w *worker) discardChunked() error {
+	for {
+		line, err := w.br.ReadSlice('\n')
+		if err != nil {
+			return err
+		}
+		line = trimCRLF(line)
+		n := 0
+		for _, c := range line {
+			switch {
+			case '0' <= c && c <= '9':
+				n = n*16 + int(c-'0')
+			case 'a' <= c && c <= 'f':
+				n = n*16 + int(c-'a') + 10
+			case 'A' <= c && c <= 'F':
+				n = n*16 + int(c-'A') + 10
+			case c == ';': // chunk extension: size already parsed
+			default:
+				return fmt.Errorf("malformed chunk size %q", line)
+			}
+			if c == ';' {
+				break
+			}
+		}
+		if n == 0 {
+			for {
+				t, err := w.br.ReadSlice('\n')
+				if err != nil {
+					return err
+				}
+				if len(trimCRLF(t)) == 0 {
+					return nil
+				}
+			}
+		}
+		if _, err := w.br.Discard(n + 2); err != nil { // chunk + CRLF
+			return err
+		}
+	}
+}
+
+func run(cfg config, out, errOut io.Writer) int {
 	var path string
-	switch *endpoint {
+	switch cfg.endpoint {
 	case "simulate":
 		path = "/v1/simulate"
 	case "schedule":
 		path = "/v1/schedule"
 	default:
-		fmt.Fprintf(os.Stderr, "sentinelload: unknown -endpoint %q\n", *endpoint)
-		os.Exit(2)
-	}
-	url := strings.TrimSuffix(*addr, "/") + path
-
-	// One request body per workload, built up front.
-	var bodies [][]byte
-	names := strings.Split(*workloads, ",")
-	for _, name := range names {
-		body, err := json.Marshal(map[string]any{
-			"workload": strings.TrimSpace(name),
-			"model":    *model,
-			"width":    *width,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sentinelload: %v\n", err)
-			os.Exit(2)
-		}
-		bodies = append(bodies, body)
+		fmt.Fprintf(errOut, "sentinelload: unknown -endpoint %q\n", cfg.endpoint)
+		return 2
 	}
 
-	client := &http.Client{
-		Timeout: *timeout,
-		Transport: &http.Transport{
-			MaxIdleConns:        *conc * 2,
-			MaxIdleConnsPerHost: *conc * 2,
-		},
+	bodies, err := encodeBodies(cfg)
+	if err != nil {
+		fmt.Fprintf(errOut, "sentinelload: %v\n", err)
+		return 2
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
 	defer cancel()
 
-	var (
-		mu      sync.Mutex
-		results []result
-	)
-	record := func(r result) {
-		mu.Lock()
-		results = append(results, r)
-		mu.Unlock()
-	}
-	shoot := func(i int) {
-		body := bodies[i%len(bodies)]
-		t0 := time.Now()
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-		lat := time.Since(t0)
-		if err != nil {
-			record(result{latency: lat, err: true})
-			return
-		}
-		io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-		resp.Body.Close()
-		record(result{latency: lat, status: resp.StatusCode})
-	}
-
+	var results []result
 	start := time.Now()
 	var wg sync.WaitGroup
-	if *rps <= 0 {
-		// Closed loop: conc workers, one request in flight each.
-		for w := 0; w < *conc; w++ {
+	if cfg.rps <= 0 {
+		// Closed loop: conc raw-TCP workers, one request in flight each, no
+		// shared state between them until the merge below.
+		host, err := hostFromAddr(cfg.addr)
+		if err != nil {
+			fmt.Fprintf(errOut, "sentinelload: %v\n", err)
+			return 2
+		}
+		workers := make([]*worker, cfg.conc)
+		for i := range workers {
+			workers[i] = newWorker(host, path, bodies, cfg.timeout)
+		}
+		for w := 0; w < cfg.conc; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				for i := w; ctx.Err() == nil; i += *conc {
-					shoot(i)
+				wk := workers[w]
+				defer wk.close()
+				for i := w; ctx.Err() == nil; i += cfg.conc {
+					wk.shoot(i % len(bodies))
 				}
 			}(w)
+		}
+		wg.Wait()
+		for _, wk := range workers {
+			results = append(results, wk.results...)
 		}
 	} else {
 		// Open loop: fixed arrival schedule, capped at conc in flight
 		// (arrivals beyond the cap are dropped and counted as errors —
-		// the server would see them as queue pressure anyway).
-		sem := make(chan struct{}, *conc)
-		interval := time.Duration(float64(time.Second) / *rps)
+		// the server would see them as queue pressure anyway). Arrivals
+		// spawn goroutines, so recording goes through a mutex here; the
+		// rate limiter, not the allocator, dominates this mode.
+		url := strings.TrimSuffix(cfg.addr, "/") + path
+		client := &http.Client{
+			Timeout: cfg.timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.conc * 2,
+				MaxIdleConnsPerHost: cfg.conc * 2,
+			},
+		}
+		var mu sync.Mutex
+		record := func(r result) {
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		}
+		shoot := func(i int) {
+			body := bodies[i%len(bodies)]
+			t0 := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			lat := time.Since(t0)
+			if err != nil {
+				record(result{latency: lat, err: true})
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+			resp.Body.Close()
+			record(result{latency: lat, status: resp.StatusCode})
+		}
+		sem := make(chan struct{}, cfg.conc)
+		interval := time.Duration(float64(time.Second) / cfg.rps)
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		i := 0
@@ -157,16 +464,17 @@ func main() {
 				i++
 			}
 		}
+		wg.Wait()
 	}
-	wg.Wait()
 	elapsed := time.Since(start)
-	report(results, elapsed, *rps, *conc, path, os.Stdout)
+	report(results, elapsed, cfg.rps, cfg.conc, path, out)
 
 	ok, total := tally(results)
 	achieved := float64(ok) / elapsed.Seconds()
-	if ok < total || achieved < *minRPS {
-		os.Exit(1)
+	if ok < total || achieved < cfg.minRPS {
+		return 1
 	}
+	return 0
 }
 
 func tally(results []result) (ok, total int) {

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sentinel/internal/server"
+)
+
+// countingListener wraps a net.Listener and counts accepted connections —
+// the observable difference between keep-alive reuse (a handful of dials)
+// and a per-request dial storm (hundreds).
+type countingListener struct {
+	net.Listener
+	accepted atomic.Int64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.accepted.Add(1)
+	}
+	return c, err
+}
+
+// startServer brings up a real sentineld serving stack on a counting
+// listener and returns its base URL plus the listener for inspection.
+func startServer(t *testing.T) (string, *countingListener) {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 1})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &countingListener{Listener: raw}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { httpSrv.Close() })
+	return "http://" + ln.Addr().String(), ln
+}
+
+// TestClosedLoopKeepAlive drives the closed loop against a real TCP server
+// and asserts connections are reused: with w workers the client needs at
+// most a few connections, never one per request.
+func TestClosedLoopKeepAlive(t *testing.T) {
+	addr, ln := startServer(t)
+	const workers = 4
+	cfg := config{
+		addr:      addr,
+		duration:  500 * time.Millisecond,
+		conc:      workers,
+		workloads: "cmp,wc",
+		model:     "sentinel+stores",
+		width:     8,
+		endpoint:  "simulate",
+		timeout:   10 * time.Second,
+	}
+	var out strings.Builder
+	if code := run(cfg, &out, &out); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "throughput:") {
+		t.Fatalf("report missing throughput line:\n%s", report)
+	}
+
+	// Each raw worker dials exactly once and keeps the connection for its
+	// whole run (redials happen only after errors, and the run reported
+	// none); anywhere near per-request dialing would be hundreds.
+	if got := ln.accepted.Load(); got != workers {
+		t.Fatalf("accepted %d connections for %d workers; requests are not reusing connections", got, workers)
+	}
+}
+
+// TestOpenLoopRuns exercises the rate-limited path end to end.
+func TestOpenLoopRuns(t *testing.T) {
+	addr, _ := startServer(t)
+	cfg := config{
+		addr:      addr,
+		duration:  400 * time.Millisecond,
+		conc:      8,
+		rps:       100,
+		workloads: "cmp",
+		model:     "sentinel",
+		width:     4,
+		endpoint:  "simulate",
+		timeout:   10 * time.Second,
+	}
+	var out strings.Builder
+	if code := run(cfg, &out, &out); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "open loop") {
+		t.Fatalf("report does not mention open loop:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsUnknownEndpoint covers the config validation exit path.
+func TestRunRejectsUnknownEndpoint(t *testing.T) {
+	var out strings.Builder
+	if code := run(config{endpoint: "nope"}, io.Discard, &out); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "unknown -endpoint") {
+		t.Fatalf("missing error message, got %q", out.String())
+	}
+}
+
+// TestWorkerBodyReuse pins the raw client against a real net/http server:
+// the preserialized request bytes are written verbatim every shot, the
+// server sees identical bodies both times, and the worker parses the
+// framed responses and keeps its one connection.
+func TestWorkerBodyReuse(t *testing.T) {
+	body := []byte(`{"workload":"cmp"}`)
+	seen := make(chan string, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		seen <- string(b)
+		w.Write([]byte(`{}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+
+	host := strings.TrimPrefix(ts.URL, "http://")
+	wk := newWorker(host, "/v1/simulate", [][]byte{body}, 5*time.Second)
+	defer wk.close()
+	wk.shoot(0)
+	wk.shoot(0)
+	for i := 0; i < 2; i++ {
+		if got := <-seen; got != string(body) {
+			t.Fatalf("send %d delivered %q, want %q (request bytes corrupted?)", i, got, body)
+		}
+	}
+	if len(wk.results) != 2 {
+		t.Fatalf("recorded %d results, want 2", len(wk.results))
+	}
+	for i, r := range wk.results {
+		if r.err || r.status != http.StatusOK {
+			t.Fatalf("result %d = %+v, want 200 ok", i, r)
+		}
+	}
+	if wk.conn == nil {
+		t.Fatal("worker dropped its connection after framed 200 responses")
+	}
+}
+
+// TestWorkerParsesErrorStatus: non-200 responses are framed and recorded
+// without poisoning the connection.
+func TestWorkerParsesErrorStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"nope"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	host := strings.TrimPrefix(ts.URL, "http://")
+	wk := newWorker(host, "/v1/simulate", [][]byte{[]byte(`{}`)}, 5*time.Second)
+	defer wk.close()
+	wk.shoot(0)
+	wk.shoot(0)
+	if len(wk.results) != 2 {
+		t.Fatalf("recorded %d results, want 2", len(wk.results))
+	}
+	for i, r := range wk.results {
+		if r.err || r.status != http.StatusNotFound {
+			t.Fatalf("result %d = %+v, want status 404", i, r)
+		}
+	}
+	if wk.conn == nil {
+		t.Fatal("worker dropped its connection on a framed error response")
+	}
+}
+
+// TestHostFromAddr covers the base-URL-to-dial-target reduction.
+func TestHostFromAddr(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		wantErr  bool
+	}{
+		{in: "http://127.0.0.1:8649", want: "127.0.0.1:8649"},
+		{in: "127.0.0.1:8649", want: "127.0.0.1:8649"},
+		{in: "http://example.com", want: "example.com:80"},
+		{in: "https://example.com", wantErr: true},
+	} {
+		got, err := hostFromAddr(tc.in)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("hostFromAddr(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if !tc.wantErr && got != tc.want {
+			t.Errorf("hostFromAddr(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

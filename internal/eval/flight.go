@@ -1,0 +1,175 @@
+package eval
+
+// flight is a singleflight-style memo: the first caller of a key computes
+// the value while later callers block on it; afterwards the value is served
+// from the cache. Errors are cached alongside values — within one process
+// the inputs are deterministic, so recomputing a failed artifact cannot
+// succeed. Hit/miss counts are tracked so the Runner's metrics can expose
+// cache effectiveness and growth.
+//
+// The map is striped over a power-of-two number of shards, each behind its
+// own mutex, with the shard picked by a cheap hash of the key. A warm
+// lookup therefore contends only with other keys that happen to share its
+// shard, never with the whole request population — on the serving hot path
+// every /v1 request takes four of these lookups (builds, forms, scheds,
+// cells), and a single mutex in front of them serialized the entire warm
+// path. Shard choice is invisible in every observable way: values, error
+// caching, context-error eviction, reset, len and hit/miss counts are
+// byte-for-byte what the single-map implementation produced (the
+// determinism tests in flight_test.go pin this across shard counts).
+
+import (
+	"context"
+	"errors"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// flightSeed is the process-wide seed for shard selection. Sharing one seed
+// across every flight keeps the hash cheap to compute and the shard choice
+// stable within a process; it carries no security weight (keys are not
+// attacker-controlled map-flood vectors — a full shard is just a slower
+// shard).
+var flightSeed = maphash.MakeSeed()
+
+// defaultFlightShards is the shard count a zero-value flight initializes
+// itself with: enough stripes that 16 admission slots' worth of concurrent
+// requests rarely collide, small enough that reset/len stay trivial.
+const defaultFlightShards = 16
+
+type flightShard[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// flight's zero value is ready to use (shards materialize on first access
+// with defaultFlightShards); newFlight pins an explicit shard count, which
+// only tests exercising the striping itself need.
+type flight[K comparable, V any] struct {
+	once         sync.Once
+	shards       []flightShard[K, V]
+	nshards      int // desired shard count; 0 selects defaultFlightShards
+	hits, misses atomic.Int64
+}
+
+func newFlight[K comparable, V any](nshards int) *flight[K, V] {
+	f := &flight[K, V]{nshards: nshards}
+	f.once.Do(f.init)
+	return f
+}
+
+func (f *flight[K, V]) init() {
+	n := f.nshards
+	if n <= 0 {
+		n = defaultFlightShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	f.shards = make([]flightShard[K, V], p)
+}
+
+func (f *flight[K, V]) shard(k K) *flightShard[K, V] {
+	f.once.Do(f.init)
+	h := maphash.Comparable(flightSeed, k)
+	return &f.shards[h&uint64(len(f.shards)-1)]
+}
+
+func (f *flight[K, V]) get(k K, fn func() (V, error)) (V, error) {
+	s := f.shard(k)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[K]*flightCall[V]{}
+	}
+	if c, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		f.hits.Add(1)
+		<-c.done
+		return c.val, c.err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	s.m[k] = c
+	s.mu.Unlock()
+	f.misses.Add(1)
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+// getCtx is get with cancellation: a caller whose context expires while the
+// value is computed by another goroutine unblocks immediately with the
+// context's error, and an already-expired context never starts a
+// computation. Real errors are cached like values (deterministic inputs
+// cannot recompute differently), but a context error is the owner's deadline
+// talking, not a property of the artifact: the entry is dropped before
+// waiters are released, so the next caller recomputes instead of being
+// served a dead request's timeout forever.
+func (f *flight[K, V]) getCtx(ctx context.Context, k K, fn func() (V, error)) (V, error) {
+	var zero V
+	s := f.shard(k)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[K]*flightCall[V]{}
+	}
+	if c, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		f.hits.Add(1)
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return zero, err
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	s.m[k] = c
+	s.mu.Unlock()
+	f.misses.Add(1)
+	c.val, c.err = fn()
+	if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
+		s.mu.Lock()
+		if s.m[k] == c {
+			delete(s.m, k)
+		}
+		s.mu.Unlock()
+	}
+	close(c.done)
+	return c.val, c.err
+}
+
+// len returns the number of cached entries (including in-flight ones).
+func (f *flight[K, V]) len() int {
+	f.once.Do(f.init)
+	n := 0
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// reset drops every cached entry. It must not race with get: callers reset
+// between sweeps, not during one.
+func (f *flight[K, V]) reset() {
+	f.once.Do(f.init)
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+}

@@ -18,7 +18,6 @@ package eval
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -54,103 +53,6 @@ func (k CellKey) String() string {
 		s += "+noshare"
 	}
 	return s
-}
-
-// flight is a singleflight-style memo: the first caller of a key computes
-// the value while later callers block on it; afterwards the value is served
-// from the cache. Errors are cached alongside values — within one process
-// the inputs are deterministic, so recomputing a failed artifact cannot
-// succeed. Hit/miss counts are tracked so the Runner's metrics can expose
-// cache effectiveness and growth.
-type flight[K comparable, V any] struct {
-	mu           sync.Mutex
-	m            map[K]*flightCall[V]
-	hits, misses atomic.Int64
-}
-
-type flightCall[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
-}
-
-func (f *flight[K, V]) get(k K, fn func() (V, error)) (V, error) {
-	f.mu.Lock()
-	if f.m == nil {
-		f.m = map[K]*flightCall[V]{}
-	}
-	if c, ok := f.m[k]; ok {
-		f.mu.Unlock()
-		f.hits.Add(1)
-		<-c.done
-		return c.val, c.err
-	}
-	c := &flightCall[V]{done: make(chan struct{})}
-	f.m[k] = c
-	f.mu.Unlock()
-	f.misses.Add(1)
-	c.val, c.err = fn()
-	close(c.done)
-	return c.val, c.err
-}
-
-// getCtx is get with cancellation: a caller whose context expires while the
-// value is computed by another goroutine unblocks immediately with the
-// context's error, and an already-expired context never starts a
-// computation. Real errors are cached like values (deterministic inputs
-// cannot recompute differently), but a context error is the owner's deadline
-// talking, not a property of the artifact: the entry is dropped before
-// waiters are released, so the next caller recomputes instead of being
-// served a dead request's timeout forever.
-func (f *flight[K, V]) getCtx(ctx context.Context, k K, fn func() (V, error)) (V, error) {
-	var zero V
-	f.mu.Lock()
-	if f.m == nil {
-		f.m = map[K]*flightCall[V]{}
-	}
-	if c, ok := f.m[k]; ok {
-		f.mu.Unlock()
-		f.hits.Add(1)
-		select {
-		case <-c.done:
-			return c.val, c.err
-		case <-ctx.Done():
-			return zero, ctx.Err()
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		f.mu.Unlock()
-		return zero, err
-	}
-	c := &flightCall[V]{done: make(chan struct{})}
-	f.m[k] = c
-	f.mu.Unlock()
-	f.misses.Add(1)
-	c.val, c.err = fn()
-	if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
-		f.mu.Lock()
-		if f.m[k] == c {
-			delete(f.m, k)
-		}
-		f.mu.Unlock()
-	}
-	close(c.done)
-	return c.val, c.err
-}
-
-// len returns the number of cached entries (including in-flight ones).
-func (f *flight[K, V]) len() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.m)
-}
-
-// reset drops every cached entry. It must not race with get: callers reset
-// between sweeps, not during one.
-func (f *flight[K, V]) reset() {
-	f.mu.Lock()
-	f.m = nil
-	f.mu.Unlock()
 }
 
 // buildArtifact is everything derivable from one benchmark independent of
@@ -197,6 +99,17 @@ type Runner struct {
 	forms  flight[formKey, *prog.Program]
 	scheds flight[CellKey, *schedArtifact]
 	cells  flight[CellKey, Cell]
+
+	// caches is the metrics/Reset view over the four flights above, built
+	// once at construction — CacheStats and the registry gauges iterate it
+	// instead of rebuilding a map of closures per scrape.
+	caches []namedCache
+
+	// onReset callbacks run after every Reset, in registration order —
+	// how derived caches (the server's response-byte cache) stay coherent
+	// with the artifact caches they were computed from.
+	resetMu sync.Mutex
+	onReset []func()
 }
 
 // NewRunner returns a Runner that executes at most workers cells at once;
@@ -205,7 +118,14 @@ func NewRunner(workers int) *Runner {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers}
+	r := &Runner{workers: workers}
+	r.caches = []namedCache{
+		{"builds", view(&r.builds)},
+		{"forms", view(&r.forms)},
+		{"scheds", view(&r.scheds)},
+		{"cells", view(&r.cells)},
+	}
+	return r
 }
 
 // Workers reports the configured parallelism.
@@ -225,11 +145,11 @@ func (r *Runner) SetMetrics(reg *obs.Registry) {
 	r.busy = reg.Counter("runner.busy_ns")
 	r.span = reg.Counter("runner.span_ns")
 	reg.Gauge("runner.workers", func() int64 { return int64(r.workers) })
-	for name, c := range r.cacheMap() {
-		name, c := name, c
-		reg.Gauge("runner.cache."+name+".size", func() int64 { return int64(c.size()) })
-		reg.Gauge("runner.cache."+name+".hits", func() int64 { return c.hits() })
-		reg.Gauge("runner.cache."+name+".misses", func() int64 { return c.misses() })
+	for _, c := range r.caches {
+		c := c
+		reg.Gauge("runner.cache."+c.name+".size", func() int64 { return int64(c.size()) })
+		reg.Gauge("runner.cache."+c.name+".hits", func() int64 { return c.hits() })
+		reg.Gauge("runner.cache."+c.name+".misses", func() int64 { return c.misses() })
 	}
 }
 
@@ -241,21 +161,21 @@ type cacheView struct {
 	reset  func()
 }
 
+// namedCache pairs a cacheView with its stable metrics name. The Runner
+// builds the full table once in NewRunner; everything that used to rebuild
+// a map of closures per call (CacheStats on every /debug/vars scrape, the
+// gauges, Reset) walks this slice instead.
+type namedCache struct {
+	name string
+	cacheView
+}
+
 func view[K comparable, V any](f *flight[K, V]) cacheView {
 	return cacheView{
 		size:   f.len,
 		hits:   f.hits.Load,
 		misses: f.misses.Load,
 		reset:  f.reset,
-	}
-}
-
-func (r *Runner) cacheMap() map[string]cacheView {
-	return map[string]cacheView{
-		"builds": view(&r.builds),
-		"forms":  view(&r.forms),
-		"scheds": view(&r.scheds),
-		"cells":  view(&r.cells),
 	}
 }
 
@@ -269,11 +189,32 @@ type CacheStats struct {
 // counts, keyed by cache name (builds, forms, scheds, cells). This is how a
 // long-lived Runner's growth is observed — see Reset.
 func (r *Runner) CacheStats() map[string]CacheStats {
-	out := map[string]CacheStats{}
-	for name, c := range r.cacheMap() {
-		out[name] = CacheStats{Size: c.size(), Hits: c.hits(), Misses: c.misses()}
+	out := make(map[string]CacheStats, len(r.caches))
+	for _, c := range r.caches {
+		out[c.name] = CacheStats{Size: c.size(), Hits: c.hits(), Misses: c.misses()}
 	}
 	return out
+}
+
+// CacheHitsMisses sums hit and miss counts across every artifact cache
+// without allocating — the per-scrape form of CacheStats that metric gauges
+// (the server's cache_hit_permille) poll on a hot service.
+func (r *Runner) CacheHitsMisses() (hits, misses int64) {
+	for _, c := range r.caches {
+		hits += c.hits()
+		misses += c.misses()
+	}
+	return hits, misses
+}
+
+// OnReset registers fn to run after every Reset, in registration order.
+// Derived caches — anything whose entries were computed from this Runner's
+// artifacts, like the serving layer's response-byte cache — hook in here so
+// dropping the artifacts also drops everything memoized on top of them.
+func (r *Runner) OnReset(fn func()) {
+	r.resetMu.Lock()
+	r.onReset = append(r.onReset, fn)
+	r.resetMu.Unlock()
 }
 
 // Reset drops every cached artifact (hit/miss counters persist). The caches
@@ -283,8 +224,14 @@ func (r *Runner) CacheStats() map[string]CacheStats {
 // configurations. Must not be called concurrently with in-flight
 // measurements.
 func (r *Runner) Reset() {
-	for _, c := range r.cacheMap() {
+	for _, c := range r.caches {
 		c.reset()
+	}
+	r.resetMu.Lock()
+	fns := r.onReset
+	r.resetMu.Unlock()
+	for _, fn := range fns {
+		fn()
 	}
 }
 

@@ -14,7 +14,9 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"math"
 	"math/bits"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -48,13 +50,46 @@ func (c *Counter) Value() int64 {
 // Histogram accumulates int64 observations into power-of-two buckets,
 // tracking count, sum, min and max. The nil Histogram is valid and discards
 // all observations.
+//
+// Internally the state is striped: each Observe picks one of histStripes
+// stripe replicas (cheap per-thread randomness, no shared state consulted)
+// and updates it with plain atomics; Snapshot merges the stripes. There is
+// no mutex anywhere on the observe path — under the old single-mutex
+// implementation every request on the serving hot path serialized behind
+// the request-latency histogram's lock, which is exactly the contention the
+// instrument was supposed to measure, not add. The merge-on-read trade: a
+// Snapshot taken concurrently with observations may be skewed by updates
+// still in flight (count lags sum by at most the in-flight observations);
+// a Snapshot ordered after the observations (the only kind tests and
+// one-shot summaries take) is exact.
 type Histogram struct {
-	count   int64
-	sum     int64
-	min     int64
-	max     int64
-	buckets [65]int64 // bucket i counts v with bit length i (v<=0 in 0)
-	mu      sync.Mutex
+	stripes [histStripes]histStripe
+	init    sync.Once
+}
+
+// histStripes is the stripe count: a power of two, enough that the default
+// 16 in-flight requests rarely collide on one stripe's cache lines.
+const histStripes = 8
+
+// histStripe is one replica of the histogram state, updated with atomics
+// only. min/max start at the int64 extremes (set by the owning Histogram's
+// init) so the CAS loops need no emptiness special case; a stripe's min/max
+// are meaningful only once its count is nonzero, and Observe orders the
+// count increment last so a reader that sees count > 0 also sees the
+// min/max/sum/bucket updates of at least that many observations.
+type histStripe struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [65]atomic.Int64 // bucket i counts v with bit length i (v<=0 in 0)
+}
+
+func (h *Histogram) initStripes() {
+	for i := range h.stripes {
+		h.stripes[i].min.Store(math.MaxInt64)
+		h.stripes[i].max.Store(math.MinInt64)
+	}
 }
 
 // Observe records one value. No-op on nil.
@@ -62,21 +97,27 @@ func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
-	if h.count == 0 || v < h.min {
-		h.min = v
+	h.init.Do(h.initStripes)
+	s := &h.stripes[rand.Uint64()&(histStripes-1)]
+	for {
+		cur := s.min.Load()
+		if v >= cur || s.min.CompareAndSwap(cur, v) {
+			break
+		}
 	}
-	if h.count == 0 || v > h.max {
-		h.max = v
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			break
+		}
 	}
-	h.count++
-	h.sum += v
+	s.sum.Add(v)
 	b := 0
 	if v > 0 {
 		b = bits.Len64(uint64(v))
 	}
-	h.buckets[b]++
-	h.mu.Unlock()
+	s.buckets[b].Add(1)
+	s.count.Add(1) // last: count>0 publishes the stripe (see histStripe)
 }
 
 // HistSnapshot is a point-in-time summary of a Histogram.
@@ -92,14 +133,32 @@ func (s HistSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
-// Snapshot returns the histogram's current summary; the zero snapshot on nil.
+// Snapshot returns the histogram's current summary, merged across stripes;
+// the zero snapshot on nil.
 func (h *Histogram) Snapshot() HistSnapshot {
 	if h == nil {
 		return HistSnapshot{}
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	var out HistSnapshot
+	first := true
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		c := s.count.Load()
+		if c == 0 {
+			continue
+		}
+		out.Count += c
+		out.Sum += s.sum.Load()
+		mn, mx := s.min.Load(), s.max.Load()
+		if first || mn < out.Min {
+			out.Min = mn
+		}
+		if first || mx > out.Max {
+			out.Max = mx
+		}
+		first = false
+	}
+	return out
 }
 
 // Registry is a named collection of counters, gauges and histograms. The nil

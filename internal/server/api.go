@@ -11,8 +11,6 @@ package server
 // result, never a server error.
 
 import (
-	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -128,23 +126,54 @@ type errorResponse struct {
 	Error *APIError `json:"error"`
 }
 
+// jsonContentType is the Content-Type of every JSON response, cached and
+// uncached alike.
+const jsonContentType = "application/json; charset=utf-8"
+
 // writeJSON writes v as the response body with the given status. The body
-// is encoded into memory first: an unencodable value (e.g. a NaN that
-// slipped into a response) must become a 500 envelope, not a 200 status
-// line with a truncated body.
+// is encoded into memory first (a pooled buffer): an unencodable value
+// (e.g. a NaN that slipped into a response) must become a 500 envelope, not
+// a 200 status line with a truncated body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+	e := getEnc()
+	if err := e.enc.Encode(v); err != nil {
+		// The failing encoder is poisoned (json.Encoder latches its first
+		// error); encode the fallback envelope on a fresh pair.
+		e = getEnc()
 		status = http.StatusInternalServerError
-		buf.Reset()
 		ae := apiErrorf(status, KindInternal, "response encoding failed: %v", err)
-		enc.Encode(errorResponse{Error: ae}) //nolint:errcheck // static payload always encodes
+		e.enc.Encode(errorResponse{Error: ae}) //nolint:errcheck // static payload always encodes
 	}
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Type", jsonContentType)
 	w.WriteHeader(status)
-	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing left to do
+	w.Write(e.buf.Bytes()) //nolint:errcheck // client gone; nothing left to do
+	putEnc(e)
+}
+
+// writeJSONCaching is writeJSON for success responses that may enter the
+// response-byte cache: when cacheable, the encoded bytes are copied into
+// the cache under the canonical key — and under the raw-request key the v1
+// wrapper stashed, so a byte-identical repeat short-circuits before decode
+// — before being written; the next identical request is a single Write of
+// these exact bytes.
+func (s *Server) writeJSONCaching(w http.ResponseWriter, r *http.Request, key respKey, cacheable bool, v any) {
+	e := getEnc()
+	if err := e.enc.Encode(v); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{
+			Error: apiErrorf(http.StatusInternalServerError, KindInternal,
+				"response encoding failed: %v", err)})
+		return // drop the poisoned encoder pair
+	}
+	if cacheable {
+		body := append([]byte(nil), e.buf.Bytes()...)
+		s.resp.put(key, body, jsonContentType)
+		if rk, ok := rawKeyFrom(r.Context()); ok {
+			s.resp.put(rk, body, jsonContentType)
+		}
+	}
+	w.Header().Set("Content-Type", jsonContentType)
+	w.Write(e.buf.Bytes()) //nolint:errcheck // client gone; nothing left to do
+	putEnc(e)
 }
 
 // writeError maps err onto the typed error envelope and writes it.

@@ -1,0 +1,168 @@
+package server
+
+// Serving-path benchmarks: the numbers behind BENCH_serve.json. Each
+// endpoint is measured warm (the response-byte cache hit path — the steady
+// state of a long-lived sentineld) both in-process against the handler and
+// over a real TCP connection with keep-alive, so transport overhead is
+// visible separately from handler overhead.
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchWriter is the minimal ResponseWriter: preallocated header map and a
+// discarding body, so in-process benchmarks measure the serving path rather
+// than the recorder fixture. It remembers an explicit non-200 status so the
+// loop can fail instead of timing error responses.
+type benchWriter struct {
+	h    http.Header
+	code int
+}
+
+func newBenchWriter() *benchWriter                 { return &benchWriter{h: make(http.Header, 4)} }
+func (w *benchWriter) Header() http.Header         { return w.h }
+func (w *benchWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *benchWriter) WriteHeader(code int)        { w.code = code }
+
+// reqBody is a reusable request body: the serving fast path replaces r.Body
+// with its own pooled scratch, so a benchmark reusing one request object
+// must reattach a body every iteration — this one resets without allocating.
+type reqBody struct{ bytes.Reader }
+
+func (b *reqBody) Close() error { return nil }
+
+// warmOnce issues one request through the handler and fails the benchmark
+// unless it succeeded — every warm benchmark measures cache hits, never a
+// first miss.
+func warmOnce(b *testing.B, h http.Handler, method, target string, body []byte) {
+	b.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm %s %s = %d: %s", method, target, rec.Code, rec.Body.String())
+	}
+}
+
+// benchInproc drives the handler directly with a reused request object and
+// rewound body reader — the pure handler-path cost.
+func benchInproc(b *testing.B, s *Server, method, target string, body []byte) {
+	h := s.Handler()
+	warmOnce(b, h, method, target, body)
+	req := httptest.NewRequest(method, target, nil)
+	req.Header.Set("Content-Type", "application/json")
+	rb := &reqBody{}
+	w := newBenchWriter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if body != nil {
+			rb.Reader.Reset(body)
+			req.Body = rb
+			req.ContentLength = int64(len(body))
+		}
+		h.ServeHTTP(w, req)
+		if w.code != 0 && w.code != http.StatusOK {
+			b.Fatalf("iteration %d: status %d", i, w.code)
+		}
+	}
+}
+
+// benchTCP drives the same request over a real listener with keep-alive —
+// handler path plus HTTP transport, what sentinelload actually sees.
+func benchTCP(b *testing.B, s *Server, method, path string, body []byte) {
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	warmOnce(b, s.Handler(), method, path, body)
+	var rd *bytes.Reader
+	var bodyRC io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+		bodyRC = rd
+	}
+	req, err := http.NewRequest(method, ts.URL+path, bodyRC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rd != nil {
+			rd.Reset(body)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+var (
+	benchSimBody   = []byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)
+	benchSchedBody = []byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)
+)
+
+func BenchmarkServeSimulate(b *testing.B) {
+	s := New(Config{Workers: 1})
+	b.Run("inproc/warm", func(b *testing.B) {
+		benchInproc(b, s, http.MethodPost, "/v1/simulate", benchSimBody)
+	})
+	b.Run("tcp/warm", func(b *testing.B) {
+		benchTCP(b, s, http.MethodPost, "/v1/simulate", benchSimBody)
+	})
+}
+
+func BenchmarkServeSchedule(b *testing.B) {
+	s := New(Config{Workers: 1})
+	b.Run("inproc/warm", func(b *testing.B) {
+		benchInproc(b, s, http.MethodPost, "/v1/schedule", benchSchedBody)
+	})
+	b.Run("tcp/warm", func(b *testing.B) {
+		benchTCP(b, s, http.MethodPost, "/v1/schedule", benchSchedBody)
+	})
+}
+
+func BenchmarkServeFigures(b *testing.B) {
+	s := New(Config{Workers: 1})
+	b.Run("inproc/fig4", func(b *testing.B) {
+		benchInproc(b, s, http.MethodGet, "/v1/figures?section=fig4", nil)
+	})
+	b.Run("tcp/fig4", func(b *testing.B) {
+		benchTCP(b, s, http.MethodGet, "/v1/figures?section=fig4", nil)
+	})
+}
+
+// TestRespCacheServeAllocs pins the acceptance bound: serving a response-
+// cache hit performs zero marshal work — the only allocation left is the
+// header value slice Set builds, well under the 2 allocs/op budget.
+func TestRespCacheServeAllocs(t *testing.T) {
+	c := newRespCache(64)
+	var k respKey
+	k[0] = 0xA5
+	c.put(k, []byte(`{"ok":true}`), jsonContentType)
+	w := newBenchWriter()
+	avg := testing.AllocsPerRun(1000, func() {
+		if !c.serve(w, k) {
+			t.Fatal("unexpected cache miss")
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("respCache.serve = %.2f allocs/op, want <= 2", avg)
+	}
+}

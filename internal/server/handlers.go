@@ -35,8 +35,12 @@ func ipc(instrs, cycles int64) float64 {
 	return float64(instrs) / float64(cycles)
 }
 
+// maxBodyBytes bounds request bodies — shared by the decode path and the
+// v1 wrapper's raw-fingerprint slurp so both refuse at the same size.
+const maxBodyBytes = 4 << 20
+
 func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
@@ -140,8 +144,9 @@ func compileSource(src string, md machine.Desc, form bool) (*compiled, error) {
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
-	var req ScheduleRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	req := getSchedReq()
+	defer putSchedReq(req)
+	if err := decodeBody(w, r, req); err != nil {
 		return err
 	}
 	md, err := parseMachine(req.Model, req.Width)
@@ -149,6 +154,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 		return err
 	}
 	form := req.Superblock == nil || *req.Superblock
+
+	// Schedules are a pure function of (program, machine, formation): every
+	// repeat is served straight from the response-byte cache.
+	key := scheduleKey(req, md, form)
+	if s.resp.serve(w, key) {
+		return nil
+	}
+
 	p, err := s.prepared(r, req.ProgramSpec, md, form)
 	if err != nil {
 		return err
@@ -157,25 +170,42 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	for _, b := range p.Prog.Blocks {
 		instrs += len(b.Instrs)
 	}
-	writeJSON(w, http.StatusOK, ScheduleResponse{
+	resp := getSchedResp()
+	defer putSchedResp(resp)
+	*resp = ScheduleResponse{
 		Model:   md.Model.String(),
 		Width:   md.IssueWidth,
 		Blocks:  len(p.Prog.Blocks),
 		Instrs:  instrs,
 		Stats:   p.Stats,
 		Listing: asm.FormatScheduled(p.Prog),
-	})
+	}
+	s.writeJSONCaching(w, r, key, true, resp)
 	return nil
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
-	var req SimulateRequest
-	if err := decodeBody(w, r, &req); err != nil {
+	req := getSimReq()
+	defer putSimReq(req)
+	if err := decodeBody(w, r, req); err != nil {
 		return err
 	}
 	md, err := parseMachine(req.Model, req.Width)
 	if err != nil {
 		return err
+	}
+
+	// A simulate response is a pure function of the normalized request
+	// unless the run is perturbed (fault injection) or explicitly forced
+	// (Full, the documented escape hatch past every cache): those two
+	// bypass the response-byte cache entirely.
+	cacheable := req.FaultSegment == "" && !req.Full
+	var key respKey
+	if cacheable {
+		key = simulateKey(req, md)
+		if s.resp.serve(w, key) {
+			return nil
+		}
 	}
 
 	// Fast path: a plain workload cell is served from the Runner's verified
@@ -191,7 +221,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return err
 		}
-		writeJSON(w, http.StatusOK, SimulateResponse{
+		resp := getSimResp()
+		defer putSimResp(resp)
+		*resp = SimulateResponse{
 			Model:  md.Model.String(),
 			Width:  md.IssueWidth,
 			Cycles: cell.Cycles,
@@ -199,7 +231,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 			IPC:    ipc(cell.Instrs, cell.Cycles),
 			Stalls: cell.Sim.Stalls(),
 			Stats:  cell.Sim,
-		})
+		}
+		s.writeJSONCaching(w, r, key, true, resp)
 		return nil
 	}
 
@@ -239,7 +272,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 				"verification failed: simulated result diverges from the reference interpreter")
 		}
 	}
-	writeJSON(w, http.StatusOK, SimulateResponse{
+	resp := getSimResp()
+	defer putSimResp(resp)
+	*resp = SimulateResponse{
 		Model:      md.Model.String(),
 		Width:      md.IssueWidth,
 		Cycles:     res.Cycles,
@@ -250,7 +285,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		Out:        res.Out,
 		MemSum:     strconv.FormatUint(res.MemSum, 10),
 		Exceptions: len(res.Exceptions),
-	})
+	}
+	s.writeJSONCaching(w, r, key, cacheable, resp)
 	return nil
 }
 
@@ -266,13 +302,25 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) error {
 				"unknown section %q (want fig4, fig5, table3, overhead, recovery, buffer, faults, sharing, boosting, all)", name)
 		}
 	}
+	// A figure render is deterministic per section set; repeats come from
+	// the response-byte cache without touching the Runner.
+	const figuresContentType = "text/plain; charset=utf-8"
+	key := figuresKey(secs)
+	if s.resp.serve(w, key) {
+		return nil
+	}
 	// Render into memory first: an error after bytes hit the wire could not
 	// change the status line anymore.
 	var buf bytes.Buffer
 	if err := eval.RenderSections(r.Context(), secs, s.runner, &buf); err != nil {
 		return err
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	body := append([]byte(nil), buf.Bytes()...)
+	s.resp.put(key, body, figuresContentType)
+	if rk, ok := rawKeyFrom(r.Context()); ok {
+		s.resp.put(rk, body, figuresContentType)
+	}
+	w.Header().Set("Content-Type", figuresContentType)
 	w.Write(buf.Bytes()) //nolint:errcheck
 	return nil
 }

@@ -1,0 +1,118 @@
+package server
+
+// Per-request state pools. Every /v1 request used to allocate an encode
+// buffer, a JSON encoder, and its request/response structs; under load that
+// is pure allocator traffic on the hot path, paid again on every repeat of
+// an already-answered request. The pools below recycle all of it. Encoders
+// are pooled together with their buffer (a json.Encoder is bound to its
+// writer at construction and remembers a write error forever, so a pair
+// that ever failed is dropped rather than recycled).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// jsonEnc is a reusable encode buffer + encoder pair. The encoder writes
+// into buf and is configured once with the API's indentation, so pooled and
+// fresh pairs produce byte-identical output.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
+// getEnc returns a ready pair with an empty buffer.
+func getEnc() *jsonEnc {
+	e := encPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	return e
+}
+
+// putEnc recycles a pair whose last Encode succeeded. Callers that hit an
+// encode error must drop the pair instead: json.Encoder latches its first
+// error and would fail every future encode.
+func putEnc(e *jsonEnc) { encPool.Put(e) }
+
+// bodyScratch is the pooled state for slurping a request body on the v1
+// fast path: the accumulation buffer, the limit reader bounding it, and a
+// bytes.Reader handing the bytes back to the normal decode path. It is
+// itself the replacement r.Body (Read delegates to rd, Close is a no-op —
+// the HTTP server closes the original body on its own), so a warm request
+// allocates nothing while reading, keying and restoring its body.
+type bodyScratch struct {
+	buf bytes.Buffer
+	lim io.LimitedReader
+	rd  bytes.Reader
+}
+
+func (s *bodyScratch) Read(p []byte) (int, error) { return s.rd.Read(p) }
+func (s *bodyScratch) Close() error               { return nil }
+
+var bodyScratchPool = sync.Pool{New: func() any { return new(bodyScratch) }}
+
+func getBodyScratch() *bodyScratch {
+	s := bodyScratchPool.Get().(*bodyScratch)
+	s.buf.Reset()
+	return s
+}
+
+// putBodyScratch recycles the scratch. Callers must be done with the bytes
+// AND with any r.Body aliasing it — in practice: call at v1-wrapper exit.
+func putBodyScratch(s *bodyScratch) {
+	s.lim.R = nil
+	s.rd.Reset(nil)
+	bodyScratchPool.Put(s)
+}
+
+// Request/response struct pools. Gets return a zeroed value (the previous
+// request's strings and slices must never leak into this one); puts are
+// unconditional — the structs hold no resources, only garbage.
+
+var simReqPool = sync.Pool{New: func() any { return new(SimulateRequest) }}
+
+func getSimReq() *SimulateRequest {
+	req := simReqPool.Get().(*SimulateRequest)
+	*req = SimulateRequest{}
+	return req
+}
+
+func putSimReq(req *SimulateRequest) { simReqPool.Put(req) }
+
+var schedReqPool = sync.Pool{New: func() any { return new(ScheduleRequest) }}
+
+func getSchedReq() *ScheduleRequest {
+	req := schedReqPool.Get().(*ScheduleRequest)
+	*req = ScheduleRequest{}
+	return req
+}
+
+func putSchedReq(req *ScheduleRequest) { schedReqPool.Put(req) }
+
+var simRespPool = sync.Pool{New: func() any { return new(SimulateResponse) }}
+
+func getSimResp() *SimulateResponse {
+	resp := simRespPool.Get().(*SimulateResponse)
+	*resp = SimulateResponse{}
+	return resp
+}
+
+func putSimResp(resp *SimulateResponse) { simRespPool.Put(resp) }
+
+var schedRespPool = sync.Pool{New: func() any { return new(ScheduleResponse) }}
+
+func getSchedResp() *ScheduleResponse {
+	resp := schedRespPool.Get().(*ScheduleResponse)
+	*resp = ScheduleResponse{}
+	return resp
+}
+
+func putSchedResp(resp *ScheduleResponse) { schedRespPool.Put(resp) }

@@ -1,0 +1,220 @@
+package server
+
+// The response-byte cache: a bounded, sharded LRU from a canonical request
+// fingerprint to the fully serialized success response. The Runner's
+// artifact caches and the source compile cache already make a repeat
+// request cheap to *compute*; this cache makes it cheap to *serve* — a warm
+// hit is one shard lookup plus one w.Write of bytes that were encoded
+// exactly once, so the hot path performs zero JSON marshal work and touches
+// no state shared across shards. Entries are immutable once inserted
+// (readers get the stored slice, never a copy), and the whole cache is
+// dropped when the Runner's artifact caches are reset (Runner.OnReset), so
+// stale bytes cannot outlive the artifacts they were rendered from.
+//
+// Only deterministic success responses are stored: the fingerprint is a
+// sha256 over the normalized request (see fingerprint.go), so two requests
+// with the same key are guaranteed the same body byte-for-byte — the cache
+// can only ever return what the uncached path would have written.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// respKey is the canonical request fingerprint (see fingerprint.go).
+type respKey [sha256.Size]byte
+
+// respEntry is one cached response: the serialized body and its content
+// type, threaded on the owning shard's LRU list. Immutable after insert.
+type respEntry struct {
+	prev, next *respEntry
+	key        respKey
+	body       []byte
+	ctype      string
+}
+
+// respShard is one LRU stripe: its own mutex, map and recency list
+// (head = most recent). Capacity is enforced per shard, so the cache-wide
+// bound is nshards × cap with no cross-shard coordination.
+type respShard struct {
+	mu         sync.Mutex
+	m          map[respKey]*respEntry
+	head, tail *respEntry
+	cap        int
+}
+
+// respCache is the sharded LRU. A nil respCache is valid and disabled:
+// lookups miss, stores discard — the zero-configuration off switch.
+type respCache struct {
+	shards               []respShard
+	hits, misses, evicts atomic.Int64
+}
+
+// newRespCache builds a cache bounded to at most `entries` responses
+// (0 selects the default; negative disables by returning nil). The bound is
+// split over power-of-two shards; when entries is smaller than the shard
+// count a single shard keeps the bound exact.
+func newRespCache(entries int) *respCache {
+	const nshards = 16
+	if entries < 0 {
+		return nil
+	}
+	if entries == 0 {
+		entries = 4096
+	}
+	c := &respCache{}
+	if entries < nshards {
+		c.shards = make([]respShard, 1)
+		c.shards[0].cap = entries
+	} else {
+		c.shards = make([]respShard, nshards)
+		for i := range c.shards {
+			c.shards[i].cap = entries / nshards
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[respKey]*respEntry)
+	}
+	return c
+}
+
+// shard picks the stripe for k. The key is a sha256, so any 8 bytes of it
+// are uniformly distributed — no second hash needed.
+func (c *respCache) shard(k respKey) *respShard {
+	h := binary.LittleEndian.Uint64(k[:8])
+	return &c.shards[h&uint64(len(c.shards)-1)]
+}
+
+// get returns the cached body and content type for k, refreshing its
+// recency. ok is false on a miss or a nil (disabled) cache.
+func (c *respCache) get(k respKey) (body []byte, ctype string, ok bool) {
+	if c == nil {
+		return nil, "", false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, "", false
+	}
+	s.moveFront(e)
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return e.body, e.ctype, true
+}
+
+// put stores body (which the cache takes ownership of — callers must pass a
+// copy if they keep writing to the backing array) under k, evicting the
+// least-recently-used entry of k's shard when full. No-op on nil.
+func (c *respCache) put(k respKey, body []byte, ctype string) {
+	if c == nil {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	if e, ok := s.m[k]; ok {
+		// A racing request already stored this key; the bodies are
+		// byte-identical by construction, keep the incumbent.
+		s.moveFront(e)
+		s.mu.Unlock()
+		return
+	}
+	if s.cap < 1 {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.m) >= s.cap {
+		lru := s.tail
+		s.unlink(lru)
+		delete(s.m, lru.key)
+		c.evicts.Add(1)
+	}
+	e := &respEntry{key: k, body: body, ctype: ctype}
+	s.m[k] = e
+	s.pushFront(e)
+	s.mu.Unlock()
+}
+
+// serve writes the cached response for k to w, reporting whether it did.
+// This is the entire warm hot path after fingerprinting: one shard lookup,
+// one header set, one Write.
+func (c *respCache) serve(w http.ResponseWriter, k respKey) bool {
+	body, ctype, ok := c.get(k)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(body) //nolint:errcheck // client gone; nothing left to do
+	return true
+}
+
+// reset drops every entry (hit/miss/evict counters persist). Runs on
+// Runner.OnReset so response bytes never outlive their source artifacts.
+func (c *respCache) reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[respKey]*respEntry)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// len reports the cached entry count.
+func (c *respCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Intrusive LRU list plumbing; callers hold the shard mutex.
+
+func (s *respShard) pushFront(e *respEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *respShard) unlink(e *respEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *respShard) moveFront(e *respEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

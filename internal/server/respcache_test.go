@@ -1,0 +1,202 @@
+package server
+
+// The response-byte cache's contract: it can only ever return what the
+// uncached path would have written, it stays under its configured bound, it
+// never outlives the Runner artifacts its bytes were rendered from, and it
+// survives concurrent hammering of one key.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"sentinel/internal/workload"
+)
+
+func postRaw(t testing.TB, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRespCacheByteIdentity sweeps every workload × model: the first
+// (miss) response, the repeat (hit) response, and the response of a server
+// with the cache disabled must be byte-for-byte identical, for both
+// /v1/simulate and /v1/schedule.
+func TestRespCacheByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep")
+	}
+	cached := New(Config{Workers: 2})
+	plain := New(Config{Workers: 2, RespCacheEntries: -1}) // cache disabled
+	if plain.resp != nil {
+		t.Fatal("RespCacheEntries=-1 did not disable the response cache")
+	}
+
+	all := workload.All()
+	if len(all) != 17 {
+		t.Fatalf("workload.All() = %d benchmarks, want the paper's 17", len(all))
+	}
+	for _, wl := range all {
+		for _, model := range []string{"restricted", "sentinel+stores"} {
+			for _, path := range []string{"/v1/simulate", "/v1/schedule"} {
+				body := fmt.Sprintf(`{"workload":%q,"model":%q,"width":8}`, wl.Name, model)
+				miss := postRaw(t, cached.Handler(), path, body)
+				hit := postRaw(t, cached.Handler(), path, body)
+				ref := postRaw(t, plain.Handler(), path, body)
+				for name, rec := range map[string]*httptest.ResponseRecorder{
+					"miss": miss, "hit": hit, "uncached": ref,
+				} {
+					if rec.Code != http.StatusOK {
+						t.Fatalf("%s %s %s/%s = %d: %s", name, path, wl.Name, model, rec.Code, rec.Body.String())
+					}
+				}
+				if !bytes.Equal(miss.Body.Bytes(), hit.Body.Bytes()) {
+					t.Errorf("%s %s/%s: cache hit diverges from its own miss", path, wl.Name, model)
+				}
+				if !bytes.Equal(miss.Body.Bytes(), ref.Body.Bytes()) {
+					t.Errorf("%s %s/%s: cached server diverges from cache-disabled server", path, wl.Name, model)
+				}
+				if got, want := hit.Header().Get("Content-Type"), ref.Header().Get("Content-Type"); got != want {
+					t.Errorf("%s %s/%s: content type %q != uncached %q", path, wl.Name, model, got, want)
+				}
+			}
+		}
+	}
+	if cached.resp.hits.Load() == 0 {
+		t.Error("sweep produced no response-cache hits; repeats are not being served from bytes")
+	}
+}
+
+// TestRespCacheLRUBound storms the cache with random keys from many
+// goroutines and checks the configured bound holds, for both the sharded
+// (entries >= 16) and single-shard (entries < 16) layouts.
+func TestRespCacheLRUBound(t *testing.T) {
+	for _, entries := range []int{5, 128} {
+		t.Run(fmt.Sprintf("entries=%d", entries), func(t *testing.T) {
+			c := newRespCache(entries)
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(g)))
+					var k respKey
+					for i := 0; i < 2000; i++ {
+						rng.Read(k[:]) //nolint:errcheck
+						if rng.Intn(3) == 0 {
+							c.get(k) //nolint:errcheck // racing misses are the point
+						}
+						c.put(k, []byte("body"), "text/plain")
+					}
+				}(g)
+			}
+			wg.Wait()
+			if got := c.len(); got > entries {
+				t.Fatalf("cache holds %d entries, configured bound %d", got, entries)
+			}
+			if c.evicts.Load() == 0 {
+				t.Fatal("storm of 16000 keys caused no evictions; the bound is not being enforced")
+			}
+			// After the dust settles the LRU still serves what it stores.
+			var k respKey
+			k[0] = 0xFF
+			c.put(k, []byte("fresh"), "text/plain")
+			if body, _, ok := c.get(k); !ok || string(body) != "fresh" {
+				t.Fatalf("get after storm = %q, %v; want \"fresh\", true", body, ok)
+			}
+		})
+	}
+}
+
+// TestRespCacheResetWithRunner: Runner.Reset must drop the response bytes
+// rendered from the artifacts it just dropped, and the rebuilt response
+// must match the original bytes.
+func TestRespCacheResetWithRunner(t *testing.T) {
+	s := New(Config{Workers: 2})
+	const body = `{"workload":"cmp","model":"sentinel","width":8}`
+	first := postRaw(t, s.Handler(), "/v1/simulate", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first = %d: %s", first.Code, first.Body.String())
+	}
+	// One success registers two entries: the canonical key and the raw
+	// request-bytes key the v1 wrapper fingerprinted.
+	if got := s.resp.len(); got != 2 {
+		t.Fatalf("respcache len = %d after one success, want 2 (canonical + raw)", got)
+	}
+
+	missesBefore := s.resp.misses.Load()
+	s.Runner().Reset()
+	if got := s.resp.len(); got != 0 {
+		t.Fatalf("respcache len = %d after Runner.Reset, want 0 (stale bytes survived)", got)
+	}
+
+	again := postRaw(t, s.Handler(), "/v1/simulate", body)
+	if again.Code != http.StatusOK {
+		t.Fatalf("after reset = %d: %s", again.Code, again.Body.String())
+	}
+	if got := s.resp.misses.Load(); got <= missesBefore {
+		t.Fatalf("misses = %d after reset, want > %d (request must recompute, not hit)", got, missesBefore)
+	}
+	if !bytes.Equal(first.Body.Bytes(), again.Body.Bytes()) {
+		t.Error("response after Runner.Reset diverges from the original bytes")
+	}
+}
+
+// TestRespCacheOneKeyRace hammers a single request from 32 goroutines
+// through the full handler: every response must be 200 with identical
+// bytes, whichever goroutine filled the cache. Meaningful under -race.
+func TestRespCacheOneKeyRace(t *testing.T) {
+	s := New(Config{Workers: 2, MaxInFlight: 32, MaxQueue: 64})
+	const body = `{"workload":"wc","model":"sentinel+stores","width":8}`
+	want := postRaw(t, s.Handler(), "/v1/simulate", body)
+	if want.Code != http.StatusOK {
+		t.Fatalf("seed request = %d: %s", want.Code, want.Body.String())
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rec := postRaw(t, s.Handler(), "/v1/simulate", body)
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+				if !bytes.Equal(rec.Body.Bytes(), want.Body.Bytes()) {
+					t.Error("concurrent response diverges from the seed response")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRespCacheBypasses pins the two documented escape hatches: Full runs
+// and fault-injection runs never populate or hit the response cache.
+func TestRespCacheBypasses(t *testing.T) {
+	s := New(Config{Workers: 2})
+	for _, body := range []string{
+		`{"workload":"cmp","model":"sentinel","width":8,"full":true}`,
+		`{"workload":"cmp","model":"sentinel","width":8,"fault_segment":"a"}`,
+	} {
+		before := s.resp.len()
+		rec := postRaw(t, s.Handler(), "/v1/simulate", body)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusUnprocessableEntity {
+			t.Fatalf("%s = %d: %s", body, rec.Code, rec.Body.String())
+		}
+		if got := s.resp.len(); got != before {
+			t.Errorf("%s changed respcache len %d -> %d; escape hatch leaked into the cache", body, before, got)
+		}
+	}
+}

@@ -18,11 +18,15 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"expvar"
+	"io"
 	"net/http"
 	netpprof "net/http/pprof"
+	"net/url"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +49,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxSourcePrograms caps the inline-source compile cache (default 256).
 	MaxSourcePrograms int
+	// RespCacheEntries bounds the response-byte cache — the LRU of fully
+	// serialized success responses that lets a repeat request skip all
+	// marshal work (default 4096; negative disables).
+	RespCacheEntries int
 	// Registry receives request metrics and the Runner's cache/utilization
 	// instruments; nil disables metrics entirely (the obs nil path).
 	Registry *obs.Registry
@@ -72,6 +80,7 @@ type Server struct {
 	runner  *eval.Runner
 	adm     *admission
 	sources *sourceCache
+	resp    *respCache
 	mux     *http.ServeMux
 	ready   atomic.Bool
 
@@ -93,7 +102,11 @@ func New(cfg Config) *Server {
 		runner:  eval.NewRunner(cfg.Workers),
 		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		sources: newSourceCache(cfg.MaxSourcePrograms),
+		resp:    newRespCache(cfg.RespCacheEntries),
 	}
+	// Response bytes are rendered from Runner artifacts; dropping the
+	// artifacts must drop the bytes memoized on top of them.
+	s.runner.OnReset(s.resp.reset)
 	s.ready.Store(true)
 	if reg := cfg.Registry; reg != nil {
 		s.runner.SetMetrics(reg)
@@ -111,6 +124,25 @@ func New(cfg Config) *Server {
 			return 0
 		})
 		reg.Gauge("server.cache_hit_permille", s.cacheHitPermille)
+		reg.Gauge("server.respcache.size", func() int64 { return int64(s.resp.len()) })
+		reg.Gauge("server.respcache.hits", func() int64 {
+			if s.resp == nil {
+				return 0
+			}
+			return s.resp.hits.Load()
+		})
+		reg.Gauge("server.respcache.misses", func() int64 {
+			if s.resp == nil {
+				return 0
+			}
+			return s.resp.misses.Load()
+		})
+		reg.Gauge("server.respcache.evicts", func() int64 {
+			if s.resp == nil {
+				return 0
+			}
+			return s.resp.evicts.Load()
+		})
 	}
 	s.routes()
 	return s
@@ -151,12 +183,11 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // cacheHitPermille summarizes all Runner caches into one effectiveness
 // gauge: hits per thousand lookups across builds, forms, scheds and cells.
+// Uses the Runner's allocation-free totals — this gauge is polled by every
+// /debug/vars scrape on a hot service.
 func (s *Server) cacheHitPermille() int64 {
-	var hits, total int64
-	for _, cs := range s.runner.CacheStats() {
-		hits += cs.Hits
-		total += cs.Hits + cs.Misses
-	}
+	hits, misses := s.runner.CacheHitsMisses()
+	total := hits + misses
 	if total == 0 {
 		return 0
 	}
@@ -201,9 +232,35 @@ func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request) error) http.H
 		if s.reqTime != nil {
 			t0 = time.Now()
 		}
+
+		// Warm fast path: a byte-identical repeat of an already-answered
+		// request (same path, query and body bytes) is served straight from
+		// the response cache — no JSON decode, no normalization, no
+		// admission round-trip (the serve is a map lookup plus one Write,
+		// cheaper than the bookkeeping that would otherwise guard it).
+		// Draining still wins: a draining server refuses repeats too.
+		if s.resp != nil && !s.adm.draining.Load() {
+			rawK, sc, ok := s.fingerprintRaw(r)
+			if sc != nil {
+				defer putBodyScratch(sc)
+			}
+			if ok {
+				if s.resp.serve(w, rawK) {
+					s.reqs.Inc()
+					if s.reqTime != nil {
+						s.reqTime.Observe(time.Since(t0).Nanoseconds())
+					}
+					return
+				}
+				// Miss: remember the key so the handler's cache fill also
+				// registers these exact request bytes for the next repeat.
+				r = r.WithContext(context.WithValue(r.Context(), rawKeyCtxKey{}, rawK))
+			}
+		}
+
 		ctx := r.Context()
 		timeout := s.cfg.RequestTimeout
-		if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		if q, ok := queryValue(r.URL.RawQuery, "timeout_ms"); ok {
 			ms, err := strconv.Atoi(q)
 			if err != nil || ms < 1 {
 				s.countStatus(writeError(w, apiErrorf(http.StatusBadRequest, KindBadRequest,
@@ -233,6 +290,72 @@ func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request) error) http.H
 			s.reqTime.Observe(time.Since(t0).Nanoseconds())
 		}
 	}
+}
+
+// rawKeyCtxKey carries the raw-request fingerprint from the v1 wrapper to
+// the handler's cache fill (context is the only channel the handler
+// signature offers; the value allocates on cache misses only).
+type rawKeyCtxKey struct{}
+
+// rawKeyFrom returns the raw-request key the v1 wrapper stashed, if any.
+func rawKeyFrom(ctx context.Context) (respKey, bool) {
+	k, ok := ctx.Value(rawKeyCtxKey{}).(respKey)
+	return k, ok
+}
+
+// fingerprintRaw slurps the request body (bounded by the decode limit) into
+// pooled scratch, fingerprints the raw request, and hands the body bytes
+// back via r.Body for the normal decode path. The returned scratch (nil for
+// bodyless requests) must be recycled with putBodyScratch at request end —
+// it backs r.Body until then. ok is false when the body exceeds the limit
+// or fails mid-read — those requests skip the fast path and the normal path
+// owns the error, seeing the original byte stream.
+func (s *Server) fingerprintRaw(r *http.Request) (k respKey, sc *bodyScratch, ok bool) {
+	if r.Body == nil || r.Body == http.NoBody {
+		return rawRequestKey(r.URL.Path, r.URL.RawQuery, nil), nil, true
+	}
+	sc = getBodyScratch()
+	sc.lim = io.LimitedReader{R: r.Body, N: maxBodyBytes + 1}
+	_, err := sc.buf.ReadFrom(&sc.lim)
+	if err != nil || sc.buf.Len() > maxBodyBytes {
+		r.Body = readCloser{io.MultiReader(bytes.NewReader(sc.buf.Bytes()), r.Body), r.Body}
+		return respKey{}, sc, false
+	}
+	sc.rd.Reset(sc.buf.Bytes())
+	r.Body = sc
+	return rawRequestKey(r.URL.Path, r.URL.RawQuery, sc.buf.Bytes()), sc, true
+}
+
+// readCloser splices a replacement read stream onto the original body's
+// Close (over-limit fallback path only).
+type readCloser struct {
+	io.Reader
+	io.Closer
+}
+
+// queryValue extracts the value of key from a raw query string without
+// materializing the url.Values map — the v1 wrapper runs this on every
+// request, and the common case (no query at all) must cost nothing.
+// Percent- or plus-escaped values take the slow unescape path.
+func queryValue(rawQuery, key string) (string, bool) {
+	for len(rawQuery) > 0 {
+		part := rawQuery
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			part, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		if len(part) > len(key)+1 && part[:len(key)] == key && part[len(key)] == '=' {
+			v := part[len(key)+1:]
+			if strings.ContainsAny(v, "%+") {
+				if u, err := url.QueryUnescape(v); err == nil {
+					return u, true
+				}
+			}
+			return v, true
+		}
+	}
+	return "", false
 }
 
 func (s *Server) countStatus(status int) {

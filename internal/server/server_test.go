@@ -121,8 +121,14 @@ func TestSimulateCoalescesRepeats(t *testing.T) {
 	if cs.Size != 1 {
 		t.Errorf("cells cache size = %d, want 1 (identical requests must share one cell)", cs.Size)
 	}
-	if cs.Hits < 2 {
-		t.Errorf("cells cache hits = %d, want >= 2 (repeats served from cache)", cs.Hits)
+	// Repeats are absorbed above the Runner now: the first request fills
+	// the response-byte cache, the other two are byte hits that never
+	// reach the cell cache at all.
+	if hits := s.resp.hits.Load(); hits < 2 {
+		t.Errorf("response cache hits = %d, want >= 2 (repeats served as cached bytes)", hits)
+	}
+	if cs.Misses != 1 {
+		t.Errorf("cells cache misses = %d, want 1 (one real measurement)", cs.Misses)
 	}
 }
 
