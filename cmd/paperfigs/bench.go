@@ -216,6 +216,36 @@ func writeBenchJSON(dir string) error {
 		}
 		simRecs = append(simRecs, record("SimRun/"+name, r))
 	}
+	// The same kernels under the TAGE frontend: the delta against SimRun is
+	// the pure frontend cost (prediction, redirect and throttle accounting),
+	// gated so frontend work never creeps into the classic inner loop.
+	for _, name := range []string{"nasa7", "tomcatv", "doduc", "wc"} {
+		md := machine.Base(8, machine.SentinelStores).WithPredictor(machine.PredTAGE)
+		f, m, err := benchFormed(name)
+		if err != nil {
+			return err
+		}
+		sched, _, err := core.Schedule(f, md.CompileView())
+		if err != nil {
+			return err
+		}
+		idx := sim.NewProgIndex(sched)
+		pred := sim.NewPredictor(md, idx)
+		var serr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(sched, md, m.Clone(), sim.Options{Index: idx, Pred: pred}); err != nil {
+					serr = err
+					b.FailNow()
+				}
+			}
+		})
+		if serr != nil {
+			return serr
+		}
+		simRecs = append(simRecs, record("SimRunTAGE/"+name, r))
+	}
 
 	serveRecs, err := benchServe()
 	if err != nil {

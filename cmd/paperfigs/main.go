@@ -52,6 +52,7 @@ func main() {
 	flag.BoolVar(&s.Faults, "faults", false, "fault-injection study (extension)")
 	flag.BoolVar(&s.Sharing, "sharing", false, "shared-sentinel ablation (extension)")
 	flag.BoolVar(&s.Boost, "boosting", false, "instruction boosting vs sentinel (extension)")
+	flag.BoolVar(&s.Prediction, "prediction", false, "branch-prediction sensitivity: perfect vs static vs TAGE frontends (extension)")
 	all := flag.Bool("all", false, "run everything")
 	jobs := flag.Int("j", 0, "cells to compile/simulate concurrently (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print runner cache/utilization metrics to stderr after the run")

@@ -29,6 +29,7 @@ func TestGoldenSections(t *testing.T) {
 		{"fig4.txt", sections{Fig4: true}},
 		{"fig5.txt", sections{Fig5: true}},
 		{"overhead.txt", sections{Overhead: true}},
+		{"prediction.txt", sections{Prediction: true}},
 	} {
 		t.Run(tc.golden, func(t *testing.T) {
 			var buf bytes.Buffer

@@ -40,6 +40,8 @@ import (
 func main() {
 	model := flag.String("model", "sentinel", "speculation model: restricted, general, sentinel, sentinel+stores")
 	width := flag.Int("width", 8, "issue width")
+	predictor := flag.String("predictor", "perfect", "branch-prediction frontend: perfect, static, tage")
+	mispredict := flag.Int("mispredict", 0, "mispredict redirect penalty in cycles (0 = default for the predictor)")
 	form := flag.Bool("superblock", true, "profile and form superblocks before scheduling")
 	wl := flag.String("workload", "", "run a built-in benchmark kernel instead of a source file")
 	verify := flag.Bool("verify", true, "compare against the reference interpreter")
@@ -75,7 +77,7 @@ func main() {
 		return
 	}
 
-	md, err := parseMachine(*model, *width)
+	md, err := parseMachine(*model, *width, *predictor, *mispredict)
 	if err != nil {
 		fatal(err)
 	}
@@ -167,7 +169,11 @@ func simulate(p *prog.Program, m *mem.Memory, md machine.Desc, o runOpts, w io.W
 		return 0, err
 	}
 
-	fmt.Fprintf(w, "machine:  %v, issue %d, %d-entry store buffer\n", md.Model, md.IssueWidth, md.StoreBuffer)
+	front := ""
+	if md.Predictor != machine.PredPerfect {
+		front = fmt.Sprintf(", %v frontend (mispredict penalty %d)", md.Predictor, md.MispredictPenalty)
+	}
+	fmt.Fprintf(w, "machine:  %v, issue %d, %d-entry store buffer%s\n", md.Model, md.IssueWidth, md.StoreBuffer, front)
 	fmt.Fprintf(w, "cycles:   %d\n", res.Cycles)
 	fmt.Fprintf(w, "instrs:   %d (IPC %.2f)\n", res.Instrs, float64(res.Instrs)/float64(res.Cycles))
 	fmt.Fprintf(w, "stalls:   %d\n", res.Stalls)
@@ -223,7 +229,7 @@ func runSweep(b workload.Benchmark, jobs int, stats bool) error {
 	return nil
 }
 
-func parseMachine(model string, width int) (machine.Desc, error) {
+func parseMachine(model string, width int, predictor string, mispredict int) (machine.Desc, error) {
 	var m machine.Model
 	switch model {
 	case "restricted":
@@ -239,7 +245,16 @@ func parseMachine(model string, width int) (machine.Desc, error) {
 	default:
 		return machine.Desc{}, fmt.Errorf("unknown model %q", model)
 	}
-	md := machine.Base(width, m)
+	p, err := machine.ParsePredictor(predictor)
+	if err != nil {
+		return machine.Desc{}, err
+	}
+	md := machine.Base(width, m).WithPredictor(p)
+	if mispredict != 0 {
+		// Set after WithPredictor so -mispredict with -predictor perfect is
+		// a validation error rather than silently ignored.
+		md.MispredictPenalty = mispredict
+	}
 	return md, md.Validate()
 }
 

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -174,6 +175,38 @@ func FuzzScheduleDifferential(f *testing.F) {
 							model, w, got, want)
 					}
 				}
+			}
+		}
+
+		// The branch-prediction frontends change timing, never architecture:
+		// under the static and TAGE predictors the sentinel machine must still
+		// reproduce the reference's output vector and memory checksum on clean
+		// runs, and still fault (the wrong-path fetch is squashed, so a
+		// mispredict can neither execute nor suppress a faulting instruction)
+		// when the reference faults.
+		for _, pk := range []machine.Predictor{machine.PredStatic, machine.PredTAGE} {
+			md := machine.Base(8, machine.Sentinel).WithPredictor(pk)
+			sched, _, err := core.Schedule(fp, md.CompileView())
+			if err != nil {
+				t.Fatalf("%v frontend: schedule: %v", pk, err)
+			}
+			res, serr := sim.Run(sched, md, m.Clone(), sim.Options{MaxInstrs: 1_000_000})
+			if refExc == nil {
+				if serr != nil {
+					t.Fatalf("%v frontend: reference completes but simulation failed: %v", pk, serr)
+				}
+				if res.MemSum != ref.MemSum {
+					t.Errorf("%v frontend: memory checksum %#x != reference %#x", pk, res.MemSum, ref.MemSum)
+				}
+				if fmt.Sprint(res.Out) != fmt.Sprint(ref.Out) {
+					t.Errorf("%v frontend: output %v != reference %v", pk, res.Out, ref.Out)
+				}
+				continue
+			}
+			if serr == nil {
+				t.Errorf("%v frontend: reference faults (%v) but simulation completed", pk, refExc)
+			} else if _, ok := sim.Unhandled(serr); !ok {
+				t.Errorf("%v frontend: reference faults (%v) but simulation failed differently: %v", pk, refExc, serr)
 			}
 		}
 	})

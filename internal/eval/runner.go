@@ -52,6 +52,9 @@ func (k CellKey) String() string {
 	if k.MD.NoSharedSentinels {
 		s += "+noshare"
 	}
+	if k.MD.Predictor != machine.PredPerfect {
+		s += "+" + k.MD.Predictor.String()
+	}
 	return s
 }
 
@@ -295,8 +298,12 @@ func (r *Runner) formed(ctx context.Context, b workload.Benchmark, sbo superbloc
 }
 
 // scheduled returns the benchmark's scheduled program for the given machine
-// configuration, compiled once per cell key.
+// configuration, compiled once per cell key. The key uses the machine's
+// CompileView: the scheduler never consults the branch-prediction frontend,
+// so one schedule is computed and shared across every predictor that
+// simulates it.
 func (r *Runner) scheduled(ctx context.Context, b workload.Benchmark, md machine.Desc, sbo superblock.Options) (*schedArtifact, error) {
+	md = md.CompileView()
 	key := CellKey{b.Name, md, sbo.WithDefaults()}
 	return r.scheds.getCtx(ctx, key, func() (*schedArtifact, error) {
 		f, err := r.formed(ctx, b, sbo)

@@ -20,22 +20,28 @@ import (
 type Sections struct {
 	Fig4, Fig5, Table3, Overhead             bool
 	Recovery, Buffer, Faults, Sharing, Boost bool
+	Prediction                               bool
 }
 
 // AllSections selects every section, as `paperfigs -all` does.
 func AllSections() Sections {
-	return Sections{true, true, true, true, true, true, true, true, true}
+	return Sections{
+		Fig4: true, Fig5: true, Table3: true, Overhead: true,
+		Recovery: true, Buffer: true, Faults: true, Sharing: true, Boost: true,
+		Prediction: true,
+	}
 }
 
 // Any reports whether at least one section is selected.
 func (s Sections) Any() bool {
 	return s.Fig4 || s.Fig5 || s.Table3 || s.Overhead ||
-		s.Recovery || s.Buffer || s.Faults || s.Sharing || s.Boost
+		s.Recovery || s.Buffer || s.Faults || s.Sharing || s.Boost ||
+		s.Prediction
 }
 
 // SectionByName sets the named section on s, reporting whether the name is
 // known. Names match the paperfigs flags: fig4, fig5, table3, overhead,
-// recovery, buffer, faults, sharing, boosting (and "all").
+// recovery, buffer, faults, sharing, boosting, prediction (and "all").
 func (s *Sections) SectionByName(name string) bool {
 	switch name {
 	case "fig4":
@@ -56,6 +62,8 @@ func (s *Sections) SectionByName(name string) bool {
 		s.Sharing = true
 	case "boosting", "boost":
 		s.Boost = true
+	case "prediction":
+		s.Prediction = true
 	case "all":
 		*s = AllSections()
 	default:
@@ -104,6 +112,7 @@ func RenderSections(ctx context.Context, s Sections, r *Runner, w io.Writer) err
 		{s.Faults, r.FaultInjection},
 		{s.Sharing, r.SharingAblation},
 		{s.Boost, r.BoostingComparison},
+		{s.Prediction, r.PredictionStudy},
 	} {
 		if !sec.on {
 			continue

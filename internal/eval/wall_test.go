@@ -1,0 +1,237 @@
+package eval
+
+// The differential wall around the classic models. The branch-prediction
+// frontends added to the simulator must be invisible under the default
+// (perfect, oracle) frontend: every classic cell's cycles, stall breakdown,
+// output vector and memory checksum stays byte-identical. These tests pin
+// that surface — the 17 workloads and a 50-program generated corpus, across
+// every speculation model, both paper issue widths and the recovery/sharing
+// variants — against committed goldens, so frontend work creeping into the
+// classic inner loop fails CI rather than silently shifting every figure.
+//
+// Regenerate after an *intentional* timing change with:
+//
+//	go test ./internal/eval/ -run TestClassicWall -update
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sentinel/internal/core"
+	"sentinel/internal/machine"
+	"sentinel/internal/prog"
+	"sentinel/internal/sim"
+	"sentinel/internal/superblock"
+	"sentinel/internal/workload"
+)
+
+var updateWall = flag.Bool("update", false, "rewrite the classic-wall goldens")
+
+// wallConfigs is the classic machine matrix the wall pins: every speculation
+// model plus the recovery and no-shared-sentinel variants, all under the
+// default perfect frontend.
+func wallConfigs(w int) []machine.Desc {
+	return []machine.Desc{
+		machine.Base(w, machine.Restricted),
+		machine.Base(w, machine.General),
+		machine.Base(w, machine.Sentinel),
+		machine.Base(w, machine.SentinelStores),
+		machine.Base(w, machine.Boosting),
+		machine.Base(w, machine.Sentinel).WithRecovery(),
+		machine.Base(w, machine.SentinelStores).WithRecovery(),
+		machine.Base(w, machine.Sentinel).WithoutSharedSentinels(),
+	}
+}
+
+// wallLine renders one cell's architectural and timing signature: cycles,
+// instructions, the stall breakdown by cause, redirect counts, the output
+// vector and the memory checksum.
+func wallLine(key string, res *sim.Result) string {
+	s := res.Stats
+	return fmt.Sprintf("%-42s cycles=%d instrs=%d interlock=%d storebuf=%d redirects=%d redircyc=%d out=%v memsum=%#x\n",
+		key, res.Cycles, res.Instrs, s.InterlockStalls, s.StoreBufferStalls,
+		s.BranchRedirects, s.RedirectCycles, res.Out, res.MemSum)
+}
+
+// checkGolden compares got against the committed golden at path, rewriting
+// it under -update.
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateWall {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (generate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from the committed golden.\nThe classic models' timing and results must not change when frontend\ncode changes; if this shift is intentional, regenerate with -update.\nDiff sketch: got %d bytes, want %d bytes", filepath.Base(path), len(got), len(want))
+		for i, gl := range strings.Split(string(got), "\n") {
+			wl := ""
+			if ws := strings.Split(string(want), "\n"); i < len(ws) {
+				wl = ws[i]
+			}
+			if gl != wl {
+				t.Errorf("first difference, line %d:\n got: %s\nwant: %s", i+1, gl, wl)
+				break
+			}
+		}
+	}
+}
+
+// TestClassicWallWorkloads pins every workload's classic results: 17
+// benchmarks x 8 machine configurations x 2 issue widths under the perfect
+// frontend, byte-identical to the committed golden.
+func TestClassicWallWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full wall matrix in -short mode")
+	}
+	r := NewRunner(0)
+	var sb strings.Builder
+	for _, w := range workload.All() {
+		for _, width := range []int{2, 8} {
+			for _, md := range wallConfigs(width) {
+				res, err := r.Simulate(w, md, superblock.Options{}, sim.Options{})
+				if err != nil {
+					t.Fatalf("%s %v: %v", w.Name, CellKey{w.Name, md, superblock.Options{}.WithDefaults()}, err)
+				}
+				sb.WriteString(wallLine(CellKey{Bench: w.Name, MD: md}.String(), res))
+			}
+		}
+	}
+	checkGolden(t, filepath.Join("testdata", "classic_wall.txt"), []byte(sb.String()))
+}
+
+// TestClassicWallFuzzCorpus pins the generated-program half of the wall: the
+// same 50-program deterministic corpus the scheduler-equivalence suite uses
+// (seed 0x5e47135c0de, spanning the full genProgram input range), simulated
+// under the classic matrix. Cells the scheduler legitimately refuses (the
+// SS 4.2 separation constraint) and runs that fault record their error text,
+// which must be just as stable as a clean run's cycle count.
+func TestClassicWallFuzzCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus matrix in -short mode")
+	}
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(0x5e47135c0de))
+	for ci := 0; ci < 50; ci++ {
+		n := 6 + rng.Intn(49)
+		data := make([]byte, n)
+		rng.Read(data)
+
+		p, m := genProgram(data)
+		if p == nil {
+			t.Fatalf("corpus %d: generator rejected %d bytes", ci, n)
+		}
+		p.Layout()
+		prof, _ := prog.Run(p, m.Clone(), prog.Options{Collect: true, MaxInstrs: 100_000})
+		fp := superblock.Form(p, prof.Profile, superblock.Options{})
+		fp.Layout()
+
+		for _, width := range []int{2, 8} {
+			for _, md := range wallConfigs(width) {
+				key := fmt.Sprintf("corpus%02d/%v", ci, CellKey{MD: md})
+				sched, _, err := core.Schedule(fp, md)
+				if err != nil {
+					fmt.Fprintf(&sb, "%-42s refused: %v\n", key, err)
+					continue
+				}
+				res, err := sim.Run(sched, md, m.Clone(), sim.Options{MaxInstrs: 1_000_000})
+				if err != nil {
+					fmt.Fprintf(&sb, "%-42s error: %v\n", key, err)
+					continue
+				}
+				sb.WriteString(wallLine(key, res))
+			}
+		}
+	}
+	checkGolden(t, filepath.Join("testdata", "classic_wall_corpus.txt"), []byte(sb.String()))
+}
+
+// TestPerfectFrontendCanonical: a Desc that explicitly selects the perfect
+// frontend is the SAME value as one that never mentioned a frontend, so the
+// runner's caches, cell keys and fingerprints all coincide — there is no
+// "classic" / "perfect" split anywhere in the system.
+func TestPerfectFrontendCanonical(t *testing.T) {
+	classic := machine.Base(8, machine.Sentinel)
+	explicit := classic.WithPredictor(machine.PredPerfect)
+	if classic != explicit {
+		t.Fatalf("WithPredictor(perfect) changed the Desc: %+v != %+v", explicit, classic)
+	}
+	k := CellKey{Bench: "cmp", MD: classic}
+	if s := k.String(); strings.Contains(s, "perfect") {
+		t.Errorf("classic cell key %q must not name the frontend", s)
+	}
+	r := NewRunner(1)
+	a, err := r.Measure(mustBench(t, "cmp"), classic, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Measure(mustBench(t, "cmp"), explicit, superblock.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("classic and explicit-perfect cells diverge: %+v != %+v", a, b)
+	}
+	if stats := r.CacheStats()["cells"]; stats.Size != 1 {
+		t.Errorf("classic and explicit-perfect descs occupy %d cell cache entries, want 1", stats.Size)
+	}
+}
+
+// TestPredictionDeterminism: predictor-frontend cells are a pure function of
+// the cell key — identical across worker counts (-j1 vs -j4) and across a
+// Runner.Reset (recompute from scratch), for both dynamic frontends.
+func TestPredictionDeterminism(t *testing.T) {
+	benches := []string{"cmp", "wc", "eqn"}
+	descs := []machine.Desc{
+		machine.Base(8, machine.Sentinel).WithPredictor(machine.PredStatic),
+		machine.Base(8, machine.Sentinel).WithPredictor(machine.PredTAGE),
+		machine.Base(2, machine.Boosting).WithPredictor(machine.PredTAGE),
+	}
+	measureAll := func(r *Runner) map[string]Cell {
+		out := map[string]Cell{}
+		for _, name := range benches {
+			for _, md := range descs {
+				c, err := r.Measure(mustBench(t, name), md, superblock.Options{})
+				if err != nil {
+					t.Fatalf("%s %v: %v", name, md.Predictor, err)
+				}
+				out[CellKey{Bench: name, MD: md}.String()] = c
+			}
+		}
+		return out
+	}
+	serial := NewRunner(1)
+	parallel := NewRunner(4)
+	got1 := measureAll(serial)
+	got4 := measureAll(parallel)
+	serial.Reset()
+	gotReset := measureAll(serial)
+	for k, c := range got1 {
+		if got4[k] != c {
+			t.Errorf("%s: -j4 cell %+v != -j1 cell %+v", k, got4[k], c)
+		}
+		if gotReset[k] != c {
+			t.Errorf("%s: post-Reset cell %+v != original %+v", k, gotReset[k], c)
+		}
+	}
+}
+
+func mustBench(t *testing.T, name string) workload.Benchmark {
+	t.Helper()
+	b, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	return b
+}

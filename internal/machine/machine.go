@@ -57,6 +57,63 @@ func (m Model) String() string {
 // UsesTags reports whether the model requires exception-tagged registers.
 func (m Model) UsesTags() bool { return m == Sentinel || m == SentinelStores }
 
+// Predictor selects the branch-prediction frontend of the simulated
+// machine. The paper's machine resolves every branch at the end of its
+// 1-cycle latency and charges only the fixed taken-branch bubble — an
+// oracle frontend, named PredPerfect here, and the default (zero value) so
+// every classic figure is unchanged. The other frontends make the fetch
+// engine real: a predicted-wrong branch costs a MispredictPenalty redirect,
+// and the first fetch cycle after any redirect issues at half width (the
+// variable fetch-rate frontend).
+type Predictor int
+
+const (
+	// PredPerfect is the paper's oracle frontend: branches never
+	// mispredict, taken transfers cost BranchTakenPenalty, fetch never
+	// throttles. The default.
+	PredPerfect Predictor = iota
+	// PredStatic is backward-taken/forward-not-taken: a branch whose
+	// target does not lie after it in layout order is predicted taken.
+	PredStatic
+	// PredTAGE is a tagged-geometric-history predictor: the static prior
+	// as the base component plus tagged tables of geometrically growing
+	// history lengths, with allocation on mispredict and useful-bit
+	// eviction.
+	PredTAGE
+)
+
+var predictorNames = [...]string{
+	PredPerfect: "perfect",
+	PredStatic:  "static",
+	PredTAGE:    "tage",
+}
+
+func (p Predictor) String() string {
+	if int(p) < len(predictorNames) {
+		return predictorNames[p]
+	}
+	return fmt.Sprintf("predictor(%d)", int(p))
+}
+
+// ParsePredictor resolves a predictor name ("" means perfect).
+func ParsePredictor(name string) (Predictor, error) {
+	switch name {
+	case "", "perfect":
+		return PredPerfect, nil
+	case "static":
+		return PredStatic, nil
+	case "tage":
+		return PredTAGE, nil
+	default:
+		return 0, fmt.Errorf("machine: unknown predictor %q (want perfect, static, tage)", name)
+	}
+}
+
+// DefaultMispredictPenalty is the redirect cost of a mispredicted branch
+// under a non-perfect frontend: the in-order pipeline squashes wrong-path
+// fetch and refills from the resolved target.
+const DefaultMispredictPenalty = 5
+
 // Latencies is Table 3 of the paper, indexed by function-unit class.
 // Branches take 1 cycle and have 1 delay slot; the simulator charges one
 // bubble cycle on a taken branch.
@@ -77,7 +134,9 @@ var Latencies = [ir.NumUnits]int{
 func Latency(op ir.Op) int { return Latencies[ir.UnitOf(op)] }
 
 // BranchTakenPenalty is the redirect bubble charged when a branch is taken
-// ("1 / 1 slot" in Table 3).
+// ("1 / 1 slot" in Table 3). It is the perfect frontend's only branch cost;
+// the static and TAGE frontends keep it for correctly predicted taken
+// branches and add Desc.MispredictPenalty for mispredicted ones.
 const BranchTakenPenalty = 1
 
 // Desc is a full machine configuration handed to the scheduler and
@@ -107,6 +166,14 @@ type Desc struct {
 	// most this many branches ("the number of branches an instruction can
 	// be boosted above is limited to a small number", §2.3).
 	BoostLevels int
+	// Predictor selects the branch-prediction frontend. The zero value
+	// (PredPerfect) is the paper's oracle frontend and leaves every classic
+	// model byte-identical.
+	Predictor Predictor
+	// MispredictPenalty is the redirect cost in cycles of a mispredicted
+	// branch. It must be 0 under PredPerfect (which cannot mispredict) and
+	// >= 1 otherwise; WithPredictor fills in DefaultMispredictPenalty.
+	MispredictPenalty int
 }
 
 // Base returns the paper's base processor with the given issue width and
@@ -124,6 +191,31 @@ func (d Desc) WithRecovery() Desc { d.Recovery = true; return d }
 // WithoutSharedSentinels returns a copy of d with the shared-sentinel
 // optimization disabled (ablation).
 func (d Desc) WithoutSharedSentinels() Desc { d.NoSharedSentinels = true; return d }
+
+// WithPredictor returns a copy of d with the given branch-prediction
+// frontend. A non-perfect predictor gets DefaultMispredictPenalty unless
+// the caller already chose one; selecting PredPerfect clears the penalty so
+// the resulting Desc is canonical (equal to a Desc that never had a
+// predictor set — cache keys and fingerprints must coincide).
+func (d Desc) WithPredictor(p Predictor) Desc {
+	d.Predictor = p
+	if p == PredPerfect {
+		d.MispredictPenalty = 0
+	} else if d.MispredictPenalty == 0 {
+		d.MispredictPenalty = DefaultMispredictPenalty
+	}
+	return d
+}
+
+// CompileView returns d with the frontend fields cleared. The scheduler
+// never consults the predictor — schedules are a pure function of the
+// speculation model, issue width and store buffer — so artifact caches key
+// compile results by this view and share one schedule across frontends.
+func (d Desc) CompileView() Desc {
+	d.Predictor = PredPerfect
+	d.MispredictPenalty = 0
+	return d
+}
 
 // Validate reports configuration errors.
 func (d Desc) Validate() error {
@@ -146,6 +238,15 @@ func (d Desc) Validate() error {
 		if d.Recovery {
 			return fmt.Errorf("machine: recovery constraints are a sentinel-scheduling concept, not applicable to boosting")
 		}
+	}
+	if d.Predictor < PredPerfect || d.Predictor > PredTAGE {
+		return fmt.Errorf("machine: unknown predictor %d", int(d.Predictor))
+	}
+	if d.Predictor == PredPerfect && d.MispredictPenalty != 0 {
+		return fmt.Errorf("machine: a perfect frontend cannot mispredict; mispredict penalty %d must be 0", d.MispredictPenalty)
+	}
+	if d.Predictor != PredPerfect && d.MispredictPenalty < 1 {
+		return fmt.Errorf("machine: predictor %v needs a mispredict penalty of at least 1 cycle", d.Predictor)
 	}
 	return nil
 }

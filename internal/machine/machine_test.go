@@ -26,8 +26,83 @@ func TestTable3(t *testing.T) {
 			t.Errorf("Latency(%v) = %d, want %d", op, got, lat)
 		}
 	}
+	// BranchTakenPenalty is the PERFECT frontend's only branch cost ("1 /
+	// 1 slot" in Table 3): under the oracle frontend every taken branch
+	// charges exactly this bubble and nothing else. The static and TAGE
+	// frontends keep it for correctly predicted taken branches and charge
+	// Desc.MispredictPenalty instead on a mispredict.
 	if BranchTakenPenalty != 1 {
-		t.Errorf("branch taken penalty = %d, want 1 (Table 3: 1 slot)", BranchTakenPenalty)
+		t.Errorf("branch taken penalty = %d, want 1 (Table 3: 1 slot, the perfect frontend's bubble)", BranchTakenPenalty)
+	}
+}
+
+func TestPredictorNamesAndParse(t *testing.T) {
+	for p, want := range map[Predictor]string{
+		PredPerfect: "perfect", PredStatic: "static", PredTAGE: "tage",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+		got, err := ParsePredictor(want)
+		if err != nil || got != p {
+			t.Errorf("ParsePredictor(%q) = %v, %v, want %v", want, got, err, p)
+		}
+	}
+	if p, err := ParsePredictor(""); err != nil || p != PredPerfect {
+		t.Errorf("ParsePredictor(\"\") = %v, %v, want perfect", p, err)
+	}
+	if _, err := ParsePredictor("gshare"); err == nil {
+		t.Error("ParsePredictor must reject unknown names")
+	}
+}
+
+func TestWithPredictorCanonical(t *testing.T) {
+	d := Base(8, Sentinel)
+	s := d.WithPredictor(PredStatic)
+	if s.Predictor != PredStatic || s.MispredictPenalty != DefaultMispredictPenalty {
+		t.Errorf("WithPredictor(static) = %+v, want default penalty %d", s, DefaultMispredictPenalty)
+	}
+	if d.Predictor != PredPerfect {
+		t.Error("WithPredictor must return a modified copy")
+	}
+	// An explicit penalty survives the frontend switch.
+	s.MispredictPenalty = 9
+	if g := s.WithPredictor(PredTAGE); g.MispredictPenalty != 9 {
+		t.Errorf("WithPredictor(tage) clobbered explicit penalty: %+v", g)
+	}
+	// Selecting perfect clears the penalty so the Desc is canonical: equal
+	// to one that never had a frontend set (cache keys must coincide).
+	if back := s.WithPredictor(PredPerfect); back != d {
+		t.Errorf("WithPredictor(perfect) = %+v, want the pristine %+v", back, d)
+	}
+	if err := d.WithPredictor(PredTAGE).Validate(); err != nil {
+		t.Errorf("Validate(tage frontend): %v", err)
+	}
+}
+
+func TestCompileView(t *testing.T) {
+	d := Base(2, General).WithPredictor(PredTAGE)
+	cv := d.CompileView()
+	if cv != Base(2, General) {
+		t.Errorf("CompileView() = %+v, want the frontend-free %+v", cv, Base(2, General))
+	}
+	if cv != d.WithPredictor(PredStatic).CompileView() {
+		t.Error("CompileView must coincide across frontends (schedules are shared)")
+	}
+}
+
+func TestValidateRejectsBadFrontends(t *testing.T) {
+	bad := []Desc{
+		{IssueWidth: 4, StoreBuffer: 8, Model: Sentinel, Predictor: Predictor(99)},
+		// A perfect frontend cannot mispredict: penalty must be 0.
+		{IssueWidth: 4, StoreBuffer: 8, Model: Sentinel, MispredictPenalty: 5},
+		// A real frontend needs a redirect cost of at least 1 cycle.
+		{IssueWidth: 4, StoreBuffer: 8, Model: Sentinel, Predictor: PredTAGE},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, d)
+		}
 	}
 }
 

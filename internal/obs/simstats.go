@@ -29,6 +29,19 @@ type SimStats struct {
 	RedirectCycles  int64
 	BranchRedirects int64
 
+	// Branch-prediction frontend counters, all zero under the perfect
+	// (oracle) frontend. PredictedBranches counts conditional branches run
+	// through the predictor; Mispredicts is how many resolved against the
+	// prediction, costing MispredictCycles of redirect penalty (also folded
+	// into RedirectCycles when the branch was taken). FetchThrottleStalls
+	// are slip cycles from the variable fetch-rate frontend's half-width
+	// fetch cycle after a redirect. None of these join Stalls(): the
+	// aggregate keeps its classic interlock+store-buffer meaning.
+	PredictedBranches   int64
+	Mispredicts         int64
+	MispredictCycles    int64
+	FetchThrottleStalls int64
+
 	// Speculation and sentinel activity.
 	SpecOps         int64 // dynamic instructions with the speculative modifier
 	TagSets         int64 // exceptions recorded by a speculative op (tag set / shadow record / probationary entry)
@@ -68,6 +81,13 @@ func (s *SimStats) String() string {
 		s.Stalls(), s.InterlockStalls, s.StoreBufferStalls)
 	fmt.Fprintf(&b, "redirects:   %d taken transfers (%d penalty cycles)\n",
 		s.BranchRedirects, s.RedirectCycles)
+	// The branch-prediction line appears only when a predictor ran, so the
+	// classic (perfect-frontend) stats block is byte-identical to before.
+	if s.PredictedBranches > 0 {
+		fmt.Fprintf(&b, "branch pred: %d predicted, %d mispredicted (%.1f%%), %d penalty cycles, %d fetch-throttle stalls\n",
+			s.PredictedBranches, s.Mispredicts, pct(s.Mispredicts, s.PredictedBranches),
+			s.MispredictCycles, s.FetchThrottleStalls)
+	}
 	fmt.Fprintf(&b, "speculative: %d ops (%.1f%% of %d instrs)\n",
 		s.SpecOps, pct(s.SpecOps, instrs), instrs)
 	fmt.Fprintf(&b, "exceptions:  %d tags set, %d propagations, %d signalled (%d by check_exception)\n",

@@ -36,6 +36,11 @@ type ScheduleRequest struct {
 	Model string `json:"model"`
 	// Width is the issue width (default 8).
 	Width int `json:"width,omitempty"`
+	// Predictor is the branch-prediction frontend: perfect (default),
+	// static, tage. The scheduler never consults it — it is accepted here so
+	// one request shape covers both endpoints — but it must still be a known
+	// name.
+	Predictor string `json:"predictor,omitempty"`
 	// Superblock disables profile-driven superblock formation when set to
 	// false; nil/true means form (the default pipeline).
 	Superblock *bool `json:"superblock,omitempty"`
@@ -43,11 +48,14 @@ type ScheduleRequest struct {
 
 // ScheduleResponse is the scheduled program and its compile statistics.
 type ScheduleResponse struct {
-	Model  string     `json:"model"`
-	Width  int        `json:"width"`
-	Blocks int        `json:"blocks"`
-	Instrs int        `json:"instrs"`
-	Stats  core.Stats `json:"stats"`
+	Model string `json:"model"`
+	Width int    `json:"width"`
+	// Predictor echoes the resolved non-default frontend ("" when perfect,
+	// keeping classic response bytes unchanged).
+	Predictor string     `json:"predictor,omitempty"`
+	Blocks    int        `json:"blocks"`
+	Instrs    int        `json:"instrs"`
+	Stats     core.Stats `json:"stats"`
 	// Listing is the scheduled program in assembler syntax with cycle/slot
 	// annotations.
 	Listing string `json:"listing"`
@@ -58,6 +66,11 @@ type SimulateRequest struct {
 	ProgramSpec
 	Model string `json:"model"`
 	Width int    `json:"width,omitempty"`
+	// Predictor selects the branch-prediction frontend: perfect (default,
+	// the paper's oracle), static (backward-taken/forward-not-taken), or
+	// tage. Non-perfect frontends add mispredict redirects and fetch
+	// throttling to the timing; architectural results are unchanged.
+	Predictor string `json:"predictor,omitempty"`
 	// FaultSegment, when set, pages out the named memory segment before the
 	// run, so the first access to it raises a page fault — the serving
 	// mirror of the fault-injection study. The run is uncached and
@@ -72,12 +85,15 @@ type SimulateRequest struct {
 
 // SimulateResponse reports one simulated run.
 type SimulateResponse struct {
-	Model  string  `json:"model"`
-	Width  int     `json:"width"`
-	Cycles int64   `json:"cycles"`
-	Instrs int64   `json:"instrs"`
-	IPC    float64 `json:"ipc"`
-	Stalls int64   `json:"stalls"`
+	Model string `json:"model"`
+	Width int    `json:"width"`
+	// Predictor echoes the resolved non-default frontend ("" when perfect,
+	// keeping classic response bytes unchanged).
+	Predictor string  `json:"predictor,omitempty"`
+	Cycles    int64   `json:"cycles"`
+	Instrs    int64   `json:"instrs"`
+	IPC       float64 `json:"ipc"`
+	Stalls    int64   `json:"stalls"`
 	// Stats is the simulator's per-run observability breakdown.
 	Stats obs.SimStats `json:"stats"`
 	// Out and MemSum are only present on Full (uncached) runs; MemSum is a

@@ -75,6 +75,8 @@ func (f *fpBuf) machineDesc(md machine.Desc) {
 	f.bool(md.Recovery)
 	f.bool(md.NoSharedSentinels)
 	f.u64(uint64(md.BoostLevels))
+	f.u64(uint64(md.Predictor))
+	f.u64(uint64(md.MispredictPenalty))
 }
 
 // programSpec folds the normalized program identity in: the workload name,
@@ -134,5 +136,6 @@ func figuresKey(secs eval.Sections) respKey {
 	f.bool(secs.Faults)
 	f.bool(secs.Sharing)
 	f.bool(secs.Boost)
+	f.bool(secs.Prediction)
 	return f.sum()
 }

@@ -49,7 +49,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
 	return nil
 }
 
-func parseMachine(model string, width int) (machine.Desc, error) {
+func parseMachine(model string, width int, predictor string) (machine.Desc, error) {
 	if width == 0 {
 		width = 8
 	}
@@ -69,11 +69,25 @@ func parseMachine(model string, width int) (machine.Desc, error) {
 		return machine.Desc{}, apiErrorf(http.StatusBadRequest, KindBadRequest,
 			"unknown model %q (want restricted, general, sentinel, sentinel+stores, boosting)", model)
 	}
-	md := machine.Base(width, m)
+	p, err := machine.ParsePredictor(predictor)
+	if err != nil {
+		return machine.Desc{}, apiErrorf(http.StatusBadRequest, KindBadRequest,
+			"unknown predictor %q (want perfect, static, tage)", predictor)
+	}
+	md := machine.Base(width, m).WithPredictor(p)
 	if err := md.Validate(); err != nil {
 		return machine.Desc{}, apiErrorf(http.StatusBadRequest, KindBadRequest, "%v", err)
 	}
 	return md, nil
+}
+
+// respPredictor is the response echo of the resolved frontend: empty under
+// the default perfect predictor so classic response bytes are unchanged.
+func respPredictor(md machine.Desc) string {
+	if md.Predictor == machine.PredPerfect {
+		return ""
+	}
+	return md.Predictor.String()
 }
 
 // prepared resolves a ProgramSpec into compile artifacts: workload kernels
@@ -97,9 +111,13 @@ func (s *Server) prepared(r *http.Request, spec ProgramSpec, md machine.Desc, fo
 		}
 		return s.runner.PreparedCtx(ctx, b, md, superblock.Options{})
 	case spec.Source != "":
-		key := sourceKey{sum: sha256.Sum256([]byte(spec.Source)), md: md, form: form}
+		// Compile artifacts are frontend-independent (the scheduler never
+		// consults the predictor), so the source cache keys by the compile
+		// view and shares one entry across predictors.
+		cmd := md.CompileView()
+		key := sourceKey{sum: sha256.Sum256([]byte(spec.Source)), md: cmd, form: form}
 		c, err := s.sources.get(ctx, key, func() (*compiled, error) {
-			return compileSource(spec.Source, md, form)
+			return compileSource(spec.Source, cmd, form)
 		})
 		if err != nil {
 			return eval.Prepared{}, err
@@ -149,7 +167,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	if err := decodeBody(w, r, req); err != nil {
 		return err
 	}
-	md, err := parseMachine(req.Model, req.Width)
+	md, err := parseMachine(req.Model, req.Width, req.Predictor)
 	if err != nil {
 		return err
 	}
@@ -173,12 +191,13 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	resp := getSchedResp()
 	defer putSchedResp(resp)
 	*resp = ScheduleResponse{
-		Model:   md.Model.String(),
-		Width:   md.IssueWidth,
-		Blocks:  len(p.Prog.Blocks),
-		Instrs:  instrs,
-		Stats:   p.Stats,
-		Listing: asm.FormatScheduled(p.Prog),
+		Model:     md.Model.String(),
+		Width:     md.IssueWidth,
+		Predictor: respPredictor(md),
+		Blocks:    len(p.Prog.Blocks),
+		Instrs:    instrs,
+		Stats:     p.Stats,
+		Listing:   asm.FormatScheduled(p.Prog),
 	}
 	s.writeJSONCaching(w, r, key, true, resp)
 	return nil
@@ -190,7 +209,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	if err := decodeBody(w, r, req); err != nil {
 		return err
 	}
-	md, err := parseMachine(req.Model, req.Width)
+	md, err := parseMachine(req.Model, req.Width, req.Predictor)
 	if err != nil {
 		return err
 	}
@@ -224,13 +243,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		resp := getSimResp()
 		defer putSimResp(resp)
 		*resp = SimulateResponse{
-			Model:  md.Model.String(),
-			Width:  md.IssueWidth,
-			Cycles: cell.Cycles,
-			Instrs: cell.Instrs,
-			IPC:    ipc(cell.Instrs, cell.Cycles),
-			Stalls: cell.Sim.Stalls(),
-			Stats:  cell.Sim,
+			Model:     md.Model.String(),
+			Width:     md.IssueWidth,
+			Predictor: respPredictor(md),
+			Cycles:    cell.Cycles,
+			Instrs:    cell.Instrs,
+			IPC:       ipc(cell.Instrs, cell.Cycles),
+			Stalls:    cell.Sim.Stalls(),
+			Stats:     cell.Sim,
 		}
 		s.writeJSONCaching(w, r, key, true, resp)
 		return nil
@@ -277,6 +297,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	*resp = SimulateResponse{
 		Model:      md.Model.String(),
 		Width:      md.IssueWidth,
+		Predictor:  respPredictor(md),
 		Cycles:     res.Cycles,
 		Instrs:     res.Instrs,
 		IPC:        ipc(res.Instrs, res.Cycles),
@@ -299,7 +320,7 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) error {
 	for _, name := range names {
 		if !secs.SectionByName(name) {
 			return apiErrorf(http.StatusBadRequest, KindBadRequest,
-				"unknown section %q (want fig4, fig5, table3, overhead, recovery, buffer, faults, sharing, boosting, all)", name)
+				"unknown section %q (want fig4, fig5, table3, overhead, recovery, buffer, faults, sharing, boosting, prediction, all)", name)
 		}
 	}
 	// A figure render is deterministic per section set; repeats come from

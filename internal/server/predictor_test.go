@@ -1,0 +1,133 @@
+package server
+
+// Serving-layer tests for the branch-prediction frontends: the predictor
+// field must round-trip, distinct frontends must never share cached bytes or
+// cells, an unknown name must be a structured 400, and the classic (perfect)
+// response bytes must not change shape.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestSimulatePredictorRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for _, pred := range []string{"static", "tage"} {
+		resp, body := postJSON(t, ts.URL+"/v1/simulate",
+			map[string]any{"workload": "cmp", "model": "sentinel", "width": 8, "predictor": pred})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", pred, resp.StatusCode, body)
+		}
+		var got SimulateResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Predictor != pred {
+			t.Errorf("predictor %q echoed as %q", pred, got.Predictor)
+		}
+		if got.Stats.PredictedBranches == 0 || got.Stats.Mispredicts == 0 {
+			t.Errorf("%s: prediction counters missing from served stats: %+v", pred, got.Stats)
+		}
+	}
+	// A classic request's response bytes must not mention the frontend at
+	// all: the predictor field is omitempty and perfect echoes as "".
+	resp, body := postJSON(t, ts.URL+"/v1/simulate",
+		map[string]any{"workload": "cmp", "model": "sentinel", "width": 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("classic: status %d: %s", resp.StatusCode, body)
+	}
+	if strings.Contains(string(body), `"predictor"`) {
+		t.Errorf("classic response bytes gained a predictor field: %s", body)
+	}
+	// An explicit "perfect" canonicalizes to the same classic response.
+	_, body2 := postJSON(t, ts.URL+"/v1/simulate",
+		map[string]any{"workload": "cmp", "model": "sentinel", "width": 8, "predictor": "perfect"})
+	if string(body2) != string(body) {
+		t.Errorf("explicit perfect response differs from classic:\n%s\nvs\n%s", body2, body)
+	}
+}
+
+func TestSchedulePredictorRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/schedule",
+		map[string]any{"workload": "cmp", "model": "sentinel", "width": 8, "predictor": "tage"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got ScheduleResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Predictor != "tage" {
+		t.Errorf("predictor echoed as %q, want tage", got.Predictor)
+	}
+	// The schedule itself is frontend-independent: the listing under tage is
+	// the perfect frontend's listing (one schedule shared across frontends).
+	_, cbody := postJSON(t, ts.URL+"/v1/schedule",
+		map[string]any{"workload": "cmp", "model": "sentinel", "width": 8})
+	var classic ScheduleResponse
+	if err := json.Unmarshal(cbody, &classic); err != nil {
+		t.Fatal(err)
+	}
+	if got.Listing != classic.Listing || got.Stats != classic.Stats {
+		t.Error("tage-frontend schedule differs from the classic schedule; the scheduler must not consult the predictor")
+	}
+}
+
+// TestPredictorsDistinctCells: requests that differ only in predictor are
+// different cells — they must never share a response-cache entry, a
+// singleflight flight, or a runner cell.
+func TestPredictorsDistinctCells(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	cycles := map[string]int64{}
+	for _, pred := range []string{"", "static", "tage"} {
+		req := map[string]any{"workload": "compress", "model": "sentinel", "width": 8}
+		if pred != "" {
+			req["predictor"] = pred
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/simulate", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%q: status %d: %s", pred, resp.StatusCode, body)
+		}
+		var got SimulateResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		cycles[pred] = got.Cycles
+	}
+	if hits := s.resp.hits.Load(); hits != 0 {
+		t.Errorf("response cache hits = %d across distinct predictors, want 0 (no shared bytes)", hits)
+	}
+	if cs := s.Runner().CacheStats()["cells"]; cs.Size != 3 {
+		t.Errorf("cells cache size = %d, want 3 (one per frontend)", cs.Size)
+	}
+	// One schedule serves all three frontends.
+	if ss := s.Runner().CacheStats()["scheds"]; ss.Size != 1 {
+		t.Errorf("scheds cache size = %d, want 1 (schedule shared across frontends)", ss.Size)
+	}
+	if cycles[""] >= cycles["static"] {
+		t.Errorf("static frontend (%d cycles) must cost more than perfect (%d)", cycles["static"], cycles[""])
+	}
+}
+
+// TestUnknownPredictor400: a bad predictor name is a client error with the
+// typed envelope on both endpoints — never a 500.
+func TestUnknownPredictor400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, ep := range []string{"/v1/simulate", "/v1/schedule"} {
+		resp, body := postJSON(t, ts.URL+ep,
+			map[string]any{"workload": "cmp", "model": "sentinel", "predictor": "gshare"})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400: %s", ep, resp.StatusCode, body)
+		}
+		ae := decodeError(t, body)
+		if ae.Kind != KindBadRequest {
+			t.Errorf("%s: kind = %q, want %q", ep, ae.Kind, KindBadRequest)
+		}
+		if !strings.Contains(ae.Message, "gshare") {
+			t.Errorf("%s: message %q does not name the bad predictor", ep, ae.Message)
+		}
+	}
+}

@@ -471,7 +471,7 @@ func mustWorkload(t *testing.T, name string) workload.Benchmark {
 
 func mustMachine(t *testing.T, model string, width int) machine.Desc {
 	t.Helper()
-	md, err := parseMachine(model, width)
+	md, err := parseMachine(model, width, "")
 	if err != nil {
 		t.Fatalf("parseMachine(%s, %d): %v", model, width, err)
 	}

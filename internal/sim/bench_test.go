@@ -58,6 +58,66 @@ func BenchmarkSimRun(b *testing.B) {
 	}
 }
 
+// BenchmarkSimRunTAGE is BenchmarkSimRun with the TAGE frontend: the same
+// kernels, machine and prebuilt index, plus a prebuilt predictor passed via
+// Options.Pred so the measured loop stays allocation-free. The delta against
+// BenchmarkSimRun is the pure frontend cost (lookup, update, redirect and
+// throttle accounting). Recorded in BENCH_sim.json alongside the classic
+// rows and gated by the same CI regression check.
+func BenchmarkSimRunTAGE(b *testing.B) {
+	for _, name := range []string{"nasa7", "tomcatv", "doduc", "wc"} {
+		b.Run(name, func(b *testing.B) {
+			md := machine.Base(8, machine.SentinelStores).WithPredictor(machine.PredTAGE)
+			sched, m := benchScheduled(b, name, md.CompileView())
+			idx := NewProgIndex(sched)
+			pred := NewPredictor(md, idx)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(sched, md, m.Clone(), Options{Index: idx, Pred: pred}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestRunTAGEAllocFree pins the frontend's steady-state allocation behavior:
+// with a prebuilt index and predictor, a TAGE-frontend Run allocates no more
+// than the perfect-frontend Run on the same schedule. All predictor state
+// lives in the arena built by NewPredictor and is Reset per run, so the
+// frontend adds zero allocations to the inner loop.
+func TestRunTAGEAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement in -short mode")
+	}
+	md := machine.Base(8, machine.SentinelStores).WithPredictor(machine.PredTAGE)
+	sched, m := schedFor(t, "wc", md)
+	idx := NewProgIndex(sched)
+	pred := NewPredictor(md, idx)
+	perfect := md.CompileView()
+
+	measure := func(md machine.Desc, opts Options) float64 {
+		// One warmup run outside the measurement settles lazy runtime state.
+		if _, err := Run(sched, md, m.Clone(), opts); err != nil {
+			t.Fatal(err)
+		}
+		// The clone is inside the measured function on both sides of the
+		// comparison, so its (identical, O(segments)) allocations cancel.
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(sched, md, m.Clone(), opts); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(perfect, Options{Index: idx})
+	tage := measure(md, Options{Index: idx, Pred: pred})
+	if tage > base {
+		t.Errorf("TAGE frontend Run allocates %.1f/op > perfect %.1f/op; the frontend must be allocation-free", tage, base)
+	}
+	t.Logf("allocs/op: perfect %.1f, tage %.1f", base, tage)
+}
+
 // BenchmarkSimRunNoIndex is BenchmarkSimRun/wc without a prebuilt ProgIndex:
 // the per-run cost of building the dense PC/target index inside Run, which
 // callers without a schedule cache (tests, one-shot tools) pay.

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"sentinel/internal/machine"
+)
+
+// Predictor is the branch-direction predictor consulted by the simulator's
+// frontend for every conditional branch. Branches are identified by the
+// dense per-program id assigned by ProgIndex (branchOf), so implementations
+// index flat tables instead of hashing PCs. Implementations must be
+// deterministic: prediction and update order fully determine state.
+//
+// The perfect frontend uses no Predictor at all (Run keeps today's oracle
+// timing when machine.Desc.Predictor is PredPerfect), so a nil Predictor
+// never reaches the inner loop.
+type Predictor interface {
+	// Predict returns the predicted direction of branch bid.
+	Predict(bid int32) bool
+	// Update trains the predictor with the branch's resolved direction.
+	// Called exactly once per dynamic branch, after Predict.
+	Update(bid int32, taken bool)
+	// Reset restores the initial (post-construction) state so one
+	// predictor value can be reused across runs without reallocation.
+	Reset()
+}
+
+// NewPredictor builds the predictor for md's frontend, sized for the
+// program indexed by ix. It returns nil for PredPerfect: the oracle
+// frontend has no predictor state and Run never consults one.
+func NewPredictor(md machine.Desc, ix *ProgIndex) Predictor {
+	switch md.Predictor {
+	case machine.PredStatic:
+		return &staticPredictor{ix: ix}
+	case machine.PredTAGE:
+		return newTAGE(ix)
+	default:
+		return nil
+	}
+}
+
+// staticPredictor is backward-taken/forward-not-taken. The direction of
+// every branch is resolved at ProgIndex build time, so the predictor is
+// stateless — Update and Reset are no-ops.
+type staticPredictor struct {
+	ix *ProgIndex
+}
+
+func (s *staticPredictor) Predict(bid int32) bool       { return s.ix.StaticPrediction(bid) }
+func (s *staticPredictor) Update(bid int32, taken bool) {}
+func (s *staticPredictor) Reset()                       {}

@@ -3,6 +3,7 @@ package sim
 import (
 	"sync/atomic"
 
+	"sentinel/internal/ir"
 	"sentinel/internal/prog"
 )
 
@@ -34,6 +35,41 @@ type ProgIndex struct {
 	targetBlock []int32
 
 	byLabel map[string]int32
+
+	// Branch-history footprint: every conditional branch gets a dense id so
+	// predictor tables index by a small integer instead of hashing PCs, and
+	// its static (backward-taken/forward-not-taken) prediction is resolved
+	// at build time. branchID is PC-indexed in the dense layout; branchIDMap
+	// is the sparse fallback. staticTaken is indexed by branch id.
+	branchID    []int32
+	branchIDMap map[int]int32
+	staticTaken []bool
+}
+
+// NumBranches reports the number of static conditional branches indexed.
+func (ix *ProgIndex) NumBranches() int { return len(ix.staticTaken) }
+
+// branchOf returns the dense branch id of the conditional branch at pc, or
+// -1 when pc holds no indexed branch.
+func (ix *ProgIndex) branchOf(pc int) int32 {
+	if ix.branchID != nil {
+		if pc < 0 || pc >= len(ix.branchID) {
+			return -1
+		}
+		return ix.branchID[pc]
+	}
+	if id, ok := ix.branchIDMap[pc]; ok {
+		return id
+	}
+	return -1
+}
+
+// StaticPrediction reports the backward-taken/forward-not-taken prediction
+// of branch id b: taken iff the branch's target block does not lie after
+// the branch in layout order (loop back-edges and self-loops predict
+// taken; unresolved targets predict not-taken).
+func (ix *ProgIndex) StaticPrediction(b int32) bool {
+	return b >= 0 && int(b) < len(ix.staticTaken) && ix.staticTaken[b]
 }
 
 // NewProgIndex builds the index for a laid-out program. The index is valid
@@ -69,8 +105,13 @@ func NewProgIndex(p *prog.Program) *ProgIndex {
 	if dense {
 		ix.pos = make([]pos, n)
 		ix.targetBlock = make([]int32, n)
+		ix.branchID = make([]int32, n)
+		for i := range ix.branchID {
+			ix.branchID[i] = -1
+		}
 	} else {
 		ix.posMap = make(map[int]pos, n)
+		ix.branchIDMap = make(map[int]int32)
 	}
 	for bi, b := range p.Blocks {
 		for ii, in := range b.Instrs {
@@ -85,6 +126,17 @@ func NewProgIndex(p *prog.Program) *ProgIndex {
 				ix.targetBlock[in.PC] = tb
 			} else {
 				ix.posMap[in.PC] = pos{int32(bi), int32(ii)}
+			}
+			if ir.IsBranch(in.Op) {
+				id := int32(len(ix.staticTaken))
+				if dense {
+					ix.branchID[in.PC] = id
+				} else {
+					ix.branchIDMap[in.PC] = id
+				}
+				// Backward (target block at or before this one in layout
+				// order) predicts taken; forward or unresolved, not-taken.
+				ix.staticTaken = append(ix.staticTaken, tb >= 0 && tb <= int32(bi))
 			}
 		}
 	}

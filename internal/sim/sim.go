@@ -74,6 +74,13 @@ type Options struct {
 	// times should build it once and share it; when nil (or built for a
 	// different program), Run constructs its own, exactly once per call.
 	Index *ProgIndex
+	// Pred is an optional prebuilt predictor (NewPredictor) for the
+	// machine's frontend, built against the same program as Index. Callers
+	// that simulate the same program many times supply one to keep the
+	// steady state allocation-free; Run Resets it before use. When nil and
+	// the machine selects a non-perfect frontend, Run builds one. Ignored
+	// (never consulted) under PredPerfect.
+	Pred Predictor
 }
 
 // Result is the outcome of a simulated run.
@@ -217,6 +224,25 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 		idx = NewProgIndex(p)
 	}
 
+	// The branch-prediction frontend. Under PredPerfect (the classic,
+	// default machine) pred stays nil and every predictor branch below is a
+	// single never-taken comparison — the oracle timing is untouched. The
+	// variable fetch-rate model: the first issue cycle after a frontend
+	// redirect runs at half width (throttleT marks that cycle; overflow
+	// slips the stream one cycle into FetchThrottleStalls).
+	var pred Predictor
+	fetchBudget := 0
+	if md.Predictor != machine.PredPerfect {
+		pred = opts.Pred
+		if pred == nil {
+			pred = NewPredictor(md, idx)
+		}
+		pred.Reset()
+		fetchBudget = max(1, md.IssueWidth/2)
+	}
+	throttleT := int64(-1)
+	throttleLeft := 0
+
 	now := int64(0)
 	bi := idx.blockOf(-1, p.Entry)
 	start := 0 // instruction index to start at within the block (recovery)
@@ -270,6 +296,19 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 				m.stats.InterlockStalls += t - tSched
 				blockStart += t - tSched // in-order: the whole stream slips
 			}
+			if t == throttleT {
+				// Half-width fetch cycle right after a redirect: once the
+				// reduced budget is spent, the rest of the stream slips one
+				// cycle while fetch refills.
+				if throttleLeft > 0 {
+					throttleLeft--
+				} else {
+					t++
+					blockStart++
+					m.stats.FetchThrottleStalls++
+					throttleT = -1
+				}
+			}
 			last = t
 
 			m.stats.OpMix[in.Op]++
@@ -317,6 +356,24 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 				now = t + 1
 				break
 			}
+			// Consult the branch-prediction frontend for every resolved
+			// conditional branch (signalled branches recover instead of
+			// resolving and are not predicted). mispredicted stays false
+			// under the perfect frontend, so everything below degenerates
+			// to the classic timing.
+			mispredicted := false
+			if pred != nil && ir.IsBranch(in.Op) {
+				if bid := idx.branchOf(in.PC); bid >= 0 {
+					predTaken := pred.Predict(bid)
+					pred.Update(bid, ev.taken)
+					m.stats.PredictedBranches++
+					if predTaken != ev.taken {
+						mispredicted = true
+						m.stats.Mispredicts++
+						m.stats.MispredictCycles += int64(m.md.MispredictPenalty)
+					}
+				}
+			}
 			if ev.taken {
 				// Taken control transfer: younger instructions (same cycle,
 				// later slots, and all later cycles) are nullified simply by
@@ -327,10 +384,30 @@ func Run(p *prog.Program, md machine.Desc, memory *mem.Memory, opts Options) (*R
 					m.buf.cancelProbationary()
 				}
 				m.stats.BranchRedirects++
-				m.stats.RedirectCycles += machine.BranchTakenPenalty
+				penalty := int64(machine.BranchTakenPenalty)
+				if mispredicted {
+					// Predicted not-taken, taken: the full mispredict
+					// redirect replaces the fixed taken-branch bubble.
+					penalty = int64(m.md.MispredictPenalty)
+				}
+				m.stats.RedirectCycles += penalty
 				redirect = idx.blockOf(in.PC, ev.target)
-				now = t + 1 + machine.BranchTakenPenalty
+				now = t + 1 + penalty
+				if pred != nil {
+					throttleT = now
+					throttleLeft = fetchBudget
+				}
 				break
+			}
+			if mispredicted {
+				// Predicted taken, fell through: wrong-path fetch at the
+				// target is squashed and fetch refills from the fall-through
+				// path, slipping the whole in-order stream.
+				p := int64(m.md.MispredictPenalty)
+				blockStart += p
+				last = t + p
+				throttleT = last
+				throttleLeft = fetchBudget
 			}
 			if in.Op == ir.Halt {
 				halted = true
