@@ -8,10 +8,12 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"sentinel/internal/core"
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 	"sentinel/internal/server"
 	"sentinel/internal/sim"
@@ -73,20 +75,29 @@ func (w *discardWriter) WriteHeader(code int)        { w.status = code }
 // long-lived sentineld, where every repeat request is a response-byte cache
 // hit — by driving the handler in-process with a reused request object.
 func benchServe() ([]benchRecord, error) {
+	simBody := []byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)
+	// Two dedicated servers for the observability-overhead rows: the flight
+	// recorder armed but effectively never sampling (steady-state production),
+	// and tail-sampling 1 in 16 (the recommended diagnostic rate).
+	armed := server.New(server.Config{Workers: 1, Recorder: obs.NewRecorder(
+		obs.RecorderConfig{Entries: 256, Slow: time.Hour, Every: 1 << 30})})
+	sampled := server.New(server.Config{Workers: 1, Recorder: obs.NewRecorder(
+		obs.RecorderConfig{Entries: 256, Slow: time.Hour, Every: 16})})
 	srv := server.New(server.Config{Workers: 1})
-	h := srv.Handler()
 	cases := []struct {
 		name, method, target string
 		body                 []byte
+		srv                  *server.Server
 	}{
-		{"ServeSimulate/warm", http.MethodPost, "/v1/simulate",
-			[]byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)},
-		{"ServeSchedule/warm", http.MethodPost, "/v1/schedule",
-			[]byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)},
-		{"ServeFigures/fig4", http.MethodGet, "/v1/figures?section=fig4", nil},
+		{"ServeSimulate/warm", http.MethodPost, "/v1/simulate", simBody, srv},
+		{"ServeSimulate/warm-recorder", http.MethodPost, "/v1/simulate", simBody, armed},
+		{"ServeSimulate/warm-sampled16", http.MethodPost, "/v1/simulate", simBody, sampled},
+		{"ServeSchedule/warm", http.MethodPost, "/v1/schedule", simBody, srv},
+		{"ServeFigures/fig4", http.MethodGet, "/v1/figures?section=fig4", nil, srv},
 	}
 	var recs []benchRecord
 	for _, c := range cases {
+		h := c.srv.Handler()
 		req, err := http.NewRequest(c.method, "http://bench"+c.target, nil)
 		if err != nil {
 			return nil, err

@@ -12,7 +12,10 @@
 // Readiness and drain: /readyz reports 503 until warmup (if requested)
 // completes, and again as soon as SIGTERM/SIGINT arrives; in-flight
 // requests then finish (bounded by -drain) before the process exits 0.
-// Metrics are published on /debug/vars, profiles on /debug/pprof.
+// Metrics are published on /debug/vars and in Prometheus text format on
+// /metrics; the flight recorder's retained request records (span waterfalls
+// included) are on /debug/requests and /debug/requests.json; profiles on
+// /debug/pprof.
 package main
 
 import (
@@ -43,10 +46,38 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	warm := flag.Bool("warm", false, "prebuild the paper figure matrix before reporting ready")
 	respEntries := flag.Int("respcache-entries", 0, "response-byte cache capacity (0 = default 4096, negative disables)")
+	recEntries := flag.Int("recorder-entries", 256, "flight-recorder retained request records (0 disables the recorder)")
+	recEvery := flag.Int("recorder-every", 16, "tail-sample 1 in N ordinary requests (errors and slow requests always sample; <0 samples only errors/slow)")
+	recSlow := flag.Duration("recorder-slow", 5*time.Millisecond, "requests at least this slow always sample")
+	accessLog := flag.String("accesslog", "", "append one JSON line per sampled request to this file ('-' for stderr)")
 	flag.Parse()
 
 	log.SetPrefix("sentineld: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	var rec *obs.Recorder
+	if *recEntries > 0 {
+		rec = obs.NewRecorder(obs.RecorderConfig{
+			Entries: *recEntries,
+			Every:   int64(*recEvery),
+			Slow:    *recSlow,
+		})
+		if *accessLog != "" {
+			w := os.Stderr
+			if *accessLog != "-" {
+				f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					log.Fatalf("accesslog: %v", err)
+				}
+				defer f.Close()
+				w = f
+			}
+			al := obs.NewAccessLogger(w)
+			rec.SetSink(al.Log)
+		}
+	} else if *accessLog != "" {
+		log.Fatal("-accesslog requires the flight recorder (-recorder-entries > 0)")
+	}
 
 	reg := obs.NewRegistry()
 	srv := server.New(server.Config{
@@ -56,6 +87,7 @@ func main() {
 		RequestTimeout:   *timeout,
 		RespCacheEntries: *respEntries,
 		Registry:         reg,
+		Recorder:         rec,
 	})
 	if err := reg.Publish("sentineld"); err != nil {
 		log.Fatal(err)

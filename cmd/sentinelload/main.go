@@ -51,7 +51,20 @@ import (
 type result struct {
 	latency time.Duration
 	status  int
-	err     bool
+	// wid/seq reconstruct the request ID the server saw ("w<wid>-<seq>"
+	// closed loop, "o-<seq>" when wid < 0) without storing a string per
+	// request.
+	wid int32
+	seq int32
+	err bool
+}
+
+// requestID renders the X-Request-Id this result's request carried.
+func (r result) requestID() string {
+	if r.wid < 0 {
+		return fmt.Sprintf("o-%08d", r.seq)
+	}
+	return fmt.Sprintf("w%03d-%08d", r.wid, r.seq)
 }
 
 // config is everything main's flags select; run is the testable core.
@@ -66,6 +79,7 @@ type config struct {
 	endpoint  string
 	timeout   time.Duration
 	minRPS    float64
+	slowest   int
 }
 
 func main() {
@@ -80,6 +94,7 @@ func main() {
 	flag.StringVar(&cfg.endpoint, "endpoint", "simulate", "endpoint to drive: simulate or schedule")
 	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request client timeout")
 	flag.Float64Var(&cfg.minRPS, "min-rps", 0, "exit nonzero when achieved req/s falls below this")
+	flag.IntVar(&cfg.slowest, "slowest", 0, "after the run, list the N slowest requests with their request IDs")
 	flag.Parse()
 	os.Exit(run(cfg, os.Stdout, os.Stderr))
 }
@@ -126,13 +141,26 @@ func hostFromAddr(addr string) (string, error) {
 }
 
 // rawRequest renders one complete HTTP/1.1 request — line, headers, body —
-// into a byte string a worker can write with a single syscall forever.
-func rawRequest(host, path string, body []byte) []byte {
+// into a byte string a worker can write with a single syscall forever. The
+// X-Request-Id header carries the worker ID plus an 8-digit decimal sequence
+// number; seqOff is the offset of those digits, so the worker can stamp each
+// shot's sequence in place without reserializing anything.
+func rawRequest(host, path string, wid int, body []byte) (req []byte, seqOff int) {
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n",
-		path, host, len(body))
+	fmt.Fprintf(&b, "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nX-Request-Id: w%03d-",
+		path, host, wid)
+	seqOff = b.Len()
+	fmt.Fprintf(&b, "00000000\r\nContent-Length: %d\r\n\r\n", len(body))
 	b.Write(body)
-	return b.Bytes()
+	return b.Bytes(), seqOff
+}
+
+// patchSeq overwrites the 8-digit decimal field at off with n (mod 10^8).
+func patchSeq(req []byte, off, n int) {
+	for i := off + 7; i >= off; i-- {
+		req[i] = byte('0' + n%10)
+		n /= 10
+	}
 }
 
 // worker is one closed-loop driver: a dedicated keep-alive connection, the
@@ -141,23 +169,31 @@ func rawRequest(host, path string, body []byte) []byte {
 type worker struct {
 	host    string
 	reqs    [][]byte
+	seqOffs []int
 	conn    net.Conn
 	br      *bufio.Reader
 	results []result
 	timeout time.Duration
+	wid     int
+	seq     int
 }
 
-func newWorker(host, path string, bodies [][]byte, timeout time.Duration) *worker {
-	w := &worker{host: host, timeout: timeout}
+func newWorker(host, path string, wid int, bodies [][]byte, timeout time.Duration) *worker {
+	w := &worker{host: host, timeout: timeout, wid: wid}
 	for _, body := range bodies {
-		w.reqs = append(w.reqs, rawRequest(host, path, body))
+		req, off := rawRequest(host, path, wid, body)
+		w.reqs = append(w.reqs, req)
+		w.seqOffs = append(w.seqOffs, off)
 	}
 	return w
 }
 
-// shoot sends preserialized request j and records the outcome locally. Any
-// transport or framing error drops the connection; the next shot redials.
+// shoot sends preserialized request j — stamped with this shot's sequence
+// number — and records the outcome locally. Any transport or framing error
+// drops the connection; the next shot redials.
 func (w *worker) shoot(j int) {
+	w.seq++
+	patchSeq(w.reqs[j], w.seqOffs[j], w.seq)
 	t0 := time.Now()
 	status, err := w.do(j)
 	lat := time.Since(t0)
@@ -166,10 +202,10 @@ func (w *worker) shoot(j int) {
 			w.conn.Close()
 			w.conn = nil
 		}
-		w.results = append(w.results, result{latency: lat, err: true})
+		w.results = append(w.results, result{latency: lat, wid: int32(w.wid), seq: int32(w.seq), err: true})
 		return
 	}
-	w.results = append(w.results, result{latency: lat, status: status})
+	w.results = append(w.results, result{latency: lat, status: status, wid: int32(w.wid), seq: int32(w.seq)})
 }
 
 func (w *worker) do(j int) (int, error) {
@@ -389,7 +425,7 @@ func run(cfg config, out, errOut io.Writer) int {
 		}
 		workers := make([]*worker, cfg.conc)
 		for i := range workers {
-			workers[i] = newWorker(host, path, bodies, cfg.timeout)
+			workers[i] = newWorker(host, path, i, bodies, cfg.timeout)
 		}
 		for w := 0; w < cfg.conc; w++ {
 			wg.Add(1)
@@ -428,16 +464,23 @@ func run(cfg config, out, errOut io.Writer) int {
 		}
 		shoot := func(i int) {
 			body := bodies[i%len(bodies)]
+			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				record(result{wid: -1, seq: int32(i), err: true})
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Request-Id", fmt.Sprintf("o-%08d", i))
 			t0 := time.Now()
-			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			resp, err := client.Do(req)
 			lat := time.Since(t0)
 			if err != nil {
-				record(result{latency: lat, err: true})
+				record(result{latency: lat, wid: -1, seq: int32(i), err: true})
 				return
 			}
 			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
 			resp.Body.Close()
-			record(result{latency: lat, status: resp.StatusCode})
+			record(result{latency: lat, status: resp.StatusCode, wid: -1, seq: int32(i)})
 		}
 		sem := make(chan struct{}, cfg.conc)
 		interval := time.Duration(float64(time.Second) / cfg.rps)
@@ -468,6 +511,9 @@ func run(cfg config, out, errOut io.Writer) int {
 	}
 	elapsed := time.Since(start)
 	report(results, elapsed, cfg.rps, cfg.conc, path, out)
+	if cfg.slowest > 0 {
+		reportSlowest(results, cfg.slowest, out)
+	}
 
 	ok, total := tally(results)
 	achieved := float64(ok) / elapsed.Seconds()
@@ -535,6 +581,29 @@ func report(results []result, elapsed time.Duration, rps float64, conc int, path
 	fmt.Fprintf(w, "latency:    mean=%s p50=%s p90=%s p95=%s p99=%s max=%s\n",
 		round(sum/time.Duration(len(lats))), round(q(0.50)), round(q(0.90)),
 		round(q(0.95)), round(q(0.99)), round(lats[len(lats)-1]))
+}
+
+// reportSlowest lists the n slowest completed requests with the request IDs
+// they carried — the handle for looking them up in the server's flight
+// recorder (/debug/requests) or access log.
+func reportSlowest(results []result, n int, w io.Writer) {
+	done := make([]result, 0, len(results))
+	for _, r := range results {
+		if !r.err {
+			done = append(done, r)
+		}
+	}
+	if len(done) == 0 {
+		return
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].latency > done[j].latency })
+	if n > len(done) {
+		n = len(done)
+	}
+	fmt.Fprintf(w, "slowest %d:\n", n)
+	for _, r := range done[:n] {
+		fmt.Fprintf(w, "  %10s  status=%d  id=%s\n", round(r.latency), r.status, r.requestID())
+	}
 }
 
 func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

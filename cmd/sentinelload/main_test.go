@@ -127,7 +127,7 @@ func TestWorkerBodyReuse(t *testing.T) {
 	defer ts.Close()
 
 	host := strings.TrimPrefix(ts.URL, "http://")
-	wk := newWorker(host, "/v1/simulate", [][]byte{body}, 5*time.Second)
+	wk := newWorker(host, "/v1/simulate", 0, [][]byte{body}, 5*time.Second)
 	defer wk.close()
 	wk.shoot(0)
 	wk.shoot(0)
@@ -149,6 +149,58 @@ func TestWorkerBodyReuse(t *testing.T) {
 	}
 }
 
+// TestWorkerRequestIDs: every shot stamps a fresh sequence number into the
+// preserialized X-Request-Id header in place, so the server can tie each
+// request to the load report's slowest list without the client allocating.
+func TestWorkerRequestIDs(t *testing.T) {
+	seen := make(chan string, 4)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		seen <- r.Header.Get("X-Request-Id")
+		w.Write([]byte(`{}`)) //nolint:errcheck
+	}))
+	defer ts.Close()
+	host := strings.TrimPrefix(ts.URL, "http://")
+	wk := newWorker(host, "/v1/simulate", 7, [][]byte{[]byte(`{"workload":"cmp"}`)}, 5*time.Second)
+	defer wk.close()
+	wk.shoot(0)
+	wk.shoot(0)
+	for i, want := range []string{"w007-00000001", "w007-00000002"} {
+		if got := <-seen; got != want {
+			t.Fatalf("request %d carried id %q, want %q", i, got, want)
+		}
+	}
+	for i, r := range wk.results {
+		if want := []string{"w007-00000001", "w007-00000002"}[i]; r.requestID() != want {
+			t.Fatalf("result %d id = %q, want %q", i, r.requestID(), want)
+		}
+	}
+}
+
+// TestReportSlowest covers the -slowest dump: ordered by latency, IDs intact.
+func TestReportSlowest(t *testing.T) {
+	results := []result{
+		{latency: 2 * time.Millisecond, status: 200, wid: 1, seq: 5},
+		{latency: 9 * time.Millisecond, status: 504, wid: -1, seq: 3},
+		{latency: 4 * time.Millisecond, status: 200, wid: 0, seq: 8},
+		{latency: time.Millisecond, err: true}, // errors have no response to rank
+	}
+	var out strings.Builder
+	reportSlowest(results, 2, &out)
+	got := out.String()
+	if !strings.Contains(got, "slowest 2:") {
+		t.Fatalf("missing header:\n%s", got)
+	}
+	first := strings.Index(got, "id=o-00000003")
+	second := strings.Index(got, "id=w000-00000008")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("slowest list wrong order or missing IDs:\n%s", got)
+	}
+	if strings.Contains(got, "w001-00000005") {
+		t.Fatalf("third-slowest leaked into a 2-entry list:\n%s", got)
+	}
+}
+
 // TestWorkerParsesErrorStatus: non-200 responses are framed and recorded
 // without poisoning the connection.
 func TestWorkerParsesErrorStatus(t *testing.T) {
@@ -157,7 +209,7 @@ func TestWorkerParsesErrorStatus(t *testing.T) {
 	}))
 	defer ts.Close()
 	host := strings.TrimPrefix(ts.URL, "http://")
-	wk := newWorker(host, "/v1/simulate", [][]byte{[]byte(`{}`)}, 5*time.Second)
+	wk := newWorker(host, "/v1/simulate", 0, [][]byte{[]byte(`{}`)}, 5*time.Second)
 	defer wk.close()
 	wk.shoot(0)
 	wk.shoot(0)

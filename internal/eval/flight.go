@@ -24,6 +24,8 @@ import (
 	"hash/maphash"
 	"sync"
 	"sync/atomic"
+
+	"sentinel/internal/obs"
 )
 
 // flightSeed is the process-wide seed for shard selection. Sharing one seed
@@ -57,6 +59,10 @@ type flight[K comparable, V any] struct {
 	shards       []flightShard[K, V]
 	nshards      int // desired shard count; 0 selects defaultFlightShards
 	hits, misses atomic.Int64
+	// arg labels this flight's wait/own spans in request records (which
+	// artifact cache a request blocked on). Set once at construction,
+	// before any get; ArgNone on flights nobody instruments.
+	arg obs.Arg
 }
 
 func newFlight[K comparable, V any](nshards int) *flight[K, V] {
@@ -122,10 +128,22 @@ func (f *flight[K, V]) getCtx(ctx context.Context, k K, fn func() (V, error)) (V
 	if c, ok := s.m[k]; ok {
 		s.mu.Unlock()
 		f.hits.Add(1)
+		// Completed entries — the warm path — serve without touching the
+		// request record; only a genuine wait on another goroutine's
+		// in-flight computation earns a span.
 		select {
 		case <-c.done:
 			return c.val, c.err
+		default:
+		}
+		rec := obs.RecordFrom(ctx)
+		rec.Start(obs.StageSFWait, f.arg)
+		select {
+		case <-c.done:
+			rec.End()
+			return c.val, c.err
 		case <-ctx.Done():
+			rec.End()
 			return zero, ctx.Err()
 		}
 	}
@@ -137,7 +155,10 @@ func (f *flight[K, V]) getCtx(ctx context.Context, k K, fn func() (V, error)) (V
 	s.m[k] = c
 	s.mu.Unlock()
 	f.misses.Add(1)
+	rec := obs.RecordFrom(ctx)
+	rec.Start(obs.StageSFOwn, f.arg)
 	c.val, c.err = fn()
+	rec.End()
 	if errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded) {
 		s.mu.Lock()
 		if s.m[k] == c {

@@ -122,6 +122,10 @@ func NewRunner(workers int) *Runner {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	r := &Runner{workers: workers}
+	r.builds.arg = obs.ArgBuilds
+	r.forms.arg = obs.ArgForms
+	r.scheds.arg = obs.ArgScheds
+	r.cells.arg = obs.ArgCells
 	r.caches = []namedCache{
 		{"builds", view(&r.builds)},
 		{"forms", view(&r.forms)},
@@ -266,6 +270,9 @@ func (r *Runner) build(b workload.Benchmark) (*buildArtifact, error) {
 
 func (r *Runner) buildCtx(ctx context.Context, b workload.Benchmark) (*buildArtifact, error) {
 	return r.builds.getCtx(ctx, b.Name, func() (*buildArtifact, error) {
+		rec := obs.RecordFrom(ctx)
+		rec.Start(obs.StageCompile, obs.ArgBuilds)
+		defer rec.End()
 		p, m := b.Build()
 		p.Layout()
 		if err := p.Validate(); err != nil {
@@ -288,6 +295,9 @@ func (r *Runner) formed(ctx context.Context, b workload.Benchmark, sbo superbloc
 		if err != nil {
 			return nil, err
 		}
+		rec := obs.RecordFrom(ctx)
+		rec.Start(obs.StageCompile, obs.ArgForms)
+		defer rec.End()
 		f := superblock.Form(art.prog, art.ref.Profile, sbo)
 		f.Layout()
 		if err := f.Validate(); err != nil {
@@ -310,6 +320,9 @@ func (r *Runner) scheduled(ctx context.Context, b workload.Benchmark, md machine
 		if err != nil {
 			return nil, err
 		}
+		rec := obs.RecordFrom(ctx)
+		rec.Start(obs.StageSchedule, obs.ArgNone)
+		defer rec.End()
 		sched, stats, err := core.Schedule(f, md)
 		if err != nil {
 			return nil, fmt.Errorf("%s: schedule: %w", b.Name, err)
@@ -346,7 +359,10 @@ func (r *Runner) MeasureCtx(ctx context.Context, b workload.Benchmark, md machin
 		if err != nil {
 			return Cell{}, err
 		}
+		rec := obs.RecordFrom(ctx)
+		rec.Start(obs.StageSimulate, obs.ArgNone)
 		res, err := sim.Run(sa.prog, md, art.mem.Clone(), sim.Options{Index: sa.index})
+		rec.End()
 		if err != nil {
 			return Cell{}, fmt.Errorf("%s: simulate: %w", b.Name, err)
 		}
@@ -431,6 +447,14 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 // context's error is returned in place of any per-index error — the results
 // are incomplete, so no per-index error can be meaningfully "first".
 func (r *Runner) parallelForCtx(ctx context.Context, n int, fn func(i int) error) error {
+	// A request record is single-goroutine; fan-out would race on its span
+	// arena. Strip it before dispatch (even at workers=1, so the recorded
+	// shape does not depend on the worker count). Callers whose fn closure
+	// captures a request-carrying ctx must strip that one themselves —
+	// RunBenchmarksCtx does.
+	if obs.RecordFrom(ctx) != nil {
+		ctx = obs.ContextWithRecord(ctx, nil)
+	}
 	workers := r.workers
 	if workers > n {
 		workers = n
@@ -523,6 +547,12 @@ func (r *Runner) RunBenchmarks(benches []workload.Benchmark, models []machine.Mo
 // queued cells are no longer dispatched (in-flight cells complete and stay
 // cached) and the context's error is returned.
 func (r *Runner) RunBenchmarksCtx(ctx context.Context, benches []workload.Benchmark, models []machine.Model, widths []int, sbo superblock.Options) ([]*BenchResult, error) {
+	// The per-cell closure below captures ctx and runs on pool workers; a
+	// request record is single-goroutine, so detach it here — before the
+	// capture — not just inside parallelForCtx.
+	if obs.RecordFrom(ctx) != nil {
+		ctx = obs.ContextWithRecord(ctx, nil)
+	}
 	type spec struct {
 		bench int
 		md    machine.Desc

@@ -120,9 +120,12 @@ func (h *Histogram) Observe(v int64) {
 	s.count.Add(1) // last: count>0 publishes the stripe (see histStripe)
 }
 
-// HistSnapshot is a point-in-time summary of a Histogram.
+// HistSnapshot is a point-in-time summary of a Histogram, including the
+// merged per-bit-length bucket counts (bucket i counts observations whose
+// bit length is i; bucket 0 counts v <= 0).
 type HistSnapshot struct {
 	Count, Sum, Min, Max int64
+	Buckets              [65]int64
 }
 
 // Mean returns the arithmetic mean of the observations (0 when empty).
@@ -131,6 +134,68 @@ func (s HistSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(s.Sum) / float64(s.Count)
+}
+
+// bucketBounds returns the inclusive value range bucket i covers, clamped
+// to the snapshot's observed extremes so interpolation never leaves the
+// data: bucket 0 is (-inf, 0], bucket i>=1 is [2^(i-1), 2^i - 1].
+func (s HistSnapshot) bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		lo, hi = s.Min, 0
+	} else {
+		lo = int64(1) << (i - 1)
+		if i == 64 {
+			hi = math.MaxInt64
+		} else {
+			hi = int64(1)<<i - 1
+		}
+	}
+	if lo < s.Min {
+		lo = s.Min
+	}
+	if hi > s.Max {
+		hi = s.Max
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observations by
+// locating the bucket holding the q-th ranked value and interpolating
+// linearly inside its value range — the precision is the bucket width
+// (one power of two), which is what the 65 bit-length buckets can give
+// without storing samples. Returns 0 when empty; q <= 0 returns Min and
+// q >= 1 returns Max exactly.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := int64(math.Ceil(q * float64(s.Count))) // 1-based rank of the quantile
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := s.bucketBounds(i)
+			// Place the rank at the midpoint of its slot within the bucket.
+			frac := (float64(rank-cum) - 0.5) / float64(c)
+			return lo + int64(frac*float64(hi-lo)+0.5)
+		}
+		cum += c
+	}
+	return s.Max
 }
 
 // Snapshot returns the histogram's current summary, merged across stripes;
@@ -149,6 +214,9 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		}
 		out.Count += c
 		out.Sum += s.sum.Load()
+		for b := range s.buckets {
+			out.Buckets[b] += s.buckets[b].Load()
+		}
 		mn, mx := s.min.Load(), s.max.Load()
 		if first || mn < out.Min {
 			out.Min = mn
@@ -253,6 +321,9 @@ func (r *Registry) snapshot() map[string]int64 {
 		out[name+".sum"] = s.Sum
 		out[name+".min"] = s.Min
 		out[name+".max"] = s.Max
+		out[name+".p50"] = s.Quantile(0.50)
+		out[name+".p90"] = s.Quantile(0.90)
+		out[name+".p99"] = s.Quantile(0.99)
 	}
 	return out
 }

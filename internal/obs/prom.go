@@ -1,0 +1,118 @@
+package obs
+
+// Prometheus text-exposition rendering for the Registry: counters, gauges
+// and the striped power-of-two Histogram, with no external dependency. The
+// histogram's 65 bit-length buckets map directly onto cumulative `le`
+// buckets (bucket i covers values of bit length i, so its upper bound is
+// 2^i - 1), which keeps downstream quantile math working against the same
+// data /debug/vars and Summary expose. Rendering samples every instrument
+// exactly once per scrape and writes deterministic, name-sorted output.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a registry name into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], mapping everything else (the registry's dots) to
+// underscores. A leading digit gets an underscore prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every instrument in Prometheus text exposition
+// format (version 0.0.4): counters as `counter`, gauge callbacks as
+// `gauge`, histograms as cumulative-`le` `histogram` families whose +Inf
+// bucket equals the observation count. No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, name := range sortedKeys(counters) {
+		n := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, counters[name].Value())
+	}
+	for _, name := range sortedKeys(gauges) {
+		n := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, gauges[name]())
+	}
+	for _, name := range sortedKeys(hists) {
+		writePromHistogram(&b, promName(name), hists[name].Snapshot())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram renders one histogram family: each nonzero bit-length
+// bucket becomes a cumulative `le` bucket at its upper bound (2^i - 1;
+// bucket 0, which counts v <= 0, at le="0"), followed by +Inf, _sum and
+// _count. Empty buckets are elided — the cumulative counts stay valid at
+// every emitted boundary, and the +Inf bucket always equals the count.
+func writePromHistogram(b *strings.Builder, name string, s HistSnapshot) {
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		switch {
+		case i == 0:
+			fmt.Fprintf(b, "%s_bucket{le=\"0\"} %d\n", name, cum)
+		case i == 64:
+			// Bit length 64's upper bound is MaxInt64; fold it into +Inf.
+		default:
+			fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, uint64(1)<<i-1, cum)
+		}
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(b, "%s_sum %d\n", name, s.Sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, s.Count)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promInf is the parse result of a "+Inf" le label.
+var promInf = math.Inf(1)

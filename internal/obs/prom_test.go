@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"flag"
+	"math"
+	"math/bits"
+	"os"
+	"strings"
+	"testing"
+)
+
+// -promfile points TestExpositionFiles at a scraped /metrics body; CI uses
+// it to validate the live sentineld exposition with this parser instead of
+// an external promtool.
+var promFile = flag.String("promfile", "", "path to a Prometheus exposition file to validate")
+
+func TestQuantileEmptyAndExtremes(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %d, want 0", got)
+	}
+	h := &Histogram{}
+	for _, v := range []int64{3, 14, 1, 500} {
+		h.Observe(v)
+	}
+	s = h.Snapshot()
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want Min 1", got)
+	}
+	if got := s.Quantile(1); got != 500 {
+		t.Errorf("Quantile(1) = %d, want Max 500", got)
+	}
+}
+
+// A single repeated value pins every quantile exactly: the bucket bounds
+// clamp to [Min, Max] so interpolation cannot leave the observed value.
+func TestQuantileSingleValue(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.9, 0.99} {
+		if got := s.Quantile(q); got != 100 {
+			t.Errorf("Quantile(%v) = %d, want 100", q, got)
+		}
+	}
+}
+
+// Quantiles over 1..N must land inside the power-of-two bucket that holds
+// the true rank, and must be monotone in q.
+func TestQuantileBucketAccuracy(t *testing.T) {
+	h := &Histogram{}
+	const n = 1000
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	prev := int64(math.MinInt64)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		got := s.Quantile(q)
+		exact := int64(math.Ceil(q * n))
+		bl := bits.Len64(uint64(exact))
+		lo, hi := int64(1)<<(bl-1), int64(1)<<bl-1
+		if hi > n {
+			hi = n
+		}
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %d, want within bucket [%d, %d] of exact %d", q, got, lo, hi, exact)
+		}
+		if got < prev {
+			t.Errorf("Quantile(%v) = %d not monotone (prev %d)", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// Bucket counts must sum to Count, with each value in its bit-length bucket
+// and non-positive values in bucket 0.
+func TestSnapshotBuckets(t *testing.T) {
+	h := &Histogram{}
+	vals := []int64{-5, 0, 1, 2, 3, 7, 8, 1000, 1 << 40}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	var sum int64
+	for _, c := range s.Buckets {
+		sum += c
+	}
+	if sum != s.Count || s.Count != int64(len(vals)) {
+		t.Fatalf("bucket sum = %d, count = %d, want %d", sum, s.Count, len(vals))
+	}
+	if s.Buckets[0] != 2 {
+		t.Errorf("bucket 0 = %d, want 2 (values -5 and 0)", s.Buckets[0])
+	}
+	if s.Buckets[bits.Len64(1000)] == 0 {
+		t.Errorf("bucket %d empty, want it to hold 1000", bits.Len64(1000))
+	}
+}
+
+func TestSummaryIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat.ns")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	sum := r.Summary()
+	for _, want := range []string{"lat.ns.p50", "lat.ns.p90", "lat.ns.p99"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"server.req.count", "server_req_count"},
+		{"eval:thing", "eval:thing"},
+		{"9lives", "_9lives"},
+		{"ok_name", "ok_name"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// The renderer's own output must round-trip through the validator, with
+// histogram buckets cumulative and +Inf equal to the observation count.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.req").Add(42)
+	r.Gauge("cache.size", func() int64 { return 7 })
+	h := r.Histogram("server.lat.ns")
+	for _, v := range []int64{-1, 0, 1, 3, 900, 900, 64000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ValidateProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ValidateProm: %v\n%s", err, b.String())
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f := byName["server_req"]; f.Type != "counter" || f.Samples[0].Value != 42 {
+		t.Errorf("server_req = %+v", f)
+	}
+	if f := byName["cache_size"]; f.Type != "gauge" || f.Samples[0].Value != 7 {
+		t.Errorf("cache_size = %+v", f)
+	}
+	f, ok := byName["server_lat_ns"]
+	if !ok || f.Type != "histogram" {
+		t.Fatalf("server_lat_ns = %+v", f)
+	}
+	var inf, count float64
+	sawZeroLe := false
+	for _, s := range f.Samples {
+		switch {
+		case s.Name == "server_lat_ns_count":
+			count = s.Value
+		case s.Name == "server_lat_ns_sum":
+			continue
+		case math.IsInf(s.Le, 1):
+			inf = s.Value
+		case s.Le == 0:
+			sawZeroLe = true
+			if s.Value != 2 {
+				t.Errorf(`le="0" bucket = %v, want 2 (values -1 and 0)`, s.Value)
+			}
+		case s.Le != math.Trunc(s.Le) || uint64(s.Le)&(uint64(s.Le)+1) != 0:
+			// Finite nonzero bounds must be 2^i - 1.
+			t.Errorf("le bound %v is not 2^i - 1", s.Le)
+		}
+	}
+	if !sawZeroLe {
+		t.Error(`missing le="0" bucket for non-positive observations`)
+	}
+	if count != 7 || inf != 7 {
+		t.Errorf("_count = %v, +Inf bucket = %v, want 7", count, inf)
+	}
+}
+
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry: err=%v out=%q", err, b.String())
+	}
+}
+
+func TestValidatePromRejects(t *testing.T) {
+	for name, in := range map[string]string{
+		"no type":        "x 1\n",
+		"missing inf":    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"not cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count":   "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+		"unsorted le":    "# TYPE h histogram\nh_bucket{le=\"3\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"two counters":   "# TYPE c counter\nc 1\nc 2\n",
+	} {
+		if _, err := ValidateProm(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ValidateProm accepted invalid input:\n%s", name, in)
+		}
+	}
+}
+
+// TestExpositionFiles validates an on-disk exposition scraped from a live
+// server (CI's serve job); skipped without -promfile.
+func TestExpositionFiles(t *testing.T) {
+	if *promFile == "" {
+		t.Skip("no -promfile")
+	}
+	f, err := os.Open(*promFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fams, err := ValidateProm(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) == 0 {
+		t.Fatal("exposition has no metric families")
+	}
+	hists := 0
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			hists++
+		}
+	}
+	if hists == 0 {
+		t.Error("exposition has no histogram families")
+	}
+	t.Logf("validated %d families (%d histograms) from %s", len(fams), hists, *promFile)
+}

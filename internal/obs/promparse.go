@@ -1,0 +1,219 @@
+package obs
+
+// A minimal Prometheus text-exposition (0.0.4) parser and validator, used by
+// tests and CI to check /metrics output without an external promtool
+// dependency. It understands exactly the subset WritePrometheus emits —
+// `# TYPE` lines, bare samples, and `{le="..."}` histogram series — and
+// ValidateProm enforces the structural invariants scrapers rely on:
+// every sample is preceded by a TYPE for its family, histogram buckets are
+// sorted and cumulative, and the +Inf bucket equals the _count sample.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed sample line. Le is NaN for non-bucket samples.
+type PromSample struct {
+	Le    float64 // `le` label value; NaN when absent
+	Value float64
+	Name  string
+}
+
+// PromFamily is one metric family: its declared TYPE and samples in file
+// order. For histograms the family name is the base name; `_bucket`,
+// `_sum` and `_count` samples all land in the base family.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// promBase maps a sample name to its family name: histogram series suffixes
+// collapse onto the base family, everything else is its own family.
+func promBase(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// ParseProm parses Prometheus text-exposition input into families, in file
+// order. Unknown syntax (labels other than a single `le`, escapes, HELP
+// lines with embedded newlines, etc.) is an error: the parser is a strict
+// checker for our own exposition, not a general scraper.
+func ParseProm(r io.Reader) ([]PromFamily, error) {
+	var (
+		fams  []PromFamily
+		index = map[string]int{}
+	)
+	family := func(base string) *PromFamily {
+		i, ok := index[base]
+		if !ok {
+			i = len(fams)
+			index[base] = i
+			fams = append(fams, PromFamily{Name: base})
+		}
+		return &fams[i]
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "# HELP") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("promparse: line %d: malformed TYPE line %q", lineno, line)
+			}
+			f := family(fields[2])
+			if f.Type != "" && f.Type != fields[3] {
+				return nil, fmt.Errorf("promparse: line %d: family %s re-typed %s -> %s", lineno, fields[2], f.Type, fields[3])
+			}
+			f.Type = fields[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, le, err := splitPromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("promparse: line %d: %v", lineno, err)
+		}
+		val, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("promparse: line %d: bad value %q: %v", lineno, rest, err)
+		}
+		f := family(promBase(name))
+		f.Samples = append(f.Samples, PromSample{Name: name, Le: le, Value: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// splitPromSample splits a sample line into metric name, value text and the
+// parsed `le` label (NaN when there is no label set).
+func splitPromSample(line string) (name, value string, le float64, err error) {
+	le = math.NaN()
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", le, fmt.Errorf("malformed labels in %q", line)
+		}
+		labels := line[i+1 : j]
+		const pre = `le="`
+		if !strings.HasPrefix(labels, pre) || !strings.HasSuffix(labels, `"`) {
+			return "", "", le, fmt.Errorf("unsupported label set %q", labels)
+		}
+		leText := strings.TrimSuffix(strings.TrimPrefix(labels, pre), `"`)
+		if leText == "+Inf" {
+			le = promInf
+		} else if le, err = strconv.ParseFloat(leText, 64); err != nil {
+			return "", "", math.NaN(), fmt.Errorf("bad le %q: %v", leText, err)
+		}
+		name = line[:i]
+		value = strings.TrimSpace(line[j+1:])
+		return name, value, le, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return "", "", le, fmt.Errorf("malformed sample %q", line)
+	}
+	return fields[0], fields[1], le, nil
+}
+
+// ValidateProm parses the exposition and checks the invariants a scraper
+// depends on: every family has a TYPE; counter and gauge families have
+// exactly one sample; histogram families have strictly increasing `le`
+// bounds, non-decreasing cumulative bucket counts, a +Inf bucket, and
+// _count == +Inf bucket with a _sum present. Returns the families for
+// further assertions.
+func ValidateProm(r io.Reader) ([]PromFamily, error) {
+	fams, err := ParseProm(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("promparse: family %s has samples but no TYPE", f.Name)
+		}
+		switch f.Type {
+		case "counter", "gauge":
+			if len(f.Samples) != 1 {
+				return nil, fmt.Errorf("promparse: %s %s has %d samples, want 1", f.Type, f.Name, len(f.Samples))
+			}
+			if s := f.Samples[0]; s.Name != f.Name || !math.IsNaN(s.Le) {
+				return nil, fmt.Errorf("promparse: %s %s has unexpected sample %q", f.Type, f.Name, s.Name)
+			}
+		case "histogram":
+			if err := validatePromHistogram(f); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("promparse: family %s has unsupported type %q", f.Name, f.Type)
+		}
+	}
+	return fams, nil
+}
+
+func validatePromHistogram(f PromFamily) error {
+	var (
+		buckets      []PromSample
+		sum, count   float64
+		haveSum      bool
+		haveCount    bool
+		bucketSuffix = f.Name + "_bucket"
+	)
+	for _, s := range f.Samples {
+		switch s.Name {
+		case bucketSuffix:
+			if math.IsNaN(s.Le) {
+				return fmt.Errorf("promparse: %s bucket without le label", f.Name)
+			}
+			buckets = append(buckets, s)
+		case f.Name + "_sum":
+			sum, haveSum = s.Value, true
+		case f.Name + "_count":
+			count, haveCount = s.Value, true
+		default:
+			return fmt.Errorf("promparse: histogram %s has unexpected sample %q", f.Name, s.Name)
+		}
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("promparse: histogram %s has no buckets", f.Name)
+	}
+	if !haveSum || !haveCount {
+		return fmt.Errorf("promparse: histogram %s missing _sum or _count", f.Name)
+	}
+	_ = sum
+	for i, b := range buckets {
+		if i > 0 {
+			if b.Le <= buckets[i-1].Le {
+				return fmt.Errorf("promparse: histogram %s le bounds not increasing: %v after %v", f.Name, b.Le, buckets[i-1].Le)
+			}
+			if b.Value < buckets[i-1].Value {
+				return fmt.Errorf("promparse: histogram %s bucket counts not cumulative: %v after %v", f.Name, b.Value, buckets[i-1].Value)
+			}
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.Le, 1) {
+		return fmt.Errorf("promparse: histogram %s missing +Inf bucket", f.Name)
+	}
+	if last.Value != count {
+		return fmt.Errorf("promparse: histogram %s +Inf bucket %v != _count %v", f.Name, last.Value, count)
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quietConfig retains nothing but errors/slow: armed recorder, unsampled
+// requests — the zero-overhead configuration the alloc tests pin.
+func quietConfig() RecorderConfig {
+	return RecorderConfig{Entries: 64, Slow: time.Hour, Every: 1 << 30}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var rec *Recorder
+	if r := rec.Begin("/v1/simulate"); r != nil {
+		t.Fatal("nil recorder must Begin a nil record")
+	}
+	if rec.SampleWarm() {
+		t.Error("nil recorder must not sample warm hits")
+	}
+	if rec.Snapshot() != nil {
+		t.Error("nil recorder snapshot must be nil")
+	}
+	if rec.Retained() != 0 {
+		t.Error("nil recorder retained must be 0")
+	}
+	rec.SetSink(func(*RecordView) {})
+	var r *Record
+	r.Start(StageCompile, ArgNone)
+	r.End()
+	r.SetID("x")
+	r.SetEndpoint("e")
+	r.SetPredictor("p")
+	r.SetTier("t")
+	r.SetFingerprint([]byte{1, 2})
+	r.MarkWarm()
+	r.Finish(200)
+	if r.ID() != "" {
+		t.Error("nil record ID must be empty")
+	}
+}
+
+func TestRecordSpanNesting(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	r := rec.Begin("/v1/simulate")
+	r.SetTier("miss")
+	r.SetPredictor("tage")
+	r.SetFingerprint([]byte{0xde, 0xad, 0xbe, 0xef})
+	r.Start(StageCompile, ArgBuilds)
+	r.Start(StageSchedule, ArgNone)
+	r.End()
+	r.End()
+	r.Start(StageSimulate, ArgCells)
+	// Leave the simulate span open: Finish must close it at the end.
+	r.Finish(500) // error: always retained
+	snap := rec.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d records, want 1", len(snap))
+	}
+	v := snap[0]
+	if v.Endpoint != "/v1/simulate" || v.Tier != "miss" || v.Predictor != "tage" {
+		t.Errorf("record labels = %+v", v)
+	}
+	if v.Sampled != "error" || v.Status != 500 {
+		t.Errorf("sampled=%q status=%d, want error/500", v.Sampled, v.Status)
+	}
+	if v.FP != "deadbeef" {
+		t.Errorf("fp = %q, want deadbeef", v.FP)
+	}
+	if !strings.Contains(v.ID, "-") {
+		t.Errorf("generated id = %q, want prefix-seq form", v.ID)
+	}
+	if len(v.Spans) != 3 {
+		t.Fatalf("spans = %+v, want 3", v.Spans)
+	}
+	if v.Spans[0].Stage != "compile" || v.Spans[0].Parent != -1 || v.Spans[0].Arg != "builds" {
+		t.Errorf("span 0 = %+v", v.Spans[0])
+	}
+	if v.Spans[1].Stage != "schedule" || v.Spans[1].Parent != 0 {
+		t.Errorf("span 1 = %+v (want parent 0)", v.Spans[1])
+	}
+	if v.Spans[2].Stage != "simulate" || v.Spans[2].DurNs <= 0 {
+		t.Errorf("span 2 = %+v (open span must close at Finish)", v.Spans[2])
+	}
+	for _, s := range v.Spans {
+		if s.DurNs < 0 || s.StartNs < 0 || s.StartNs+s.DurNs > v.DurNs {
+			t.Errorf("span %+v escapes record duration %d", s, v.DurNs)
+		}
+	}
+}
+
+func TestTailSampling(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Entries: 64, Slow: time.Hour, Every: 4})
+	for i := 0; i < 16; i++ {
+		rec.Begin("/v1/schedule").Finish(200)
+	}
+	if got := rec.Retained(); got != 4 {
+		t.Errorf("retained %d of 16 at 1-in-4, want 4", got)
+	}
+	rec.Begin("/v1/schedule").Finish(422)
+	rec.Begin("/v1/schedule").Finish(503)
+	if got := rec.Retained(); got != 6 {
+		t.Errorf("retained = %d, want 6 (errors always kept)", got)
+	}
+	for _, v := range rec.Snapshot() {
+		if v.Status >= 400 && v.Sampled != "error" {
+			t.Errorf("status %d sampled as %q, want error", v.Status, v.Sampled)
+		}
+	}
+}
+
+func TestSlowSampling(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Entries: 8, Slow: time.Nanosecond, Every: -1})
+	r := rec.Begin("/v1/simulate")
+	time.Sleep(10 * time.Microsecond)
+	r.Finish(200)
+	snap := rec.Snapshot()
+	if len(snap) != 1 || snap[0].Sampled != "slow" {
+		t.Fatalf("snapshot = %+v, want one slow record", snap)
+	}
+}
+
+func TestWarmSampling(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Entries: 16, Slow: time.Hour, Every: 2})
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if rec.SampleWarm() {
+			hits++
+			r := rec.Begin("/v1/simulate")
+			r.MarkWarm()
+			r.SetTier("raw")
+			r.Finish(200)
+		}
+	}
+	if hits != 5 {
+		t.Errorf("SampleWarm fired %d of 10 at 1-in-2, want 5", hits)
+	}
+	for _, v := range rec.Snapshot() {
+		if v.Sampled != "warm" || v.Tier != "raw" {
+			t.Errorf("warm record = %+v", v)
+		}
+	}
+	off := NewRecorder(RecorderConfig{Every: -1})
+	for i := 0; i < 10; i++ {
+		if off.SampleWarm() {
+			t.Fatal("SampleWarm must never fire with Every <= 0")
+		}
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Entries: 8, Slow: time.Hour, Every: -1})
+	for i := 0; i < 100; i++ {
+		rec.Begin("/v1/simulate").Finish(500)
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot keeps %d records, want ring capacity 8", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].TimeNs < snap[i].TimeNs {
+			t.Fatalf("snapshot not newest-first at %d", i)
+		}
+	}
+	// The newest records must have survived: seqs 93..100 in some order.
+	for _, v := range snap {
+		if v.Seq <= 92 {
+			t.Errorf("old record seq %d survived eviction", v.Seq)
+		}
+	}
+}
+
+func TestSetIDAndTruncation(t *testing.T) {
+	rec := NewRecorder(quietConfig())
+	r := rec.Begin("/v1/simulate")
+	r.SetID("client-supplied-id")
+	if got := r.ID(); got != "client-supplied-id" {
+		t.Errorf("ID = %q", got)
+	}
+	long := strings.Repeat("x", 100)
+	r.SetID(long)
+	if got := r.ID(); got != long[:maxIDLen] {
+		t.Errorf("long ID = %q (len %d), want truncation to %d", got, len(got), maxIDLen)
+	}
+	r.Finish(200)
+}
+
+func TestAccessLogSink(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Entries: 8, Slow: time.Hour, Every: -1})
+	var buf bytes.Buffer
+	l := NewAccessLogger(&buf)
+	rec.SetSink(l.Log)
+	r := rec.Begin("/v1/figures")
+	r.SetID("req-123")
+	r.Start(StageEncode, ArgCanon)
+	r.End()
+	r.Finish(504)
+	rec.Begin("/v1/figures").Finish(200) // unsampled: no line
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("access log has %d lines, want 1:\n%s", len(lines), buf.String())
+	}
+	var v RecordView
+	if err := json.Unmarshal([]byte(lines[0]), &v); err != nil {
+		t.Fatalf("access log line is not JSON: %v", err)
+	}
+	if v.ID != "req-123" || v.Status != 504 || v.Endpoint != "/v1/figures" {
+		t.Errorf("logged view = %+v", v)
+	}
+	if len(v.Spans) != 1 || v.Spans[0].Stage != "encode" || v.Spans[0].Arg != "canon" {
+		t.Errorf("logged spans = %+v", v.Spans)
+	}
+}
+
+// The armed-but-unsampled record lifecycle must not allocate in steady
+// state: this is the budget the serving hot path inherits.
+func TestRecordLifecycleAllocs(t *testing.T) {
+	rec := NewRecorder(quietConfig())
+	// Prime the pool.
+	for i := 0; i < 8; i++ {
+		rec.Begin("/v1/simulate").Finish(200)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r := rec.Begin("/v1/simulate")
+		r.SetTier("cell")
+		r.Start(StageSimulate, ArgCells)
+		r.End()
+		r.Finish(200)
+	})
+	if allocs != 0 {
+		t.Errorf("unsampled record lifecycle allocates %v per op, want 0", allocs)
+	}
+	if rec.Retained() != 0 {
+		t.Errorf("retained = %d, want 0", rec.Retained())
+	}
+}
+
+func TestSampleWarmAllocs(t *testing.T) {
+	rec := NewRecorder(quietConfig())
+	allocs := testing.AllocsPerRun(200, func() {
+		if rec.SampleWarm() {
+			t.Fatal("unexpected warm sample")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("SampleWarm allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestSpanOverflow(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{Entries: 8, Slow: time.Hour, Every: -1})
+	r := rec.Begin("/v1/simulate")
+	for i := 0; i < maxSpans+10; i++ {
+		r.Start(StageCompile, ArgNone)
+	}
+	for i := 0; i < maxSpans+10; i++ {
+		r.End()
+	}
+	r.Finish(500)
+	snap := rec.Snapshot()
+	if len(snap) != 1 || len(snap[0].Spans) != maxSpans {
+		t.Fatalf("overflowed arena kept %d spans, want %d", len(snap[0].Spans), maxSpans)
+	}
+}
+
+func TestContextRecord(t *testing.T) {
+	ctx := context.Background()
+	if RecordFrom(ctx) != nil {
+		t.Fatal("empty context must have no record")
+	}
+	rec := NewRecorder(quietConfig())
+	r := rec.Begin("/v1/simulate")
+	ctx = ContextWithRecord(ctx, r)
+	if RecordFrom(ctx) != r {
+		t.Fatal("record not carried through context")
+	}
+	stripped := ContextWithRecord(ctx, nil)
+	if RecordFrom(stripped) != nil {
+		t.Fatal("nil record must strip the context")
+	}
+	r.Finish(200)
+}

@@ -173,6 +173,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // — before being written; the next identical request is a single Write of
 // these exact bytes.
 func (s *Server) writeJSONCaching(w http.ResponseWriter, r *http.Request, key respKey, cacheable bool, v any) {
+	rd := obs.RecordFrom(r.Context())
+	rd.Start(obs.StageEncode, obs.ArgNone)
+	defer rd.End()
 	e := getEnc()
 	if err := e.enc.Encode(v); err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{

@@ -12,6 +12,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
+
+	"sentinel/internal/obs"
 )
 
 // benchWriter is the minimal ResponseWriter: preallocated header map and a
@@ -125,6 +128,19 @@ func BenchmarkServeSimulate(b *testing.B) {
 	})
 	b.Run("tcp/warm", func(b *testing.B) {
 		benchTCP(b, s, http.MethodPost, "/v1/simulate", benchSimBody)
+	})
+	// The observability-overhead rows: same warm hit with the flight recorder
+	// armed but effectively never sampling (the steady-state production
+	// setting), and tail-sampling 1 in 16 (the recommended diagnostic rate).
+	b.Run("inproc/warm-recorder", func(b *testing.B) {
+		sr := New(Config{Workers: 1, Recorder: obs.NewRecorder(obs.RecorderConfig{
+			Entries: 256, Slow: time.Hour, Every: 1 << 30})})
+		benchInproc(b, sr, http.MethodPost, "/v1/simulate", benchSimBody)
+	})
+	b.Run("inproc/warm-sampled16", func(b *testing.B) {
+		sr := New(Config{Workers: 1, Recorder: obs.NewRecorder(obs.RecorderConfig{
+			Entries: 256, Slow: time.Hour, Every: 16})})
+		benchInproc(b, sr, http.MethodPost, "/v1/simulate", benchSimBody)
 	})
 }
 

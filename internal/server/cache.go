@@ -14,6 +14,7 @@ import (
 	"sentinel/internal/core"
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 	"sentinel/internal/sim"
 )
@@ -73,10 +74,21 @@ func (c *sourceCache) get(ctx context.Context, k sourceKey, fn func() (*compiled
 	c.mu.Lock()
 	if e, ok := c.m[k]; ok {
 		c.mu.Unlock()
+		// Completed entries serve without touching the request record; only
+		// a genuine wait on another request's compile earns a span.
 		select {
 		case <-e.done:
 			return e.val, e.err
+		default:
+		}
+		rd := obs.RecordFrom(ctx)
+		rd.Start(obs.StageSFWait, obs.ArgSources)
+		select {
+		case <-e.done:
+			rd.End()
+			return e.val, e.err
 		case <-ctx.Done():
+			rd.End()
 			return nil, ctx.Err()
 		}
 	}
@@ -90,7 +102,10 @@ func (c *sourceCache) get(ctx context.Context, k sourceKey, fn func() (*compiled
 	e := &sourceEntry{done: make(chan struct{})}
 	c.m[k] = e
 	c.mu.Unlock()
+	rd := obs.RecordFrom(ctx)
+	rd.Start(obs.StageSFOwn, obs.ArgSources)
 	e.val, e.err = fn()
+	rd.End()
 	close(e.done)
 	return e.val, e.err
 }

@@ -5,6 +5,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"sentinel/internal/core"
 	"sentinel/internal/eval"
 	"sentinel/internal/machine"
+	"sentinel/internal/obs"
 	"sentinel/internal/prog"
 	"sentinel/internal/sim"
 	"sentinel/internal/superblock"
@@ -117,7 +119,7 @@ func (s *Server) prepared(r *http.Request, spec ProgramSpec, md machine.Desc, fo
 		cmd := md.CompileView()
 		key := sourceKey{sum: sha256.Sum256([]byte(spec.Source)), md: cmd, form: form}
 		c, err := s.sources.get(ctx, key, func() (*compiled, error) {
-			return compileSource(spec.Source, cmd, form)
+			return compileSource(ctx, spec.Source, cmd, form)
 		})
 		if err != nil {
 			return eval.Prepared{}, err
@@ -132,15 +134,20 @@ func (s *Server) prepared(r *http.Request, spec ProgramSpec, md machine.Desc, fo
 
 // compileSource runs the full compile pipeline on inline assembly: parse,
 // lay out, reference-interpret for the profile, optionally form
-// superblocks, schedule for md.
-func compileSource(src string, md machine.Desc, form bool) (*compiled, error) {
+// superblocks, schedule for md. The ctx is span plumbing only — the request
+// record, when one is attached, gets compile and schedule stages.
+func compileSource(ctx context.Context, src string, md machine.Desc, form bool) (*compiled, error) {
+	rd := obs.RecordFrom(ctx)
+	rd.Start(obs.StageCompile, obs.ArgSources)
 	p, m, err := asm.Parse(src)
 	if err != nil {
+		rd.End()
 		return nil, apiErrorf(http.StatusUnprocessableEntity, KindAssemblyError, "%v", err)
 	}
 	p.Layout()
 	ref, err := prog.Run(p, m.Clone(), prog.Options{Collect: true})
 	if err != nil {
+		rd.End()
 		return nil, apiErrorf(http.StatusUnprocessableEntity, KindProgramError,
 			"reference interpretation failed: %v", err)
 	}
@@ -148,11 +155,15 @@ func compileSource(src string, md machine.Desc, form bool) (*compiled, error) {
 		p = superblock.Form(p, ref.Profile, superblock.Options{})
 		p.Layout()
 		if err := p.Validate(); err != nil {
+			rd.End()
 			return nil, apiErrorf(http.StatusUnprocessableEntity, KindProgramError,
 				"superblock formation: %v", err)
 		}
 	}
+	rd.End()
+	rd.Start(obs.StageSchedule, obs.ArgNone)
 	sched, stats, err := core.Schedule(p, md)
+	rd.End()
 	if err != nil {
 		return nil, apiErrorf(http.StatusUnprocessableEntity, KindProgramError,
 			"schedule: %v", err)
@@ -176,9 +187,17 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	// Schedules are a pure function of (program, machine, formation): every
 	// repeat is served straight from the response-byte cache.
 	key := scheduleKey(req, md, form)
-	if s.resp.serve(w, key) {
+	rd := obs.RecordFrom(r.Context())
+	rd.SetFingerprint(key[:])
+	rd.SetPredictor(md.Predictor.String())
+	rd.Start(obs.StageRespCache, obs.ArgCanon)
+	hit := s.resp.serve(w, key)
+	rd.End()
+	if hit {
+		rd.SetTier(tierCanon)
 		return nil
 	}
+	rd.SetTier(tierFull)
 
 	p, err := s.prepared(r, req.ProgramSpec, md, form)
 	if err != nil {
@@ -218,11 +237,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	// unless the run is perturbed (fault injection) or explicitly forced
 	// (Full, the documented escape hatch past every cache): those two
 	// bypass the response-byte cache entirely.
+	rd := obs.RecordFrom(r.Context())
+	rd.SetPredictor(md.Predictor.String())
+	rd.SetTier(tierFull)
 	cacheable := req.FaultSegment == "" && !req.Full
 	var key respKey
 	if cacheable {
 		key = simulateKey(req, md)
-		if s.resp.serve(w, key) {
+		rd.SetFingerprint(key[:])
+		rd.Start(obs.StageRespCache, obs.ArgCanon)
+		hit := s.resp.serve(w, key)
+		rd.End()
+		if hit {
+			rd.SetTier(tierCanon)
 			return nil
 		}
 	}
@@ -240,6 +267,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		if err != nil {
 			return err
 		}
+		rd.SetTier(tierCell)
 		resp := getSimResp()
 		defer putSimResp(resp)
 		*resp = SimulateResponse{
@@ -271,7 +299,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		}
 		seg.Present = false
 	}
+	rd.Start(obs.StageSimulate, obs.ArgNone)
 	res, err := sim.Run(p.Prog, md, p.Mem, sim.Options{Index: p.Index})
+	rd.End()
 	if err != nil {
 		if exc, ok := sim.Unhandled(err); ok {
 			pc := exc.ReportedPC
@@ -327,15 +357,28 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) error {
 	// the response-byte cache without touching the Runner.
 	const figuresContentType = "text/plain; charset=utf-8"
 	key := figuresKey(secs)
-	if s.resp.serve(w, key) {
+	rd := obs.RecordFrom(r.Context())
+	rd.SetFingerprint(key[:])
+	rd.Start(obs.StageRespCache, obs.ArgCanon)
+	hit := s.resp.serve(w, key)
+	rd.End()
+	if hit {
+		rd.SetTier(tierCanon)
 		return nil
 	}
+	rd.SetTier(tierFull)
 	// Render into memory first: an error after bytes hit the wire could not
-	// change the status line anymore.
+	// change the status line anymore. The render fans out across the
+	// Runner's workers, so its pipeline stages land outside this record
+	// (the record is single-goroutine; see parallelForCtx).
+	rd.Start(obs.StageSimulate, obs.ArgNone)
 	var buf bytes.Buffer
-	if err := eval.RenderSections(r.Context(), secs, s.runner, &buf); err != nil {
+	err := eval.RenderSections(r.Context(), secs, s.runner, &buf)
+	rd.End()
+	if err != nil {
 		return err
 	}
+	rd.Start(obs.StageEncode, obs.ArgNone)
 	body := append([]byte(nil), buf.Bytes()...)
 	s.resp.put(key, body, figuresContentType)
 	if rk, ok := rawKeyFrom(r.Context()); ok {
@@ -343,5 +386,6 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) error {
 	}
 	w.Header().Set("Content-Type", figuresContentType)
 	w.Write(buf.Bytes()) //nolint:errcheck
+	rd.End()
 	return nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation adds allocations, so absolute allocs/op tests skip.
+const raceEnabled = true

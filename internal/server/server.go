@@ -56,6 +56,10 @@ type Config struct {
 	// Registry receives request metrics and the Runner's cache/utilization
 	// instruments; nil disables metrics entirely (the obs nil path).
 	Registry *obs.Registry
+	// Recorder is the request flight recorder: span traces, /debug/requests
+	// and the access-log sink. Nil disables request records entirely (the
+	// obs nil path); request-ID echo of client-supplied IDs still works.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +86,7 @@ type Server struct {
 	sources *sourceCache
 	resp    *respCache
 	mux     *http.ServeMux
+	rec     *obs.Recorder
 	ready   atomic.Bool
 
 	// Metrics, nil (the obs discard path) unless Config.Registry was set.
@@ -103,6 +108,7 @@ func New(cfg Config) *Server {
 		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		sources: newSourceCache(cfg.MaxSourcePrograms),
 		resp:    newRespCache(cfg.RespCacheEntries),
+		rec:     cfg.Recorder,
 	}
 	// Response bytes are rendered from Runner artifacts; dropping the
 	// artifacts must drop the bytes memoized on top of them.
@@ -143,6 +149,9 @@ func New(cfg Config) *Server {
 			}
 			return s.resp.evicts.Load()
 		})
+		if s.rec != nil {
+			reg.Gauge("server.recorder.retained", s.rec.Retained)
+		}
 	}
 	s.routes()
 	return s
@@ -196,9 +205,12 @@ func (s *Server) cacheHitPermille() int64 {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/schedule", s.v1(s.handleSchedule))
-	s.mux.HandleFunc("POST /v1/simulate", s.v1(s.handleSimulate))
-	s.mux.HandleFunc("GET /v1/figures", s.v1(s.handleFigures))
+	s.mux.HandleFunc("POST /v1/schedule", s.v1("/v1/schedule", s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/simulate", s.v1("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/figures", s.v1("/v1/figures", s.handleFigures))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /debug/requests.json", s.handleDebugRequestsJSON)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n")) //nolint:errcheck
@@ -224,14 +236,42 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
 }
 
+// requestIDHeader is the propagation header tying responses, the flight
+// recorder and the access log together. The literal is in canonical MIME
+// form so Header.Get on it performs no canonicalization work.
+const requestIDHeader = "X-Request-Id"
+
+// Cache-tier labels for request records: which serving layer produced the
+// response. Static strings — records alias them.
+const (
+	tierRaw   = "raw"   // raw-fingerprint response-byte cache
+	tierCanon = "canon" // canonical-fingerprint response-byte cache
+	tierCell  = "cell"  // runner's verified cell cache (computed or cached)
+	tierFull  = "full"  // uncached per-request simulation
+)
+
 // v1 wraps an API handler with the serving concerns every /v1 endpoint
-// shares: per-request deadline, admission, error envelope, and metrics.
-func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
+// shares: per-request deadline, admission, error envelope, request-ID echo,
+// the flight-recorder record, and metrics.
+func (s *Server) v1(endpoint string, h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var t0 time.Time
 		if s.reqTime != nil {
 			t0 = time.Now()
 		}
+		// Echo a client-supplied request ID on every response, error
+		// envelopes included. Get on the canonical constant is alloc-free;
+		// Set (one header-slice alloc) only runs when the client sent one.
+		clientID := r.Header.Get(requestIDHeader)
+		if clientID != "" {
+			w.Header().Set(requestIDHeader, clientID)
+		}
+
+		// rd is this request's flight-recorder record. On the warm fast path
+		// it exists only for head-sampled hits — an unsampled warm hit must
+		// record nothing — so a warm hit without a client ID carries no
+		// generated request ID either (the documented fast-path exception).
+		var rd *obs.Record
 
 		// Warm fast path: a byte-identical repeat of an already-answered
 		// request (same path, query and body bytes) is served straight from
@@ -245,26 +285,56 @@ func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request) error) http.H
 				defer putBodyScratch(sc)
 			}
 			if ok {
+				if s.rec.SampleWarm() {
+					rd = s.rec.Begin(endpoint)
+					rd.SetID(clientID) // no-op when empty: keep the generated ID
+					rd.SetFingerprint(rawK[:])
+					if clientID == "" {
+						w.Header().Set(requestIDHeader, rd.ID())
+					}
+					rd.Start(obs.StageRespCache, obs.ArgRaw)
+				}
 				if s.resp.serve(w, rawK) {
 					s.reqs.Inc()
 					if s.reqTime != nil {
 						s.reqTime.Observe(time.Since(t0).Nanoseconds())
 					}
+					if rd != nil {
+						rd.End()
+						rd.MarkWarm()
+						rd.SetTier(tierRaw)
+						rd.Finish(http.StatusOK)
+					}
 					return
 				}
+				rd.End() // nil-safe: closes the lookup span on a sampled miss
 				// Miss: remember the key so the handler's cache fill also
 				// registers these exact request bytes for the next repeat.
 				r = r.WithContext(context.WithValue(r.Context(), rawKeyCtxKey{}, rawK))
 			}
 		}
 
+		// Admitted path: every request gets a record (its cost is noise
+		// against ms-scale pipeline work); whether it is retained is decided
+		// at Finish. A record carried over from a sampled warm miss is kept.
+		if rd == nil && s.rec != nil {
+			rd = s.rec.Begin(endpoint)
+			rd.SetID(clientID)
+			if clientID == "" {
+				w.Header().Set(requestIDHeader, rd.ID())
+			}
+		}
+		status := http.StatusOK
+		defer func() { rd.Finish(status) }()
+
 		ctx := r.Context()
 		timeout := s.cfg.RequestTimeout
 		if q, ok := queryValue(r.URL.RawQuery, "timeout_ms"); ok {
 			ms, err := strconv.Atoi(q)
 			if err != nil || ms < 1 {
-				s.countStatus(writeError(w, apiErrorf(http.StatusBadRequest, KindBadRequest,
-					"invalid timeout_ms %q", q)).Status)
+				status = writeError(w, apiErrorf(http.StatusBadRequest, KindBadRequest,
+					"invalid timeout_ms %q", q)).Status
+				s.countStatus(status)
 				return
 			}
 			if d := time.Duration(ms) * time.Millisecond; d < timeout {
@@ -273,18 +343,25 @@ func (s *Server) v1(h func(w http.ResponseWriter, r *http.Request) error) http.H
 		}
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
+		if rd != nil {
+			ctx = obs.ContextWithRecord(ctx, rd)
+		}
 
+		rd.Start(obs.StageAdmission, obs.ArgNone)
 		release, err := s.adm.acquire(ctx)
+		rd.End()
 		if err != nil {
 			s.rejected.Inc()
-			s.countStatus(writeError(w, err).Status)
+			status = writeError(w, err).Status
+			s.countStatus(status)
 			return
 		}
 		defer release()
 		s.reqs.Inc()
 
 		if err := h(w, r.WithContext(ctx)); err != nil {
-			s.countStatus(writeError(w, err).Status)
+			status = writeError(w, err).Status
+			s.countStatus(status)
 		}
 		if s.reqTime != nil {
 			s.reqTime.Observe(time.Since(t0).Nanoseconds())
