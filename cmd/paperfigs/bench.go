@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -146,6 +147,89 @@ type reusableBody struct{ bytes.Reader }
 
 func (b *reusableBody) Close() error { return nil }
 
+// benchServeBatch measures POST /v1/batch end to end (decode, per-element
+// cache probe, fan-out, stream framing) at 64 elements — ns_per_op is per
+// batch, so divide by 64 to compare against the single-request rows:
+//
+//	warm64:  every element a response-byte cache hit, the batched analogue
+//	         of ServeSimulate/warm
+//	cold64:  cache disabled, every element re-executes through the handler
+//	         against warm artifacts — the amortization target
+//	mixed:   32 warm hits interleaved with 32 full simulations (full runs
+//	         are never cached), the realistic mixed frame
+func benchServeBatch() ([]benchRecord, error) {
+	item := func(body string) string { return `{"request":` + body + `}` }
+	warmBody := item(`{"workload":"cmp","model":"sentinel+stores","width":8}`)
+	var warm64, cold64, mixed []string
+	for i := 0; i < 64; i++ {
+		name := []string{"cmp", "wc", "grep", "eqntott"}[i%4]
+		warm64 = append(warm64, warmBody)
+		cold64 = append(cold64, item(fmt.Sprintf(
+			`{"workload":%q,"model":"sentinel+stores","width":8}`, name)))
+		if i%2 == 0 {
+			mixed = append(mixed, warmBody)
+		} else {
+			mixed = append(mixed, item(fmt.Sprintf(
+				`{"workload":%q,"model":"sentinel+stores","width":8,"full":true}`, name)))
+		}
+	}
+	frame := func(items []string) []byte {
+		return []byte("[" + strings.Join(items, ",") + "]")
+	}
+	cached := server.New(server.Config{Workers: 1})
+	uncached := server.New(server.Config{Workers: 1, RespCacheEntries: -1})
+	cases := []struct {
+		name string
+		body []byte
+		srv  *server.Server
+	}{
+		{"ServeBatch/warm64", frame(warm64), cached},
+		{"ServeBatch/cold64", frame(cold64), uncached},
+		{"ServeBatch/mixed", frame(mixed), cached},
+	}
+	var recs []benchRecord
+	for _, c := range cases {
+		h := c.srv.Handler()
+		req, err := http.NewRequest(http.MethodPost, "http://bench/v1/batch", nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		rb := &reusableBody{}
+		attach := func() {
+			rb.Reset(c.body)
+			req.Body = rb
+			req.ContentLength = int64(len(c.body))
+		}
+		w := &discardWriter{h: make(http.Header, 4)}
+		attach()
+		h.ServeHTTP(w, req) // warm artifacts (and, where enabled, the cache)
+		// A streamed batch never calls WriteHeader explicitly, so 0 is the
+		// implicit 200 here, as in benchServe.
+		if w.status != 0 && w.status != http.StatusOK {
+			return nil, fmt.Errorf("benchjson: warm %s = %d", c.name, w.status)
+		}
+		var bad int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w.status = 0
+				attach()
+				h.ServeHTTP(w, req)
+				if w.status != 0 && w.status != http.StatusOK {
+					bad = w.status
+					b.FailNow()
+				}
+			}
+		})
+		if bad != 0 {
+			return nil, fmt.Errorf("benchjson: %s returned status %d mid-benchmark", c.name, bad)
+		}
+		recs = append(recs, record(c.name, r))
+	}
+	return recs, nil
+}
+
 // writeBenchJSON measures the two dense-index hot paths — list scheduling
 // and the simulator inner loop — on the kernels with the largest superblocks
 // and writes BENCH_schedule.json and BENCH_sim.json into dir. The files are
@@ -262,6 +346,11 @@ func writeBenchJSON(dir string) error {
 	if err != nil {
 		return err
 	}
+	batchRecs, err := benchServeBatch()
+	if err != nil {
+		return err
+	}
+	serveRecs = append(serveRecs, batchRecs...)
 
 	for _, f := range []struct {
 		name string

@@ -58,7 +58,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print runner cache/utilization metrics to stderr after the run")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON of one benchmark cell to this file (see -tracebench)")
 	traceBench := flag.String("tracebench", "cmp", "benchmark to trace with -trace (sentinel+stores, issue 8)")
-	benchJSON := flag.String("benchjson", "", "measure the schedule/sim hot paths and write BENCH_schedule.json and BENCH_sim.json into this directory")
+	benchJSON := flag.String("benchjson", "", "measure the schedule/sim/serve hot paths and write BENCH_schedule.json, BENCH_sim.json and BENCH_serve.json into this directory")
 	var prof obs.Profiles
 	flag.StringVar(&prof.CPUFile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&prof.MemFile, "memprofile", "", "write a pprof heap profile to this file on exit")

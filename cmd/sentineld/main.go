@@ -9,6 +9,11 @@
 //	curl -s localhost:8649/v1/figures?section=fig4
 //	curl -s localhost:8649/v1/simulate -d '{"workload":"cmp","model":"sentinel+stores","width":8}'
 //
+// The same port also speaks the length-prefixed binary batch protocol
+// (internal/wire): a connection opening with the protocol magic is routed to
+// the wire handler instead of HTTP, and -wire-addr adds a dedicated
+// listener for it.
+//
 // Readiness and drain: /readyz reports 503 until warmup (if requested)
 // completes, and again as soon as SIGTERM/SIGINT arrives; in-flight
 // requests then finish (bounded by -drain) before the process exits 0.
@@ -44,6 +49,7 @@ func main() {
 	queue := flag.Int("queue", 64, "maximum requests waiting for a slot (beyond: 429)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	drain := flag.Duration("drain", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	wireAddr := flag.String("wire-addr", "", "optional dedicated listener for the binary batch protocol (the main listener always sniffs for it)")
 	warm := flag.Bool("warm", false, "prebuild the paper figure matrix before reporting ready")
 	respEntries := flag.Int("respcache-entries", 0, "response-byte cache capacity (0 = default 4096, negative disables)")
 	recEntries := flag.Int("recorder-entries", 256, "flight-recorder retained request records (0 disables the recorder)")
@@ -100,12 +106,24 @@ func main() {
 	log.Printf("listening on %s (workers=%d inflight=%d queue=%d)",
 		ln.Addr(), srv.Runner().Workers(), *inflight, *queue)
 
+	var wireLn net.Listener
+	if *wireAddr != "" {
+		wireLn, err = net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.ServeWire(wireLn) //nolint:errcheck // returns when the listener closes
+		log.Printf("wire protocol on %s", wireLn.Addr())
+	}
+
 	if *warm {
 		srv.SetReady(false)
 	}
+	// The main listener serves both protocols: each connection's first byte
+	// decides whether it is HTTP or a wire-protocol stream.
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
+	go func() { serveErr <- httpSrv.Serve(srv.SniffWire(ln)) }()
 
 	if *warm {
 		t0 := time.Now()
@@ -130,7 +148,15 @@ func main() {
 	}
 
 	// Drain: stop admitting (readyz goes 503), let in-flight requests
-	// finish, then close the listener and connections.
+	// finish, then close the listeners and connections. Wire listeners stop
+	// accepting immediately; admitted batches run to completion like any
+	// other request.
+	if wireLn != nil {
+		wireLn.Close()
+	}
+	if n := srv.BatchesInFlight(); n > 0 {
+		log.Printf("drain: waiting for %d in-flight batch(es)", n)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
@@ -142,5 +168,5 @@ func main() {
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("serve: %v", err)
 	}
-	log.Printf("drain complete; exiting")
+	log.Printf("drain complete; in-flight batches: %d; exiting", srv.BatchesInFlight())
 }

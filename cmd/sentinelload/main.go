@@ -18,6 +18,13 @@
 // code is nonzero when any request failed or the achieved throughput fell
 // below -min-rps (the CI smoke gate).
 //
+// -batch N switches both modes to batched requests while keeping latency
+// and throughput accounting per element, so batched and single-request runs
+// compare directly. The closed loop sends preserialized binary wire frames
+// (internal/wire) over its raw connections and timestamps each element as
+// its header arrives; the open loop posts the same mix to /v1/batch and
+// parses the streamed element headers.
+//
 // The generator is built not to measure its own allocator. The closed loop
 // is a raw HTTP/1.1 client in the wrk mold: each worker owns one keep-alive
 // TCP connection and a set of fully preserialized request byte strings (one
@@ -46,6 +53,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sentinel/internal/wire"
 )
 
 type result struct {
@@ -80,6 +89,7 @@ type config struct {
 	timeout   time.Duration
 	minRPS    float64
 	slowest   int
+	batch     int
 }
 
 func main() {
@@ -95,6 +105,7 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 10*time.Second, "per-request client timeout")
 	flag.Float64Var(&cfg.minRPS, "min-rps", 0, "exit nonzero when achieved req/s falls below this")
 	flag.IntVar(&cfg.slowest, "slowest", 0, "after the run, list the N slowest requests with their request IDs")
+	flag.IntVar(&cfg.batch, "batch", 0, "send N-element batches instead of single requests (closed loop: binary wire frames; open loop: POST /v1/batch); latency and throughput stay per element")
 	flag.Parse()
 	os.Exit(run(cfg, os.Stdout, os.Stderr))
 }
@@ -391,6 +402,144 @@ func (w *worker) discardChunked() error {
 	}
 }
 
+// batchWorker is one closed-loop batch driver: a keep-alive connection
+// speaking the binary wire protocol (internal/wire), one preserialized
+// N-element request frame written per shot, and a result per element
+// timestamped as its header arrives. The frame is immutable after
+// construction, so every worker shares the same bytes.
+type batchWorker struct {
+	host    string
+	frame   []byte
+	conn    net.Conn
+	br      *bufio.Reader
+	results []result
+	timeout time.Duration
+	wid     int
+	seq     int
+}
+
+// buildBatchFrame preserializes the wire request frame: cfg.batch elements
+// cycling through the workload mix, tagged by position.
+func buildBatchFrame(cfg config, bodies [][]byte) []byte {
+	op := byte(wire.OpSimulate)
+	if cfg.endpoint == "schedule" {
+		op = wire.OpSchedule
+	}
+	elems := make([]wire.ReqElem, cfg.batch)
+	for i := range elems {
+		elems[i] = wire.ReqElem{Tag: uint32(i), Op: op, Payload: bodies[i%len(bodies)]}
+	}
+	return wire.AppendRequest(nil, &wire.ReqFrame{Elems: elems})
+}
+
+// shoot sends one frame and drains its response, recording one result per
+// element: the latency is frame send to that element's header, which is
+// what makes batched and single-request runs comparable. Any transport or
+// protocol error — server error frames included — costs one error result
+// and the connection; the next shot redials.
+func (w *batchWorker) shoot() {
+	w.seq++
+	t0 := time.Now()
+	if err := w.do(t0); err != nil {
+		if w.conn != nil {
+			w.conn.Close()
+			w.conn = nil
+		}
+		w.results = append(w.results, result{latency: time.Since(t0), wid: int32(w.wid), seq: int32(w.seq), err: true})
+	}
+}
+
+func (w *batchWorker) do(t0 time.Time) error {
+	if w.conn == nil {
+		c, err := net.DialTimeout("tcp", w.host, w.timeout)
+		if err != nil {
+			return err
+		}
+		w.conn = c
+		if w.br == nil {
+			w.br = bufio.NewReaderSize(c, 64<<10)
+		} else {
+			w.br.Reset(c)
+		}
+	}
+	if err := w.conn.SetDeadline(time.Now().Add(w.timeout)); err != nil {
+		return err
+	}
+	if _, err := w.conn.Write(w.frame); err != nil {
+		return err
+	}
+	count, err := wire.ReadResponseHeader(w.br, wire.Limits{})
+	if err != nil {
+		return err
+	}
+	for i := 0; i < count; i++ {
+		_, status, plen, err := wire.ReadElemHeader(w.br, wire.Limits{})
+		if err != nil {
+			return err
+		}
+		lat := time.Since(t0)
+		if _, err := w.br.Discard(plen); err != nil {
+			return err
+		}
+		w.results = append(w.results, result{latency: lat, status: status, wid: int32(w.wid), seq: int32(w.seq)})
+	}
+	return nil
+}
+
+func (w *batchWorker) close() {
+	if w.conn != nil {
+		w.conn.Close()
+		w.conn = nil
+	}
+}
+
+// buildBatchBody renders the open loop's /v1/batch JSON array once: the
+// same workload mix and op for every arrival.
+func buildBatchBody(cfg config, bodies [][]byte) []byte {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i := 0; i < cfg.batch; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"op":%q,"request":%s}`, cfg.endpoint, bodies[i%len(bodies)])
+	}
+	b.WriteByte(']')
+	return b.Bytes()
+}
+
+// batchLine is one /v1/batch stream header line (or the done trailer).
+type batchLine struct {
+	Index  int  `json:"index"`
+	Status int  `json:"status"`
+	Bytes  int  `json:"bytes"`
+	Done   bool `json:"done"`
+}
+
+// drainBatchStream parses a /v1/batch response stream, invoking rec with
+// each element's status and its latency measured from t0 to the header
+// line; payloads are discarded.
+func drainBatchStream(r io.Reader, t0 time.Time, rec func(status int, lat time.Duration)) error {
+	br := bufio.NewReaderSize(r, 64<<10)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return err
+		}
+		var h batchLine
+		if err := json.Unmarshal(line, &h); err != nil {
+			return err
+		}
+		if h.Done {
+			return nil
+		}
+		rec(h.Status, time.Since(t0))
+		if _, err := br.Discard(h.Bytes); err != nil {
+			return err
+		}
+	}
+}
+
 func run(cfg config, out, errOut io.Writer) int {
 	var path string
 	switch cfg.endpoint {
@@ -415,7 +564,35 @@ func run(cfg config, out, errOut io.Writer) int {
 	var results []result
 	start := time.Now()
 	var wg sync.WaitGroup
-	if cfg.rps <= 0 {
+	if cfg.rps <= 0 && cfg.batch > 0 {
+		// Closed loop, batched: conc raw-TCP workers each keep one wire
+		// frame in flight, sharing the preserialized frame bytes.
+		host, err := hostFromAddr(cfg.addr)
+		if err != nil {
+			fmt.Fprintf(errOut, "sentinelload: %v\n", err)
+			return 2
+		}
+		frame := buildBatchFrame(cfg, bodies)
+		workers := make([]*batchWorker, cfg.conc)
+		for i := range workers {
+			workers[i] = &batchWorker{host: host, frame: frame, timeout: cfg.timeout, wid: i}
+		}
+		for w := 0; w < cfg.conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wk := workers[w]
+				defer wk.close()
+				for ctx.Err() == nil {
+					wk.shoot()
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, wk := range workers {
+			results = append(results, wk.results...)
+		}
+	} else if cfg.rps <= 0 {
 		// Closed loop: conc raw-TCP workers, one request in flight each, no
 		// shared state between them until the merge below.
 		host, err := hostFromAddr(cfg.addr)
@@ -462,25 +639,61 @@ func run(cfg config, out, errOut io.Writer) int {
 			results = append(results, r)
 			mu.Unlock()
 		}
-		shoot := func(i int) {
-			body := bodies[i%len(bodies)]
-			req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
-			if err != nil {
-				record(result{wid: -1, seq: int32(i), err: true})
-				return
+		var shoot func(i int)
+		if cfg.batch > 0 {
+			// Batched arrivals: each tick posts one /v1/batch frame; every
+			// streamed element header becomes its own result.
+			batchURL := strings.TrimSuffix(cfg.addr, "/") + "/v1/batch"
+			frame := buildBatchBody(cfg, bodies)
+			shoot = func(i int) {
+				req, err := http.NewRequest(http.MethodPost, batchURL, bytes.NewReader(frame))
+				if err != nil {
+					record(result{wid: -1, seq: int32(i), err: true})
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Request-Id", fmt.Sprintf("o-%08d", i))
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					record(result{latency: time.Since(t0), wid: -1, seq: int32(i), err: true})
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					record(result{latency: time.Since(t0), status: resp.StatusCode, wid: -1, seq: int32(i)})
+					return
+				}
+				err = drainBatchStream(resp.Body, t0, func(status int, lat time.Duration) {
+					record(result{latency: lat, status: status, wid: -1, seq: int32(i)})
+				})
+				resp.Body.Close()
+				if err != nil {
+					record(result{latency: time.Since(t0), wid: -1, seq: int32(i), err: true})
+				}
 			}
-			req.Header.Set("Content-Type", "application/json")
-			req.Header.Set("X-Request-Id", fmt.Sprintf("o-%08d", i))
-			t0 := time.Now()
-			resp, err := client.Do(req)
-			lat := time.Since(t0)
-			if err != nil {
-				record(result{latency: lat, wid: -1, seq: int32(i), err: true})
-				return
+		} else {
+			shoot = func(i int) {
+				body := bodies[i%len(bodies)]
+				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					record(result{wid: -1, seq: int32(i), err: true})
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Request-Id", fmt.Sprintf("o-%08d", i))
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				lat := time.Since(t0)
+				if err != nil {
+					record(result{latency: lat, wid: -1, seq: int32(i), err: true})
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+				resp.Body.Close()
+				record(result{latency: lat, status: resp.StatusCode, wid: -1, seq: int32(i)})
 			}
-			io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
-			resp.Body.Close()
-			record(result{latency: lat, status: resp.StatusCode, wid: -1, seq: int32(i)})
 		}
 		sem := make(chan struct{}, cfg.conc)
 		interval := time.Duration(float64(time.Second) / cfg.rps)
@@ -510,7 +723,15 @@ func run(cfg config, out, errOut io.Writer) int {
 		wg.Wait()
 	}
 	elapsed := time.Since(start)
-	report(results, elapsed, cfg.rps, cfg.conc, path, out)
+	dispPath := path
+	if cfg.batch > 0 {
+		if cfg.rps <= 0 {
+			dispPath = "wire " + cfg.endpoint
+		} else {
+			dispPath = "/v1/batch (" + cfg.endpoint + ")"
+		}
+	}
+	report(results, elapsed, cfg.rps, cfg.conc, cfg.batch, dispPath, out)
 	if cfg.slowest > 0 {
 		reportSlowest(results, cfg.slowest, out)
 	}
@@ -532,10 +753,13 @@ func tally(results []result) (ok, total int) {
 	return ok, len(results)
 }
 
-func report(results []result, elapsed time.Duration, rps float64, conc int, path string, w io.Writer) {
+func report(results []result, elapsed time.Duration, rps float64, conc, batch int, path string, w io.Writer) {
 	mode := fmt.Sprintf("closed loop, %d workers", conc)
 	if rps > 0 {
 		mode = fmt.Sprintf("open loop, target %.0f req/s, cap %d in flight", rps, conc)
+	}
+	if batch > 0 {
+		mode += fmt.Sprintf(", batch=%d", batch)
 	}
 	fmt.Fprintf(w, "sentinelload: %s for %.1fs (%s)\n", path, elapsed.Seconds(), mode)
 

@@ -101,6 +101,77 @@ func TestOpenLoopRuns(t *testing.T) {
 	}
 }
 
+// startBatchServer brings up the serving stack behind a protocol-sniffing
+// listener, exactly as sentineld deploys it: one port, both protocols.
+func startBatchServer(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 1})
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpLn := srv.SniffWire(raw)
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(httpLn) //nolint:errcheck
+	t.Cleanup(func() { httpSrv.Close() })
+	return "http://" + raw.Addr().String()
+}
+
+// TestClosedLoopBatch drives binary wire frames end to end: every element
+// completes, accounting is per element, and the report names the mode.
+func TestClosedLoopBatch(t *testing.T) {
+	addr := startBatchServer(t)
+	cfg := config{
+		addr:      addr,
+		duration:  400 * time.Millisecond,
+		conc:      2,
+		workloads: "cmp,wc",
+		model:     "sentinel",
+		width:     8,
+		endpoint:  "simulate",
+		timeout:   10 * time.Second,
+		batch:     8,
+	}
+	var out strings.Builder
+	if code := run(cfg, &out, &out); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"wire simulate", "batch=8", "throughput:"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestOpenLoopBatch posts /v1/batch frames on the arrival schedule and
+// parses the streamed element headers.
+func TestOpenLoopBatch(t *testing.T) {
+	addr := startBatchServer(t)
+	cfg := config{
+		addr:      addr,
+		duration:  400 * time.Millisecond,
+		conc:      4,
+		rps:       50,
+		workloads: "cmp",
+		model:     "sentinel",
+		width:     4,
+		endpoint:  "simulate",
+		timeout:   10 * time.Second,
+		batch:     4,
+	}
+	var out strings.Builder
+	if code := run(cfg, &out, &out); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"/v1/batch (simulate)", "batch=4", "open loop"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
 // TestRunRejectsUnknownEndpoint covers the config validation exit path.
 func TestRunRejectsUnknownEndpoint(t *testing.T) {
 	var out strings.Builder

@@ -442,6 +442,16 @@ func (r *Runner) parallelFor(n int, fn func(i int) error) error {
 	return r.parallelForCtx(context.Background(), n, fn)
 }
 
+// ParallelCtx is the exported form of the Runner's fan-out primitive, for
+// callers outside the package (the server's batch path): fn(0..n-1) runs on
+// up to the Runner's workers, no further index is dispatched once ctx
+// expires, and errors surface lowest-index-first. Any request record in ctx
+// is stripped before dispatch (records are single-goroutine); a closure
+// capturing a record-carrying context must strip its own copy.
+func (r *Runner) ParallelCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return r.parallelForCtx(ctx, n, fn)
+}
+
 // parallelForCtx is parallelFor with cancellation: once ctx expires no
 // further index is dispatched (already-running fn calls finish), and the
 // context's error is returned in place of any per-index error — the results

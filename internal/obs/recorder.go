@@ -47,12 +47,13 @@ const (
 	StageSchedule               // list scheduling
 	StageSimulate               // cycle-level simulation
 	StageEncode                 // response encoding + cache fill
+	StageBatch                  // batch fan-out across the worker pool
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"admission", "respcache", "sfwait", "sfown",
-	"compile", "schedule", "simulate", "encode",
+	"compile", "schedule", "simulate", "encode", "batch",
 }
 
 func (s Stage) String() string {

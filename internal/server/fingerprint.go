@@ -106,6 +106,25 @@ func rawRequestKey(path, rawQuery string, body []byte) respKey {
 	return f.sum()
 }
 
+// rawRequestKeyInto is rawRequestKey over caller-owned scratch, for callers
+// that fingerprint many requests back to back (the batch probe loop): the
+// accumulation buffer is reused across calls instead of escaping per call.
+// Returns the key and the (possibly grown) scratch to carry forward.
+func rawRequestKeyInto(scratch []byte, path, rawQuery string, body []byte) (respKey, []byte) {
+	b := append(scratch[:0], fpRaw)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(path)))
+	b = append(b, n[:]...)
+	b = append(b, path...)
+	binary.LittleEndian.PutUint32(n[:], uint32(len(rawQuery)))
+	b = append(b, n[:]...)
+	b = append(b, rawQuery...)
+	binary.LittleEndian.PutUint32(n[:], uint32(len(body)))
+	b = append(b, n[:]...)
+	b = append(b, body...)
+	return sha256.Sum256(b), b
+}
+
 // simulateKey fingerprints a cacheable simulate request. Callers must have
 // ruled out fault injection and Full runs first.
 func simulateKey(req *SimulateRequest, md machine.Desc) respKey {

@@ -73,6 +73,26 @@ func putBodyScratch(s *bodyScratch) {
 	bodyScratchPool.Put(s)
 }
 
+// frameBuf is the pooled encode scratch for batch framing: element header
+// lines on the /v1/batch chunk stream and wire frame headers alike are
+// appended into b and written out in one Write, so a warm batch element
+// performs no per-element allocation on its way to the socket.
+type frameBuf struct{ b []byte }
+
+var frameBufPool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 512)} }}
+
+func getFrameBuf() *frameBuf { return frameBufPool.Get().(*frameBuf) }
+
+// putFrameBuf recycles the scratch; buffers grown past any sane header size
+// (an error-frame message is the largest variable part) are dropped so one
+// pathological frame cannot pin memory in the pool.
+func putFrameBuf(f *frameBuf) {
+	if cap(f.b) > 64<<10 {
+		return
+	}
+	frameBufPool.Put(f)
+}
+
 // Request/response struct pools. Gets return a zeroed value (the previous
 // request's strings and slices must never leak into this one); puts are
 // unconditional — the structs hold no resources, only garbage.

@@ -89,12 +89,21 @@ type Server struct {
 	rec     *obs.Recorder
 	ready   atomic.Bool
 
+	// batchesInFlight counts batches currently streaming (both entry
+	// points). It is not an admission signal — each batch holds one
+	// admission slot — but the drain path reports it so an operator can see
+	// in-flight batches run to completion.
+	batchesInFlight atomic.Int64
+
 	// Metrics, nil (the obs discard path) unless Config.Registry was set.
-	reqTime  *obs.Histogram // wall time per /v1 request, ns
-	reqs     *obs.Counter   // admitted /v1 requests
-	rejected *obs.Counter   // refused at admission (overload/draining/deadline)
-	errs4xx  *obs.Counter
-	errs5xx  *obs.Counter
+	reqTime    *obs.Histogram // wall time per /v1 request, ns
+	reqs       *obs.Counter   // admitted /v1 requests
+	rejected   *obs.Counter   // refused at admission (overload/draining/deadline)
+	errs4xx    *obs.Counter
+	errs5xx    *obs.Counter
+	batches    *obs.Counter // batch frames admitted (HTTP + wire)
+	batchElems *obs.Counter // batch elements across admitted frames
+	coalesced  *obs.Counter // batch elements answered by an in-frame twin
 }
 
 // New builds a Server around a fresh eval.Runner. The server starts ready;
@@ -121,6 +130,10 @@ func New(cfg Config) *Server {
 		s.rejected = reg.Counter("server.rejected")
 		s.errs4xx = reg.Counter("server.errors_4xx")
 		s.errs5xx = reg.Counter("server.errors_5xx")
+		s.batches = reg.Counter("server.batches")
+		s.batchElems = reg.Counter("server.batch_elements")
+		s.coalesced = reg.Counter("server.batch_coalesced")
+		reg.Gauge("server.batches_inflight", s.BatchesInFlight)
 		reg.Gauge("server.inflight", s.adm.InFlight)
 		reg.Gauge("server.queued", s.adm.Queued)
 		reg.Gauge("server.draining", func() int64 {
@@ -159,6 +172,10 @@ func New(cfg Config) *Server {
 
 // Runner exposes the process-wide evaluation runner (tests and warmup).
 func (s *Server) Runner() *eval.Runner { return s.runner }
+
+// BatchesInFlight reports how many batches are currently streaming — the
+// signal sentineld's drain log uses to show in-flight batches completing.
+func (s *Server) BatchesInFlight() int64 { return s.batchesInFlight.Load() }
 
 // Handler returns the root handler serving every endpoint.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -207,6 +224,7 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/schedule", s.v1("/v1/schedule", s.handleSchedule))
 	s.mux.HandleFunc("POST /v1/simulate", s.v1("/v1/simulate", s.handleSimulate))
+	s.mux.HandleFunc("POST /v1/batch", s.v1("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/figures", s.v1("/v1/figures", s.handleFigures))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)

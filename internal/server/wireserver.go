@@ -1,0 +1,254 @@
+package server
+
+// The binary batch protocol's server side (see internal/wire for the frame
+// format). A connection carries sequential request frames; each frame is
+// one batch — admitted as a single unit, answered with a response frame
+// whose elements stream back in completion order through the same runBatch
+// engine as POST /v1/batch, so the two entry points cannot drift.
+//
+// Deployment is either a dedicated listener (ServeWire, sentineld's
+// -wire-addr) or the main HTTP port: SniffWire peeks each fresh
+// connection's first byte — the wire magic's 0xF7 can never begin an HTTP
+// method — and routes the connection to whichever protocol it speaks.
+//
+// Error discipline mirrors the HTTP envelope vocabulary at two levels.
+// Frame-level refusals (overload, draining, malformed bytes) are error
+// frames: overload and pre-admission timeout leave the connection usable
+// for retries, while malformed framing and draining close it (the former
+// because resynchronization is impossible, the latter because the server
+// is going away). Element-level failures never surface here at all — they
+// are tagged response elements carrying the endpoint's own JSON error
+// envelope.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"sentinel/internal/obs"
+	"sentinel/internal/wire"
+)
+
+// wireBufSize sizes the per-connection read and write buffers: large enough
+// that a typical 64-element request frame arrives in one read.
+const wireBufSize = 32 << 10
+
+// sniffTimeout bounds how long a fresh connection may sit silent before the
+// sniffer gives up on it — a slot-exhaustion guard, not a request deadline.
+const sniffTimeout = 30 * time.Second
+
+// wireLimits mirrors the HTTP endpoints' bounds: same element ceiling as
+// /v1/batch, same per-payload cap as the JSON body limit.
+var wireLimits = wire.Limits{MaxElems: maxBatchElems, MaxPayload: maxBodyBytes}
+
+// ServeWire accepts wire-protocol connections from l until it closes, one
+// goroutine per connection. Returns l's Accept error.
+func (s *Server) ServeWire(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeWireConn(conn)
+	}
+}
+
+// ServeWireConn serves the binary batch protocol on one connection until
+// clean close, transport error, or a poisoned stream. Closes conn.
+func (s *Server) ServeWireConn(conn net.Conn) {
+	s.serveWireBuffered(bufio.NewReaderSize(conn, wireBufSize), conn)
+}
+
+// serveWireBuffered is ServeWireConn for a connection whose first bytes
+// were already buffered by the protocol sniffer.
+func (s *Server) serveWireBuffered(br *bufio.Reader, conn net.Conn) {
+	defer conn.Close()
+	bw := bufio.NewWriterSize(conn, wireBufSize)
+	fb := getFrameBuf()
+	defer putFrameBuf(fb)
+	for {
+		fr, err := wire.ReadRequest(br, wireLimits)
+		if err != nil {
+			var pe *wire.ProtocolError
+			if errors.As(err, &pe) {
+				// Malformed framing poisons the stream: answer with an error
+				// frame and close — there is no way to find the next frame
+				// boundary.
+				fb.b = wire.AppendError(fb.b[:0], pe.Code, pe.Msg)
+				bw.Write(fb.b) //nolint:errcheck // closing either way
+				bw.Flush()     //nolint:errcheck
+			}
+			return // io.EOF between frames is the clean close
+		}
+		keep := s.serveWireFrame(bw, fb, fr)
+		if bw.Flush() != nil || !keep {
+			return
+		}
+	}
+}
+
+// serveWireFrame admits and answers one batch frame, reporting whether the
+// connection should stay open.
+func (s *Server) serveWireFrame(bw *bufio.Writer, fb *frameBuf, fr *wire.ReqFrame) bool {
+	var t0 time.Time
+	if s.reqTime != nil {
+		t0 = time.Now()
+	}
+	var rd *obs.Record
+	if s.rec != nil {
+		rd = s.rec.Begin("/wire/batch")
+	}
+	status := http.StatusOK
+	defer func() { rd.Finish(status) }()
+
+	// The frame's timeout_ms may shorten (never extend) the server default,
+	// exactly like ?timeout_ms= on the HTTP side.
+	timeout := s.cfg.RequestTimeout
+	if d := time.Duration(fr.TimeoutMS) * time.Millisecond; fr.TimeoutMS > 0 && d < timeout {
+		timeout = d
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if rd != nil {
+		ctx = obs.ContextWithRecord(ctx, rd)
+	}
+
+	// One admission slot per frame, however many elements it carries.
+	rd.Start(obs.StageAdmission, obs.ArgNone)
+	release, err := s.adm.acquire(ctx)
+	rd.End()
+	if err != nil {
+		s.rejected.Inc()
+		ae := toAPIError(err)
+		status = ae.Status
+		code, keepOpen := wireRefusal(err)
+		fb.b = wire.AppendError(fb.b[:0], code, ae.Message)
+		bw.Write(fb.b) //nolint:errcheck // flush in the caller decides
+		return keepOpen
+	}
+	defer release()
+	s.reqs.Inc()
+	s.batches.Inc()
+	s.batchElems.Add(int64(len(fr.Elems)))
+	s.batchesInFlight.Add(1)
+	defer s.batchesInFlight.Add(-1)
+
+	elems := make([]batchElem, len(fr.Elems))
+	for i := range fr.Elems {
+		elems[i] = batchElem{payload: fr.Elems[i].Payload, tag: fr.Elems[i].Tag, op: fr.Elems[i].Op}
+	}
+	fb.b = wire.AppendResponseHeader(fb.b[:0], len(elems))
+	bw.Write(fb.b) //nolint:errcheck // a latched write error surfaces at Flush
+	s.runBatch(ctx, elems, func(i, st int, body []byte) {
+		fb.b = wire.AppendElemHeader(fb.b[:0], elems[i].tag, st, len(body))
+		bw.Write(fb.b) //nolint:errcheck
+		bw.Write(body) //nolint:errcheck
+		bw.Flush()     //nolint:errcheck // stream each element as it completes
+	})
+	if s.reqTime != nil {
+		s.reqTime.Observe(time.Since(t0).Nanoseconds())
+	}
+	return true
+}
+
+// wireRefusal maps an admission error onto its error-frame code and whether
+// the connection survives (overload and timeout are retryable on the same
+// connection; draining and anything unexpected are not).
+func wireRefusal(err error) (code int, keepOpen bool) {
+	switch {
+	case errors.Is(err, errOverload):
+		return wire.ErrOverload, true
+	case isContextErr(err):
+		return wire.ErrTimeout, true
+	case errors.Is(err, errDraining):
+		return wire.ErrDraining, false
+	default:
+		return wire.ErrInternal, false
+	}
+}
+
+// SniffWire splits l between the two protocols: connections whose first
+// byte is the wire magic are served by s's wire handler on their own
+// goroutines; everything else (HTTP can only start with an ASCII method
+// letter) is delivered through the returned listener, which the caller
+// hands to its http.Server. Closing the returned listener closes l.
+func (s *Server) SniffWire(l net.Listener) net.Listener {
+	sl := &sniffListener{inner: l, conns: make(chan net.Conn), done: make(chan struct{})}
+	go sl.accept(s)
+	return sl
+}
+
+// sniffListener adapts the sniffing accept loop to the net.Listener
+// contract the HTTP server expects.
+type sniffListener struct {
+	inner net.Listener
+	conns chan net.Conn
+	done  chan struct{}
+	err   error // Accept error from inner; written before done closes
+	once  sync.Once
+}
+
+func (l *sniffListener) accept(s *Server) {
+	for {
+		conn, err := l.inner.Accept()
+		if err != nil {
+			l.err = err
+			l.once.Do(func() { close(l.done) })
+			return
+		}
+		go func() {
+			// The peek is bounded so an idle connection cannot pin its
+			// goroutine forever; the deadline is lifted before serving.
+			br := bufio.NewReaderSize(conn, wireBufSize)
+			conn.SetReadDeadline(time.Now().Add(sniffTimeout)) //nolint:errcheck
+			first, err := br.Peek(1)
+			if err != nil {
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+			if first[0] == wire.MagicByte0 {
+				s.serveWireBuffered(br, conn)
+				return
+			}
+			select {
+			case l.conns <- &sniffedConn{Conn: conn, br: br}:
+			case <-l.done:
+				conn.Close()
+			}
+		}()
+	}
+}
+
+func (l *sniffListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		if l.err != nil {
+			return nil, l.err
+		}
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *sniffListener) Close() error {
+	err := l.inner.Close()
+	l.once.Do(func() { close(l.done) })
+	return err
+}
+
+func (l *sniffListener) Addr() net.Addr { return l.inner.Addr() }
+
+// sniffedConn replays the peeked byte(s): reads drain the sniffer's buffer
+// before touching the socket.
+type sniffedConn struct {
+	net.Conn
+	br *bufio.Reader
+}
+
+func (c *sniffedConn) Read(p []byte) (int, error) { return c.br.Read(p) }

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode pins the decoder's defensive contract: arbitrary bytes —
+// malformed, truncated, oversized, adversarial varints — always yield a
+// structured error (io.EOF on a clean close, *ProtocolError otherwise),
+// never a panic, a hang, or an allocation beyond the declared limits. A
+// successfully decoded frame must also re-encode to bytes that decode to
+// the same frame (the round-trip invariant the server and load client
+// depend on).
+func FuzzWireDecode(f *testing.F) {
+	// Seeds: a well-formed single-element frame, a multi-element frame, a
+	// keep-alive pair, an error frame, and classic near-misses.
+	valid := AppendRequest(nil, &ReqFrame{TimeoutMS: 250, Elems: []ReqElem{
+		{Tag: 0, Op: OpSimulate, Payload: []byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)},
+	}})
+	multi := AppendRequest(nil, &ReqFrame{Elems: []ReqElem{
+		{Tag: 1, Op: OpSimulate, Payload: []byte(`{"workload":"wc"}`)},
+		{Tag: 2, Op: OpSchedule, Payload: []byte(`{"workload":"grep","width":2}`)},
+		{Tag: 3, Op: OpSimulate, Payload: nil},
+	}})
+	f.Add(valid)
+	f.Add(multi)
+	f.Add(append(append([]byte{}, valid...), multi...))
+	f.Add(AppendError(nil, ErrDraining, "server is draining"))
+	f.Add(valid[:len(valid)-7])                  // truncated payload
+	f.Add([]byte("POST /v1/batch HTTP/1.1\r\n")) // HTTP on the wire port
+	f.Add([]byte{0xF7, 'S', 'B', 'W', Version, KindRequest, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Add([]byte{0xF7, 'S', 'B', 'W', Version, KindRequest, 0, 0xff, 0xff, 0xff, 0x07})
+
+	lim := Limits{MaxElems: 64, MaxPayload: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for {
+			fr, err := ReadRequest(br, lim)
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return // clean end of stream
+				}
+				var pe *ProtocolError
+				if !errors.As(err, &pe) {
+					t.Fatalf("ReadRequest returned a non-protocol error: %v", err)
+				}
+				return // a protocol error poisons the connection; stop like the server does
+			}
+			if len(fr.Elems) == 0 || len(fr.Elems) > lim.MaxElems {
+				t.Fatalf("decoded %d elements outside (0, %d]", len(fr.Elems), lim.MaxElems)
+			}
+			for i, e := range fr.Elems {
+				if len(e.Payload) > lim.MaxPayload {
+					t.Fatalf("element %d payload %d exceeds limit", i, len(e.Payload))
+				}
+				if e.Op != OpSimulate && e.Op != OpSchedule {
+					t.Fatalf("element %d decoded with invalid op %d", i, e.Op)
+				}
+			}
+			// Round-trip: re-encoding the decoded frame must decode equal.
+			re := AppendRequest(nil, fr)
+			fr2, err := ReadRequest(bufio.NewReader(bytes.NewReader(re)), lim)
+			if err != nil {
+				t.Fatalf("re-encoded frame failed to decode: %v", err)
+			}
+			if fr2.TimeoutMS != fr.TimeoutMS || len(fr2.Elems) != len(fr.Elems) {
+				t.Fatalf("round trip mismatch: %+v vs %+v", fr2, fr)
+			}
+			for i := range fr.Elems {
+				if fr2.Elems[i].Tag != fr.Elems[i].Tag || fr2.Elems[i].Op != fr.Elems[i].Op ||
+					!bytes.Equal(fr2.Elems[i].Payload, fr.Elems[i].Payload) {
+					t.Fatalf("round trip element %d mismatch", i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzWireDecodeResponse drives the client-side decoders with the same
+// contract: arbitrary bytes never panic or hang.
+func FuzzWireDecodeResponse(f *testing.F) {
+	resp := AppendResponseHeader(nil, 1)
+	resp = AppendElemHeader(resp, 3, 200, 2)
+	resp = append(resp, '{', '}')
+	f.Add(resp)
+	f.Add(AppendError(nil, ErrOverload, "admission queue full; retry later"))
+
+	lim := Limits{MaxElems: 64, MaxPayload: 1 << 16}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		n, err := ReadResponseHeader(br, lim)
+		if err != nil {
+			var pe *ProtocolError
+			if !errors.Is(err, io.EOF) && !errors.As(err, &pe) {
+				t.Fatalf("ReadResponseHeader returned a non-protocol error: %v", err)
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			_, _, plen, err := ReadElemHeader(br, lim)
+			if err != nil {
+				var pe *ProtocolError
+				if !errors.As(err, &pe) {
+					t.Fatalf("ReadElemHeader returned a non-protocol error: %v", err)
+				}
+				return
+			}
+			if _, err := br.Discard(plen); err != nil {
+				return // truncated payload: transport-level, connection drops
+			}
+		}
+	})
+}

@@ -1,0 +1,352 @@
+// Package wire is the length-prefixed binary batch protocol: the framing
+// that lets one TCP round trip carry many schedule/simulate requests and
+// stream their results back as they complete. It is the cold-path analogue
+// of the response-byte cache — where the cache removes marshal work from
+// warm repeats, this framing removes per-request HTTP parsing, header
+// traffic and admission round-trips from cold misses, amortizing them over
+// a whole frame.
+//
+// Every frame starts with a fixed header:
+//
+//	magic   4 bytes  0xF7 'S' 'B' 'W'   (0xF7 never begins an HTTP method,
+//	                                     so one listener can sniff the first
+//	                                     byte and split protocols)
+//	version 1 byte   0x01
+//	kind    1 byte   1 request, 2 response, 3 error
+//
+// All integers beyond the header are unsigned LEB128 varints. Frame bodies:
+//
+//	request:  timeout_ms | count | count × (tag, op byte, len, payload)
+//	response: count | count × (tag, status, len, payload), completion order
+//	error:    code | len | message
+//
+// Element payloads are exactly the JSON bodies of the single-request HTTP
+// endpoints (request side) and exactly their response envelopes (response
+// side) — the protocol only frames bytes, it never re-encodes them, which
+// is what keeps batched responses byte-identical to unbatched ones.
+//
+// Decoding is defensive by construction: every length is bounded before any
+// allocation, varints are capped at 10 bytes and 2^31-1, and a truncated or
+// malformed frame yields a *ProtocolError — never a panic, an unbounded
+// read, or an unbounded allocation (FuzzWireDecode pins this).
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic is the 4-byte frame preamble. The leading byte is deliberately
+// outside ASCII so it can never collide with an HTTP method line.
+var Magic = [4]byte{0xF7, 'S', 'B', 'W'}
+
+// MagicByte0 is the first magic byte — the single byte a protocol-sniffing
+// listener needs to peek to route a fresh connection.
+const MagicByte0 = 0xF7
+
+// Version is the protocol version this package speaks.
+const Version = 1
+
+// Frame kinds.
+const (
+	KindRequest  = 1
+	KindResponse = 2
+	KindError    = 3
+)
+
+// Element opcodes: which single-request endpoint the payload addresses.
+const (
+	OpSimulate = 1
+	OpSchedule = 2
+)
+
+// Error-frame codes. They mirror the HTTP error vocabulary so a wire client
+// and an HTTP client can share retry logic.
+const (
+	ErrMalformed = 1 // unparseable or over-limit frame; the connection closes
+	ErrOverload  = 2 // admission queue full; retry later
+	ErrDraining  = 3 // server shutting down; the connection closes
+	ErrTimeout   = 4 // batch deadline expired before the frame was admitted
+	ErrInternal  = 5
+)
+
+// Varint ceiling: no length, tag, status or count in a valid frame exceeds
+// this, so the decoder can reject early without looking at limits.
+const maxVarint = 1<<31 - 1
+
+// ProtocolError is a structured framing error: malformed input on the
+// decode side, or a received error frame on the client side. It is the only
+// error kind (besides transport errors) the decoder returns for bad bytes.
+type ProtocolError struct {
+	Code int
+	Msg  string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("wire: protocol error %d: %s", e.Code, e.Msg)
+}
+
+func malformedf(format string, args ...any) *ProtocolError {
+	return &ProtocolError{Code: ErrMalformed, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Limits bounds what a decoder will accept. The zero value selects the
+// defaults (1024 elements, 4 MiB payloads — matching the HTTP endpoints'
+// body limit).
+type Limits struct {
+	MaxElems   int
+	MaxPayload int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxElems <= 0 {
+		l.MaxElems = 1024
+	}
+	if l.MaxPayload <= 0 {
+		l.MaxPayload = 4 << 20
+	}
+	return l
+}
+
+// ReqElem is one element of a request frame: a tag the client chooses (the
+// response echoes it, so results can stream in completion order), the
+// opcode, and the single-endpoint JSON request body.
+type ReqElem struct {
+	Payload []byte
+	Tag     uint32
+	Op      byte
+}
+
+// ReqFrame is one decoded batch request.
+type ReqFrame struct {
+	Elems     []ReqElem
+	TimeoutMS uint32
+}
+
+// readUvarint reads a bounded LEB128 varint: at most 10 bytes, value at
+// most maxVarint. Returns io.EOF only when the stream ends before the first
+// byte (so callers can distinguish a clean close from a truncated frame).
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	var v uint64
+	for i := 0; i < 10; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if i == 0 {
+				return 0, err
+			}
+			return 0, truncated(err)
+		}
+		v |= uint64(b&0x7f) << (7 * i)
+		if b < 0x80 {
+			if v > maxVarint {
+				return 0, malformedf("varint %d exceeds limit", v)
+			}
+			return v, nil
+		}
+	}
+	return 0, malformedf("varint longer than 10 bytes")
+}
+
+// truncated maps an unexpected mid-frame EOF onto a ProtocolError.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return malformedf("truncated frame")
+	}
+	return err
+}
+
+// readHeader consumes and validates magic+version and returns the kind.
+// A clean EOF before the first byte surfaces as io.EOF.
+func readHeader(br *bufio.Reader) (kind byte, err error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, io.EOF
+		}
+		return 0, err
+	}
+	if _, err := io.ReadFull(br, hdr[1:]); err != nil {
+		return 0, truncated(err)
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		return 0, malformedf("bad magic %x", hdr[:4])
+	}
+	if hdr[4] != Version {
+		return 0, malformedf("unsupported version %d (want %d)", hdr[4], Version)
+	}
+	return hdr[5], nil
+}
+
+// ReadRequest decodes one request frame. io.EOF (clean connection close
+// between frames) is returned verbatim; any malformed, truncated or
+// over-limit input yields a *ProtocolError.
+func ReadRequest(br *bufio.Reader, lim Limits) (*ReqFrame, error) {
+	lim = lim.withDefaults()
+	kind, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindRequest {
+		return nil, malformedf("unexpected frame kind %d (want request)", kind)
+	}
+	timeoutMS, err := readUvarint(br)
+	if err != nil {
+		return nil, truncated(err)
+	}
+	count, err := readUvarint(br)
+	if err != nil {
+		return nil, truncated(err)
+	}
+	if count == 0 {
+		return nil, malformedf("empty batch")
+	}
+	if count > uint64(lim.MaxElems) {
+		return nil, malformedf("batch of %d elements exceeds limit %d", count, lim.MaxElems)
+	}
+	fr := &ReqFrame{TimeoutMS: uint32(timeoutMS), Elems: make([]ReqElem, count)}
+	for i := range fr.Elems {
+		tag, err := readUvarint(br)
+		if err != nil {
+			return nil, truncated(err)
+		}
+		op, err := br.ReadByte()
+		if err != nil {
+			return nil, truncated(err)
+		}
+		if op != OpSimulate && op != OpSchedule {
+			return nil, malformedf("element %d: unknown opcode %d", i, op)
+		}
+		plen, err := readUvarint(br)
+		if err != nil {
+			return nil, truncated(err)
+		}
+		if plen > uint64(lim.MaxPayload) {
+			return nil, malformedf("element %d: payload of %d bytes exceeds limit %d", i, plen, lim.MaxPayload)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, truncated(err)
+		}
+		fr.Elems[i] = ReqElem{Tag: uint32(tag), Op: op, Payload: payload}
+	}
+	return fr, nil
+}
+
+// appendUvarint appends v as LEB128.
+func appendUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+func appendHeader(dst []byte, kind byte) []byte {
+	dst = append(dst, Magic[:]...)
+	return append(dst, Version, kind)
+}
+
+// AppendRequest serializes a request frame onto dst — the client-side
+// encoder, shaped for preserialization (a load generator renders each frame
+// once and writes the same bytes forever).
+func AppendRequest(dst []byte, fr *ReqFrame) []byte {
+	dst = appendHeader(dst, KindRequest)
+	dst = appendUvarint(dst, uint64(fr.TimeoutMS))
+	dst = appendUvarint(dst, uint64(len(fr.Elems)))
+	for _, e := range fr.Elems {
+		dst = appendUvarint(dst, uint64(e.Tag))
+		dst = append(dst, e.Op)
+		dst = appendUvarint(dst, uint64(len(e.Payload)))
+		dst = append(dst, e.Payload...)
+	}
+	return dst
+}
+
+// AppendResponseHeader starts a response frame of count elements.
+func AppendResponseHeader(dst []byte, count int) []byte {
+	dst = appendHeader(dst, KindResponse)
+	return appendUvarint(dst, uint64(count))
+}
+
+// AppendElemHeader appends one response element's header; the caller writes
+// plen payload bytes immediately after.
+func AppendElemHeader(dst []byte, tag uint32, status int, plen int) []byte {
+	dst = appendUvarint(dst, uint64(tag))
+	dst = appendUvarint(dst, uint64(status))
+	return appendUvarint(dst, uint64(plen))
+}
+
+// AppendError serializes an error frame.
+func AppendError(dst []byte, code int, msg string) []byte {
+	dst = appendHeader(dst, KindError)
+	dst = appendUvarint(dst, uint64(code))
+	dst = appendUvarint(dst, uint64(len(msg)))
+	return append(dst, msg...)
+}
+
+// ReadResponseHeader decodes a response frame's header and returns its
+// element count. A received error frame is surfaced as *ProtocolError with
+// the sender's code and message.
+func ReadResponseHeader(br *bufio.Reader, lim Limits) (count int, err error) {
+	lim = lim.withDefaults()
+	kind, err := readHeader(br)
+	if err != nil {
+		return 0, err
+	}
+	switch kind {
+	case KindError:
+		code, err := readUvarint(br)
+		if err != nil {
+			return 0, truncated(err)
+		}
+		mlen, err := readUvarint(br)
+		if err != nil {
+			return 0, truncated(err)
+		}
+		if mlen > 1<<16 {
+			return 0, malformedf("error message of %d bytes exceeds limit", mlen)
+		}
+		msg := make([]byte, mlen)
+		if _, err := io.ReadFull(br, msg); err != nil {
+			return 0, truncated(err)
+		}
+		return 0, &ProtocolError{Code: int(code), Msg: string(msg)}
+	case KindResponse:
+		n, err := readUvarint(br)
+		if err != nil {
+			return 0, truncated(err)
+		}
+		if n == 0 || n > uint64(lim.MaxElems) {
+			return 0, malformedf("response of %d elements exceeds limit %d", n, lim.MaxElems)
+		}
+		return int(n), nil
+	default:
+		return 0, malformedf("unexpected frame kind %d (want response)", kind)
+	}
+}
+
+// ReadElemHeader decodes one response element's header. The caller must
+// consume exactly plen payload bytes from br before the next call — with
+// io.ReadFull to keep them, or br.Discard to drop them (the load client's
+// path: latency accounting without body retention).
+func ReadElemHeader(br *bufio.Reader, lim Limits) (tag uint32, status int, plen int, err error) {
+	lim = lim.withDefaults()
+	t, err := readUvarint(br)
+	if err != nil {
+		return 0, 0, 0, truncated(err)
+	}
+	st, err := readUvarint(br)
+	if err != nil {
+		return 0, 0, 0, truncated(err)
+	}
+	n, err := readUvarint(br)
+	if err != nil {
+		return 0, 0, 0, truncated(err)
+	}
+	if n > uint64(lim.MaxPayload) {
+		return 0, 0, 0, malformedf("element payload of %d bytes exceeds limit %d", n, lim.MaxPayload)
+	}
+	return uint32(t), int(st), int(n), nil
+}
