@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"sentinel/internal/core"
+	"sentinel/internal/fingerprint"
+	"sentinel/internal/fleet"
 	"sentinel/internal/machine"
 	"sentinel/internal/mem"
 	"sentinel/internal/obs"
@@ -230,6 +232,41 @@ func benchServeBatch() ([]benchRecord, error) {
 	return recs, nil
 }
 
+// benchFleetRoute measures the router's per-request routing decision —
+// count-min sketch touch, hot check, consistent-hash lookup — the fixed
+// overhead sentinelfront adds in front of every proxied request. It must
+// stay alloc-free and three orders of magnitude under the serve rows.
+func benchFleetRoute() (benchRecord, error) {
+	rt, err := fleet.New(fleet.Config{
+		Backends:      []string{"a:1", "b:2", "c:3"},
+		ProbeInterval: -1, // no prober: the decision, not the health plane
+	})
+	if err != nil {
+		return benchRecord{}, err
+	}
+	defer rt.Close()
+	keys := make([]fingerprint.Key, 1024)
+	for i := range keys {
+		keys[i] = fingerprint.RawRequest("/v1/simulate", "",
+			[]byte(fmt.Sprintf("bench-key-%d", i)))
+	}
+	var bad bool
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			addr, _ := rt.Route(keys[i&1023])
+			if addr == "" {
+				bad = true
+				b.FailNow()
+			}
+		}
+	})
+	if bad {
+		return benchRecord{}, fmt.Errorf("benchjson: FleetRoute found no eligible backend")
+	}
+	return record("FleetRoute", r), nil
+}
+
 // writeBenchJSON measures the two dense-index hot paths — list scheduling
 // and the simulator inner loop — on the kernels with the largest superblocks
 // and writes BENCH_schedule.json and BENCH_sim.json into dir. The files are
@@ -351,6 +388,11 @@ func writeBenchJSON(dir string) error {
 		return err
 	}
 	serveRecs = append(serveRecs, batchRecs...)
+	fleetRec, err := benchFleetRoute()
+	if err != nil {
+		return err
+	}
+	serveRecs = append(serveRecs, fleetRec)
 
 	for _, f := range []struct {
 		name string

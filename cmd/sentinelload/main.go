@@ -4,6 +4,8 @@
 //
 //	sentinelload -addr http://localhost:8649 -duration 10s -c 8
 //	sentinelload -rps 500 -duration 30s -workloads cmp,wc,grep,matrix300
+//	sentinelload -fleet -duration 10s -c 16             # drive a sentinelfront router
+//	sentinelload -targets a:8649,b:8649 -duration 10s   # spread workers across targets
 //
 // Two driving modes:
 //
@@ -79,6 +81,8 @@ func (r result) requestID() string {
 // config is everything main's flags select; run is the testable core.
 type config struct {
 	addr      string
+	targets   string
+	fleet     bool
 	duration  time.Duration
 	conc      int
 	rps       float64
@@ -92,9 +96,18 @@ type config struct {
 	batch     int
 }
 
+// Default bases for the two deployment shapes: a single sentineld, or a
+// sentinelfront router fronting the fleet (-fleet).
+const (
+	defaultAddr      = "http://127.0.0.1:8649"
+	defaultFleetAddr = "http://127.0.0.1:8650"
+)
+
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8649", "base URL of the sentineld server")
+	flag.StringVar(&cfg.addr, "addr", defaultAddr, "base URL of the sentineld server (or sentinelfront router); accepts a comma-separated list")
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated base URLs to spread load across (overrides -addr)")
+	flag.BoolVar(&cfg.fleet, "fleet", false, "drive a sentinelfront router: default the target to "+defaultFleetAddr+" when -addr/-targets are not set")
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to drive load")
 	flag.IntVar(&cfg.conc, "c", 8, "concurrency: closed-loop workers, or the open-loop in-flight cap")
 	flag.Float64Var(&cfg.rps, "rps", 0, "open-loop target arrival rate in req/s (0 = closed loop)")
@@ -127,9 +140,10 @@ func encodeBodies(cfg config) ([][]byte, error) {
 	return bodies, nil
 }
 
-// hostFromAddr reduces the -addr base URL to a raw dial target. The closed
-// loop speaks HTTP/1.1 over plain TCP, so only http (or schemeless) bases
-// are accepted there.
+// hostFromAddr reduces one base URL to a raw dial target. The closed loop
+// speaks HTTP/1.1 over plain TCP, so only http (or schemeless) bases are
+// accepted there. IPv6 literals work in every spelling: bracketed with a
+// port ("[::1]:8649"), bracketed bare ("[::1]"), or raw ("::1").
 func hostFromAddr(addr string) (string, error) {
 	host := addr
 	if strings.Contains(addr, "://") {
@@ -146,9 +160,68 @@ func hostFromAddr(addr string) (string, error) {
 		return "", fmt.Errorf("no host in -addr %q", addr)
 	}
 	if _, _, err := net.SplitHostPort(host); err != nil {
+		// No port. JoinHostPort adds brackets itself, so an already-bracketed
+		// IPv6 literal must shed them first or it would come out
+		// double-bracketed ("[[::1]]:80").
+		if strings.HasPrefix(host, "[") && strings.HasSuffix(host, "]") {
+			host = host[1 : len(host)-1]
+		}
 		host = net.JoinHostPort(host, "80")
 	}
 	return host, nil
+}
+
+// hostsFromAddr expands a comma-separated target list into raw dial
+// targets, one per entry.
+func hostsFromAddr(addrs string) ([]string, error) {
+	var hosts []string
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		h, err := hostFromAddr(a)
+		if err != nil {
+			return nil, err
+		}
+		hosts = append(hosts, h)
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("no targets in %q", addrs)
+	}
+	return hosts, nil
+}
+
+// baseURLs expands a comma-separated target list into normalized http base
+// URLs for the open loop's net/http client.
+func baseURLs(addrs string) ([]string, error) {
+	var urls []string
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		urls = append(urls, strings.TrimSuffix(a, "/"))
+	}
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("no targets in %q", addrs)
+	}
+	return urls, nil
+}
+
+// resolveTargets applies the precedence -targets > -addr, with -fleet
+// switching the untouched default onto the router's port.
+func resolveTargets(cfg config) string {
+	if cfg.targets != "" {
+		return cfg.targets
+	}
+	if cfg.fleet && cfg.addr == defaultAddr {
+		return defaultFleetAddr
+	}
+	return cfg.addr
 }
 
 // rawRequest renders one complete HTTP/1.1 request — line, headers, body —
@@ -564,10 +637,12 @@ func run(cfg config, out, errOut io.Writer) int {
 	var results []result
 	start := time.Now()
 	var wg sync.WaitGroup
+	targets := resolveTargets(cfg)
 	if cfg.rps <= 0 && cfg.batch > 0 {
 		// Closed loop, batched: conc raw-TCP workers each keep one wire
-		// frame in flight, sharing the preserialized frame bytes.
-		host, err := hostFromAddr(cfg.addr)
+		// frame in flight, sharing the preserialized frame bytes. Workers
+		// spread round-robin across the target list.
+		hosts, err := hostsFromAddr(targets)
 		if err != nil {
 			fmt.Fprintf(errOut, "sentinelload: %v\n", err)
 			return 2
@@ -575,7 +650,7 @@ func run(cfg config, out, errOut io.Writer) int {
 		frame := buildBatchFrame(cfg, bodies)
 		workers := make([]*batchWorker, cfg.conc)
 		for i := range workers {
-			workers[i] = &batchWorker{host: host, frame: frame, timeout: cfg.timeout, wid: i}
+			workers[i] = &batchWorker{host: hosts[i%len(hosts)], frame: frame, timeout: cfg.timeout, wid: i}
 		}
 		for w := 0; w < cfg.conc; w++ {
 			wg.Add(1)
@@ -594,15 +669,16 @@ func run(cfg config, out, errOut io.Writer) int {
 		}
 	} else if cfg.rps <= 0 {
 		// Closed loop: conc raw-TCP workers, one request in flight each, no
-		// shared state between them until the merge below.
-		host, err := hostFromAddr(cfg.addr)
+		// shared state between them until the merge below. Workers spread
+		// round-robin across the target list.
+		hosts, err := hostsFromAddr(targets)
 		if err != nil {
 			fmt.Fprintf(errOut, "sentinelload: %v\n", err)
 			return 2
 		}
 		workers := make([]*worker, cfg.conc)
 		for i := range workers {
-			workers[i] = newWorker(host, path, i, bodies, cfg.timeout)
+			workers[i] = newWorker(hosts[i%len(hosts)], path, i, bodies, cfg.timeout)
 		}
 		for w := 0; w < cfg.conc; w++ {
 			wg.Add(1)
@@ -624,8 +700,13 @@ func run(cfg config, out, errOut io.Writer) int {
 		// (arrivals beyond the cap are dropped and counted as errors —
 		// the server would see them as queue pressure anyway). Arrivals
 		// spawn goroutines, so recording goes through a mutex here; the
-		// rate limiter, not the allocator, dominates this mode.
-		url := strings.TrimSuffix(cfg.addr, "/") + path
+		// rate limiter, not the allocator, dominates this mode. Arrivals
+		// spread round-robin across the target list.
+		bases, err := baseURLs(targets)
+		if err != nil {
+			fmt.Fprintf(errOut, "sentinelload: %v\n", err)
+			return 2
+		}
 		client := &http.Client{
 			Timeout: cfg.timeout,
 			Transport: &http.Transport{
@@ -643,9 +724,9 @@ func run(cfg config, out, errOut io.Writer) int {
 		if cfg.batch > 0 {
 			// Batched arrivals: each tick posts one /v1/batch frame; every
 			// streamed element header becomes its own result.
-			batchURL := strings.TrimSuffix(cfg.addr, "/") + "/v1/batch"
 			frame := buildBatchBody(cfg, bodies)
 			shoot = func(i int) {
+				batchURL := bases[i%len(bases)] + "/v1/batch"
 				req, err := http.NewRequest(http.MethodPost, batchURL, bytes.NewReader(frame))
 				if err != nil {
 					record(result{wid: -1, seq: int32(i), err: true})
@@ -676,7 +757,7 @@ func run(cfg config, out, errOut io.Writer) int {
 		} else {
 			shoot = func(i int) {
 				body := bodies[i%len(bodies)]
-				req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, bases[i%len(bases)]+path, bytes.NewReader(body))
 				if err != nil {
 					record(result{wid: -1, seq: int32(i), err: true})
 					return

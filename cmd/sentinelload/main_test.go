@@ -297,7 +297,8 @@ func TestWorkerParsesErrorStatus(t *testing.T) {
 	}
 }
 
-// TestHostFromAddr covers the base-URL-to-dial-target reduction.
+// TestHostFromAddr covers the base-URL-to-dial-target reduction, IPv6
+// literals in every spelling included.
 func TestHostFromAddr(t *testing.T) {
 	for _, tc := range []struct {
 		in, want string
@@ -307,6 +308,15 @@ func TestHostFromAddr(t *testing.T) {
 		{in: "127.0.0.1:8649", want: "127.0.0.1:8649"},
 		{in: "http://example.com", want: "example.com:80"},
 		{in: "https://example.com", wantErr: true},
+		// IPv6: bracketed with port, bracketed bare, raw — all must come out
+		// as a dialable [host]:port, never double-bracketed.
+		{in: "http://[::1]:8649", want: "[::1]:8649"},
+		{in: "[::1]:8649", want: "[::1]:8649"},
+		{in: "http://[::1]", want: "[::1]:80"},
+		{in: "[::1]", want: "[::1]:80"},
+		{in: "::1", want: "[::1]:80"},
+		{in: "[2001:db8::7]:8650", want: "[2001:db8::7]:8650"},
+		{in: "2001:db8::7", want: "[2001:db8::7]:80"},
 	} {
 		got, err := hostFromAddr(tc.in)
 		if tc.wantErr != (err != nil) {
@@ -316,5 +326,61 @@ func TestHostFromAddr(t *testing.T) {
 		if !tc.wantErr && got != tc.want {
 			t.Errorf("hostFromAddr(%q) = %q, want %q", tc.in, got, tc.want)
 		}
+	}
+}
+
+// TestHostsFromAddr covers the comma-separated target list: every entry
+// reduces independently, whitespace is tolerated, one bad entry fails the
+// whole list.
+func TestHostsFromAddr(t *testing.T) {
+	got, err := hostsFromAddr("http://a:8649, b:8651 ,[::1],c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a:8649", "b:8651", "[::1]:80", "c:80"}
+	if len(got) != len(want) {
+		t.Fatalf("hostsFromAddr = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("hostsFromAddr[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := hostsFromAddr("a:8649,https://b"); err == nil {
+		t.Fatal("https entry in the list did not fail")
+	}
+	if _, err := hostsFromAddr(" , "); err == nil {
+		t.Fatal("empty list did not fail")
+	}
+}
+
+// TestBaseURLs covers the open loop's target normalization.
+func TestBaseURLs(t *testing.T) {
+	got, err := baseURLs("http://a:8649/,b:8651")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://a:8649", "http://b:8651"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("baseURLs[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResolveTargets pins the flag precedence: -targets beats -addr, and
+// -fleet only redirects the untouched default.
+func TestResolveTargets(t *testing.T) {
+	if got := resolveTargets(config{addr: defaultAddr, targets: "x:1,y:2"}); got != "x:1,y:2" {
+		t.Fatalf("targets not preferred: %q", got)
+	}
+	if got := resolveTargets(config{addr: defaultAddr, fleet: true}); got != defaultFleetAddr {
+		t.Fatalf("-fleet did not redirect the default addr: %q", got)
+	}
+	if got := resolveTargets(config{addr: "http://x:9", fleet: true}); got != "http://x:9" {
+		t.Fatalf("-fleet overrode an explicit -addr: %q", got)
+	}
+	if got := resolveTargets(config{addr: "http://x:9"}); got != "http://x:9" {
+		t.Fatalf("plain addr mangled: %q", got)
 	}
 }

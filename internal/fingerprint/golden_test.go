@@ -1,0 +1,132 @@
+package fingerprint
+
+// The golden test: the canonical serialization is a cross-process contract.
+// The fleet router (internal/fleet) consistent-hashes these exact bytes to
+// pick a backend, and the backend (internal/server) keys its response-byte
+// cache by them — if either side's serialization drifts, identical requests
+// stop landing where their caches are warm and the fleet's hit rate
+// silently collapses. Any intentional change to the serialization must
+// update these digests AND redeploy router and backends together.
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"sentinel/internal/machine"
+)
+
+func resolved(t *testing.T, model string, width int, predictor string) machine.Desc {
+	t.Helper()
+	md, err := machine.Resolve(model, width, predictor)
+	if err != nil {
+		t.Fatalf("Resolve(%q,%d,%q): %v", model, width, predictor, err)
+	}
+	return md
+}
+
+// TestGoldenKeys pins the fingerprint bytes for a matrix of representative
+// requests. These digests were computed once and must never change by
+// accident.
+func TestGoldenKeys(t *testing.T) {
+	cases := []struct {
+		name string
+		key  func(t *testing.T) Key
+		want string
+	}{
+		{"simulate/cmp-stores-w8", func(t *testing.T) Key {
+			return Simulate("cmp", "", resolved(t, "sentinel+stores", 8, ""))
+		}, "96d58ad33b8b4e372093d7559f7ad8757bc45235bdda531eb4e951d84408d0e1"},
+		{"simulate/defaults", func(t *testing.T) Key {
+			return Simulate("cmp", "", resolved(t, "", 0, ""))
+		}, "bc4d5b465796d69f5b49713ef17848421a02cee4435bb5ab844681858ea44c63"},
+		{"simulate/inline-source", func(t *testing.T) Key {
+			return Simulate("", "r1 = add r0, r0", resolved(t, "general", 2, "tage"))
+		}, "0010c31b6e76d6a4778549baf7fd862e2a8c41652fb87baa04e3c73b2d17b8a1"},
+		{"schedule/formed", func(t *testing.T) Key {
+			return Schedule("cmp", "", resolved(t, "sentinel+stores", 8, ""), true)
+		}, "c0fe8cb2f85a1582b31adc361ddf29d4912becb3b783e8913ee42e7f8b10c457"},
+		{"schedule/unformed", func(t *testing.T) Key {
+			return Schedule("cmp", "", resolved(t, "sentinel+stores", 8, ""), false)
+		}, "cc65e7eb7d6e7b43b46264b534586bc11315cb45453fcfec275d5b810cf63f8f"},
+		{"figures/all", func(t *testing.T) Key {
+			return Figures(true, true, true, true, true, true, true, true, true, true)
+		}, "7f6375280234207cd217651769141cdada2933606058455dea12476a5a6c0c50"},
+		{"figures/fig4", func(t *testing.T) Key {
+			return Figures(true, false, false, false, false, false, false, false, false, false)
+		}, "40c23c5d51681bf394d2c4e89380410bcad458d1c8515208c6a47fafe5dee888"},
+		{"raw/simulate-body", func(t *testing.T) Key {
+			return RawRequest("/v1/simulate", "", []byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`))
+		}, "d67313e54821d652f272c9c25db3b946a5d5703bd51232d16e2bdffd413f3d9f"},
+		{"raw/figures-query", func(t *testing.T) Key {
+			return RawRequest("/v1/figures", "section=fig4", nil)
+		}, "6e4f5296d67dbdfa32cf10fab23b3266d2a5ae475ffa18e98818599e710ee12c"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := hex.EncodeToString(func() []byte { k := tc.key(t); return k[:] }())
+			if got != tc.want {
+				t.Errorf("fingerprint drifted:\n got %s\nwant %s\n(router/backend cache affinity would silently split)", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAliasEquivalence: textual variants of the same machine must
+// fingerprint identically — it is what lets the router unify "sentinel",
+// "" and width-0-vs-8 onto one backend.
+func TestAliasEquivalence(t *testing.T) {
+	base := Simulate("wc", "", resolved(t, "sentinel", 8, "perfect"))
+	for _, alt := range []struct {
+		model     string
+		width     int
+		predictor string
+	}{
+		{"", 0, ""},
+		{"sentinel", 0, "perfect"},
+		{"", 8, ""},
+	} {
+		got := Simulate("wc", "", resolved(t, alt.model, alt.width, alt.predictor))
+		if got != base {
+			t.Errorf("Resolve(%q,%d,%q) fingerprints differently from the canonical form",
+				alt.model, alt.width, alt.predictor)
+		}
+	}
+	if stores := Simulate("wc", "", resolved(t, "stores", 0, "")); stores == base {
+		t.Error("'stores' alias collided with 'sentinel'")
+	} else if canonical := Simulate("wc", "", resolved(t, "sentinel+stores", 8, "")); stores != canonical {
+		t.Error("'stores' alias fingerprints differently from 'sentinel+stores'")
+	}
+}
+
+// TestTagDisjointness: the same logical inputs under different endpoint
+// tags must never collide.
+func TestTagDisjointness(t *testing.T) {
+	md := resolved(t, "sentinel", 8, "")
+	if Simulate("cmp", "", md) == Schedule("cmp", "", md, true) {
+		t.Error("simulate and schedule keys collided")
+	}
+	if got := [4]byte{TagSimulate, TagSchedule, TagFigures, TagRaw}; got != [4]byte{1, 2, 3, 4} {
+		t.Errorf("endpoint tag bytes changed: %v (pinned 1,2,3,4)", got)
+	}
+}
+
+// TestRawRequestInto: the scratch-reusing variant must agree with
+// RawRequest byte for byte, including across reuses of the same scratch.
+func TestRawRequestInto(t *testing.T) {
+	var scratch []byte
+	cases := []struct {
+		path, query string
+		body        []byte
+	}{
+		{"/v1/simulate", "", []byte(`{"workload":"cmp"}`)},
+		{"/v1/schedule", "timeout_ms=50", []byte(`{"workload":"wc","model":"general"}`)},
+		{"/v1/figures", "section=fig5", nil},
+	}
+	for _, tc := range cases {
+		var got Key
+		got, scratch = RawRequestInto(scratch, tc.path, tc.query, tc.body)
+		if want := RawRequest(tc.path, tc.query, tc.body); got != want {
+			t.Errorf("RawRequestInto(%q,%q) != RawRequest", tc.path, tc.query)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package fleet
+
+// Per-backend state: the pooled HTTP client for the proxied hop, the pooled
+// wire-protocol connections, and the health view the eligibility predicate
+// reads on every routing decision.
+//
+// Health is two signals, updated two ways. The prober polls /readyz: 200
+// means ready, a 503 "draining" body means the backend is shutting down
+// gracefully (alive — it finishes what it holds — but must receive no new
+// keys), anything else means not ready. The proxy path adds a reactive
+// edge: a connect failure marks the backend not-ready immediately, without
+// waiting out a probe interval, so the retry-with-reroute and every
+// subsequent routing decision steer around it at once; the prober's next
+// 200 brings it back. Backends start optimistically ready so the router
+// serves before the first probe completes.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sentinel/internal/obs"
+	"sentinel/internal/wire"
+)
+
+// backend is one sentineld process behind the router.
+type backend struct {
+	addr string // host:port, as configured (ring placement hashes this)
+	base string // "http://" + addr
+
+	client   *http.Client   // proxied-hop client; per-backend keep-alive pool
+	wirePool chan *wireConn // idle wire-protocol connections
+
+	ready    atomic.Bool  // last probe (or reactive edge) verdict
+	draining atomic.Bool  // /readyz said "draining"
+	failures atomic.Int32 // consecutive failed probes
+	inflight atomic.Int64 // proxied requests + wire exchanges in flight
+
+	// Per-backend routing counters. Standalone by default ( /fleet/status
+	// reads them); a configured registry replaces them with its own so they
+	// appear in /metrics too.
+	hashed  *obs.Counter // requests routed here as ring owner
+	spilled *obs.Counter // hot-key requests spilled here
+}
+
+// newBackend builds the backend handle and its connection pools.
+func newBackend(addr string, dialTimeout time.Duration, wirePoolSize int) *backend {
+	b := &backend{
+		addr:     addr,
+		base:     "http://" + addr,
+		wirePool: make(chan *wireConn, wirePoolSize),
+		hashed:   new(obs.Counter),
+		spilled:  new(obs.Counter),
+	}
+	dialer := &net.Dialer{Timeout: dialTimeout, KeepAlive: 30 * time.Second}
+	b.client = &http.Client{
+		Transport: &http.Transport{
+			DialContext:         dialer.DialContext,
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	b.ready.Store(true)
+	return b
+}
+
+// eligible reports whether new keys may route here.
+func (b *backend) eligible() bool { return b.ready.Load() && !b.draining.Load() }
+
+// close tears down both pools.
+func (b *backend) close() {
+	b.client.CloseIdleConnections()
+	for {
+		select {
+		case wc := <-b.wirePool:
+			wc.conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// wireConn is one pooled wire-protocol connection to a backend. An exchange
+// owns the connection exclusively (the protocol is sequential per
+// connection); a connection that sees any transport or framing error is
+// closed instead of returned.
+type wireConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// getWire returns an idle pooled connection or dials a fresh one. pooled
+// tells the caller whether a failure might just be a stale keep-alive (the
+// backend closed it under the pool's feet) rather than a dead backend.
+func (b *backend) getWire(dialTimeout time.Duration) (wc *wireConn, pooled bool, err error) {
+	select {
+	case wc := <-b.wirePool:
+		return wc, true, nil
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", b.addr, dialTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	return &wireConn{conn: conn, br: bufio.NewReaderSize(conn, wire.SniffBufSize)}, false, nil
+}
+
+// putWire returns a healthy connection to the pool (closing it when full).
+func (b *backend) putWire(wc *wireConn) {
+	wc.conn.SetDeadline(time.Time{}) //nolint:errcheck
+	select {
+	case b.wirePool <- wc:
+	default:
+		wc.conn.Close()
+	}
+}
+
+// probeLoop polls every backend until stop closes. One goroutine per
+// router; backends are probed concurrently within a round so one hung
+// backend cannot delay the verdict on the others.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	tick := time.NewTicker(rt.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-tick.C:
+			done := make(chan struct{}, len(rt.backends))
+			for _, b := range rt.backends {
+				go func(b *backend) { rt.probe(b); done <- struct{}{} }(b)
+			}
+			for range rt.backends {
+				<-done
+			}
+		}
+	}
+}
+
+// probe polls one backend's /readyz and folds the verdict into its health
+// state, logging transitions.
+func (rt *Router) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/readyz", nil)
+	if err != nil {
+		return
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		if int(b.failures.Add(1)) >= rt.cfg.FailureThreshold && b.ready.Swap(false) {
+			rt.logf("fleet: backend %s unhealthy (%d consecutive probe failures): %v",
+				b.addr, b.failures.Load(), err)
+		}
+		return
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		b.failures.Store(0)
+		wasDraining := b.draining.Swap(false)
+		if !b.ready.Swap(true) || wasDraining {
+			rt.logf("fleet: backend %s ready", b.addr)
+		}
+	case bytes.HasPrefix(body, []byte("draining")):
+		// Alive but going away: stop sending new keys, let it finish.
+		b.failures.Store(0)
+		if !b.draining.Swap(true) {
+			rt.logf("fleet: backend %s draining; rerouting new keys", b.addr)
+		}
+	default:
+		// Warming or otherwise not ready: ineligible immediately (no
+		// failure threshold — the backend itself said not-ready).
+		b.failures.Store(0)
+		if b.ready.Swap(false) {
+			rt.logf("fleet: backend %s not ready (%d %s)", b.addr, resp.StatusCode,
+				bytes.TrimSpace(body))
+		}
+	}
+}
+
+// noteDialFailure is the reactive unhealthy edge: a proxied hop that could
+// not connect marks the backend down now, so the current request's retry
+// and every following routing decision avoid it until a probe succeeds.
+func (rt *Router) noteDialFailure(b *backend) {
+	b.failures.Store(int32(rt.cfg.FailureThreshold))
+	if b.ready.Swap(false) {
+		rt.logf("fleet: backend %s unreachable; rerouting", b.addr)
+	}
+}

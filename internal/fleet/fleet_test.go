@@ -1,0 +1,614 @@
+package fleet_test
+
+// Fleet integration: real backends (the full serving stack on real TCP
+// listeners, both protocols sniffed on one port — exactly sentineld's
+// deployment) behind a real router. These tests pin the subsystem's three
+// contracts: affinity (identical requests land on one backend, so its
+// caches concentrate), fidelity (a proxied response is byte-identical to a
+// direct one, error envelopes included, over HTTP and wire alike), and
+// availability (backend death and drain reroute without surfacing errors
+// beyond the backends' own refusal vocabulary).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sentinel/internal/fleet"
+	"sentinel/internal/obs"
+	"sentinel/internal/server"
+	"sentinel/internal/wire"
+	"sentinel/internal/workload"
+)
+
+// testBackend is one in-process sentineld: server, sniffing listener, and
+// the registry its cache counters live in.
+type testBackend struct {
+	srv     *server.Server
+	reg     *obs.Registry
+	httpSrv *http.Server
+	addr    string
+}
+
+func startBackend(t *testing.T) *testBackend {
+	t.Helper()
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{Workers: 2, Registry: reg})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &testBackend{
+		srv:     srv,
+		reg:     reg,
+		httpSrv: &http.Server{Handler: srv.Handler()},
+		addr:    ln.Addr().String(),
+	}
+	go b.httpSrv.Serve(srv.SniffWire(ln)) //nolint:errcheck
+	t.Cleanup(func() { b.httpSrv.Close() })
+	return b
+}
+
+// promValue scrapes one metric value out of a registry's Prometheus text.
+func promValue(t *testing.T, reg *obs.Registry, metric string) int64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^` + metric + ` (\d+)$`).FindStringSubmatch(buf.String())
+	if m == nil {
+		return 0
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// startFleet launches n backends and a router over them, returning the
+// router's base URL and raw address alongside the pieces.
+func startFleet(t *testing.T, n int, tweak func(*fleet.Config)) ([]*testBackend, *fleet.Router, string) {
+	t.Helper()
+	backends := make([]*testBackend, n)
+	addrs := make([]string, n)
+	for i := range backends {
+		backends[i] = startBackend(t)
+		addrs[i] = backends[i].addr
+	}
+	cfg := fleet.Config{
+		Backends:      addrs,
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	rt, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	go httpSrv.Serve(rt.SniffWire(ln)) //nolint:errcheck
+	t.Cleanup(func() { httpSrv.Close() })
+	return backends, rt, ln.Addr().String()
+}
+
+// response captures everything byte-identity compares.
+type response struct {
+	status  int
+	ctype   string
+	body    []byte
+	backend string // X-Fleet-Backend, empty on direct responses
+}
+
+func post(t *testing.T, base, path string, body []byte) response {
+	t.Helper()
+	resp, err := http.Post("http://"+base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s%s: %v", base, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return response{
+		status:  resp.StatusCode,
+		ctype:   resp.Header.Get("Content-Type"),
+		body:    b,
+		backend: resp.Header.Get("X-Fleet-Backend"),
+	}
+}
+
+func get(t *testing.T, base, path string) response {
+	t.Helper()
+	resp, err := http.Get("http://" + base + path)
+	if err != nil {
+		t.Fatalf("GET %s%s: %v", base, path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return response{
+		status:  resp.StatusCode,
+		ctype:   resp.Header.Get("Content-Type"),
+		body:    b,
+		backend: resp.Header.Get("X-Fleet-Backend"),
+	}
+}
+
+// TestFleetByteIdentityAndAffinity is the tentpole's acceptance pin: every
+// workload × simulate/schedule proxied through a 3-backend fleet answers
+// byte-identically to a direct backend call, repeats land on the owner, and
+// error envelopes relay untouched.
+func TestFleetByteIdentityAndAffinity(t *testing.T) {
+	backends, _, router := startFleet(t, 3, nil)
+	byAddr := map[string]*testBackend{}
+	for _, b := range backends {
+		byAddr[b.addr] = b
+	}
+
+	var repeats, onOwner int
+	check := func(path string, body []byte) {
+		t.Helper()
+		proxied := post(t, router, path, body)
+		if proxied.backend == "" {
+			t.Fatalf("%s %s: proxied response carries no X-Fleet-Backend", path, body)
+		}
+		if byAddr[proxied.backend] == nil {
+			t.Fatalf("%s: unknown backend %q", path, proxied.backend)
+		}
+		direct := post(t, proxied.backend, path, body)
+		if direct.status != proxied.status {
+			t.Fatalf("%s %s: proxied status %d, direct %d", path, body, proxied.status, direct.status)
+		}
+		if direct.ctype != proxied.ctype {
+			t.Fatalf("%s %s: proxied Content-Type %q, direct %q", path, body, proxied.ctype, direct.ctype)
+		}
+		if !bytes.Equal(direct.body, proxied.body) {
+			t.Fatalf("%s %s: proxied body differs from direct:\nproxied: %s\ndirect:  %s",
+				path, body, proxied.body, direct.body)
+		}
+		// Affinity: repeats of the identical request stay on the backend the
+		// first one chose.
+		for i := 0; i < 2; i++ {
+			repeats++
+			if post(t, router, path, body).backend == proxied.backend {
+				onOwner++
+			}
+		}
+	}
+
+	all := workload.All()
+	if len(all) != 17 {
+		t.Fatalf("workload registry has %d benchmarks, want 17", len(all))
+	}
+	for _, wl := range all {
+		body := []byte(fmt.Sprintf(`{"workload":%q,"model":"sentinel","width":4}`, wl.Name))
+		check("/v1/simulate", body)
+		check("/v1/schedule", body)
+	}
+	// Error envelopes relay byte-for-byte too: unknown workload (canonical
+	// key), unknown model and malformed JSON (raw-key fallback).
+	check("/v1/simulate", []byte(`{"workload":"nope","model":"sentinel"}`))
+	check("/v1/simulate", []byte(`{"workload":"cmp","model":"warp-drive"}`))
+	check("/v1/schedule", []byte(`{"workload":`))
+
+	if frac := float64(onOwner) / float64(repeats); frac < 0.95 {
+		t.Fatalf("only %.1f%% of %d repeats landed on the ring owner, want >= 95%%", 100*frac, repeats)
+	}
+
+	// GET /v1/figures proxies byte-identically as well.
+	proxied := get(t, router, "/v1/figures?section=table3")
+	direct := get(t, proxied.backend, "/v1/figures?section=table3")
+	if proxied.status != direct.status || !bytes.Equal(proxied.body, direct.body) {
+		t.Fatalf("figures proxied (%d, %d bytes) != direct (%d, %d bytes)",
+			proxied.status, len(proxied.body), direct.status, len(direct.body))
+	}
+}
+
+// TestFleetRespcacheConcentration: hammering one request through the router
+// warms exactly one backend's response-byte cache — the cache-affinity the
+// whole subsystem exists to buy.
+func TestFleetRespcacheConcentration(t *testing.T) {
+	backends, _, router := startFleet(t, 3, nil)
+	body := []byte(`{"workload":"wc","model":"sentinel","width":4}`)
+	const n = 20
+	owner := ""
+	for i := 0; i < n; i++ {
+		r := post(t, router, "/v1/simulate", body)
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.status, r.body)
+		}
+		if owner == "" {
+			owner = r.backend
+		} else if r.backend != owner {
+			t.Fatalf("request %d landed on %s, earlier ones on %s", i, r.backend, owner)
+		}
+	}
+	var ownerHits, otherHits int64
+	for _, b := range backends {
+		hits := promValue(t, b.reg, "server_respcache_hits")
+		if b.addr == owner {
+			ownerHits = hits
+		} else {
+			otherHits += hits
+		}
+	}
+	// First request misses (and fills), every repeat hits. The canonical
+	// fingerprint keys both, so hits concentrate entirely on the owner.
+	if ownerHits < n-2 {
+		t.Errorf("owner %s respcache hits = %d, want >= %d", owner, ownerHits, n-2)
+	}
+	if otherHits != 0 {
+		t.Errorf("non-owner backends saw %d respcache hits, want 0 (affinity leaked)", otherHits)
+	}
+}
+
+// TestFleetRebalanceOnDeath: killing a backend reroutes its keyspace to the
+// ring successor without a client-visible error — the request that
+// discovers the corpse retries, later ones route around it, and the
+// surviving backends keep their own keys.
+func TestFleetRebalanceOnDeath(t *testing.T) {
+	backends, _, router := startFleet(t, 3, func(c *fleet.Config) {
+		c.FailureThreshold = 1
+	})
+	// Find bodies owned by two different backends so we can watch one move
+	// and one stay.
+	ownerOf := map[string]string{}
+	var bodies [][]byte
+	for i := 0; len(ownerOf) < 2 && i < 64; i++ {
+		body := []byte(fmt.Sprintf(`{"workload":"cmp","model":"sentinel","width":4,"predictor":%q}`,
+			[]string{"perfect", "static", "tage"}[i%3]))
+		// Vary the body textually instead: distinct raw strings with the same
+		// canonical meaning would collapse, so vary width across 2/4/8.
+		body = []byte(fmt.Sprintf(`{"workload":"cmp","model":"sentinel","width":%d}`, 2+2*(i%4)))
+		r := post(t, router, "/v1/simulate", body)
+		if r.status != http.StatusOK {
+			t.Fatalf("probe body %s: status %d", body, r.status)
+		}
+		if _, seen := ownerOf[string(body)]; !seen {
+			ownerOf[string(body)] = r.backend
+			bodies = append(bodies, body)
+		}
+	}
+	if len(bodies) < 2 {
+		t.Skip("could not find keys on two distinct backends") // vanishingly unlikely
+	}
+	victimAddr := ownerOf[string(bodies[0])]
+	var victim *testBackend
+	for _, b := range backends {
+		if b.addr == victimAddr {
+			victim = b
+		}
+	}
+	victim.httpSrv.Close()
+
+	// The very next request for the dead backend's key must succeed via the
+	// bounded retry — no error surfaces to the client.
+	r := post(t, router, "/v1/simulate", bodies[0])
+	if r.status != http.StatusOK {
+		t.Fatalf("request after backend death: status %d: %s", r.status, r.body)
+	}
+	if r.backend == victimAddr {
+		t.Fatalf("request after death still reports dead backend %s", victimAddr)
+	}
+	successor := r.backend
+
+	// Keys owned by survivors never move.
+	for _, body := range bodies[1:] {
+		if got := post(t, router, "/v1/simulate", body).backend; got != ownerOf[string(body)] {
+			t.Fatalf("survivor-owned key moved %s -> %s on an unrelated death", ownerOf[string(body)], got)
+		}
+	}
+	// And the displaced key settles on its successor for subsequent requests
+	// (reactive health marking — no probe wait needed).
+	for i := 0; i < 3; i++ {
+		r := post(t, router, "/v1/simulate", bodies[0])
+		if r.status != http.StatusOK || r.backend != successor {
+			t.Fatalf("displaced key bounced: status %d backend %s (successor %s)", r.status, r.backend, successor)
+		}
+	}
+}
+
+// TestFleetDrainMidLoad is the drain-interaction pin: a backend draining
+// mid-load finishes what it holds while the router reroutes new keys; the
+// load client observes nothing outside the 200/429/503 vocabulary, and
+// after the probe notices, the drained backend receives no new keys at all.
+func TestFleetDrainMidLoad(t *testing.T) {
+	backends, _, router := startFleet(t, 3, func(c *fleet.Config) {
+		c.ProbeInterval = 20 * time.Millisecond
+	})
+
+	var bodies [][]byte
+	for _, wl := range []string{"cmp", "wc", "grep", "eqntott", "lex", "tbl"} {
+		bodies = append(bodies, []byte(fmt.Sprintf(`{"workload":%q,"model":"sentinel","width":4}`, wl)))
+	}
+	// Warm every key so the load phase measures steady state, and learn the
+	// owners so we can pick a victim that owns traffic.
+	owners := map[string]string{}
+	for _, b := range bodies {
+		r := post(t, router, "/v1/simulate", b)
+		if r.status != http.StatusOK {
+			t.Fatalf("warm %s: status %d", b, r.status)
+		}
+		owners[string(b)] = r.backend
+	}
+	var victim *testBackend
+	for _, b := range backends {
+		if b.addr == owners[string(bodies[0])] {
+			victim = b
+		}
+	}
+
+	type shot struct {
+		status  int
+		backend string
+		late    bool // fired after the drain settled
+	}
+	var mu sync.Mutex
+	var shots []shot
+	var drained sync.WaitGroup
+	stop := make(chan struct{})
+	settled := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for i := w; ; i += 6 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body := bodies[i%len(bodies)]
+				resp, err := client.Post("http://"+router+"/v1/simulate", "application/json", bytes.NewReader(body))
+				s := shot{}
+				if err != nil {
+					s.status = -1
+				} else {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					s.status = resp.StatusCode
+					s.backend = resp.Header.Get("X-Fleet-Backend")
+				}
+				select {
+				case <-settled:
+					s.late = true
+				default:
+				}
+				mu.Lock()
+				shots = append(shots, s)
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	// SIGTERM-equivalent on the victim: stop admitting, finish in-flight.
+	drained.Add(1)
+	var drainErr error
+	go func() {
+		defer drained.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr = victim.srv.Drain(ctx)
+	}()
+	drained.Wait()
+	// Give the prober a couple of rounds to observe the drain, then mark
+	// everything after this point as "late": no late shot may hit the victim.
+	time.Sleep(100 * time.Millisecond)
+	close(settled)
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if drainErr != nil {
+		t.Fatalf("victim drain did not settle: %v (in-flight requests were not finished)", drainErr)
+	}
+	var total, lateOnVictim int
+	for _, s := range shots {
+		total++
+		switch s.status {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Fatalf("load observed status %d — outside the 200/429/503 vocabulary", s.status)
+		}
+		if s.late && s.backend == victim.addr {
+			lateOnVictim++
+		}
+	}
+	if total < 50 {
+		t.Fatalf("load produced only %d shots; test is not exercising concurrency", total)
+	}
+	if lateOnVictim > 0 {
+		t.Errorf("%d shots landed on the draining backend after the probe window", lateOnVictim)
+	}
+}
+
+// TestFleetHotKeySpill: a fingerprint hammered past the threshold spreads
+// across the fleet instead of serializing its ring owner, and /fleet/status
+// accounts the spills per backend.
+func TestFleetHotKeySpill(t *testing.T) {
+	_, _, router := startFleet(t, 3, func(c *fleet.Config) {
+		c.HotThreshold = 10
+	})
+	body := []byte(`{"workload":"cmp","model":"sentinel","width":4}`)
+	hit := map[string]int{}
+	for i := 0; i < 60; i++ {
+		r := post(t, router, "/v1/simulate", body)
+		if r.status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.status, r.body)
+		}
+		hit[r.backend]++
+	}
+	if len(hit) < 3 {
+		t.Fatalf("hot key reached only %d backends (%v), want all 3 via spill", len(hit), hit)
+	}
+	var status struct {
+		Backends []struct {
+			Addr    string `json:"addr"`
+			Hashed  int64  `json:"hashed"`
+			Spilled int64  `json:"spilled"`
+		} `json:"backends"`
+	}
+	r := get(t, router, "/fleet/status")
+	if err := json.Unmarshal(r.body, &status); err != nil {
+		t.Fatalf("fleet/status: %v\n%s", err, r.body)
+	}
+	var spilled int64
+	for _, b := range status.Backends {
+		spilled += b.Spilled
+	}
+	if spilled < 40 {
+		t.Errorf("fleet/status accounts %d spilled routes for 60 hot requests past threshold 10", spilled)
+	}
+}
+
+// TestFleetWireByteIdentity: a wire batch through the router answers every
+// element with exactly the payload a direct backend exchange produces —
+// decodable and malformed elements alike — with tags passed through.
+func TestFleetWireByteIdentity(t *testing.T) {
+	backends, _, router := startFleet(t, 3, nil)
+	frame := wire.AppendRequest(nil, &wire.ReqFrame{Elems: []wire.ReqElem{
+		{Tag: 1, Op: wire.OpSimulate, Payload: []byte(`{"workload":"cmp","model":"sentinel","width":4}`)},
+		{Tag: 2, Op: wire.OpSchedule, Payload: []byte(`{"workload":"wc","model":"sentinel","width":4}`)},
+		{Tag: 3, Op: wire.OpSimulate, Payload: []byte(`{"workload":"nope","model":"sentinel"}`)},
+		{Tag: 4, Op: wire.OpSchedule, Payload: []byte(`not json`)},
+	}})
+
+	exchange := func(addr string) map[uint32]response {
+		t.Helper()
+		conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		count, err := wire.ReadResponseHeader(br, wire.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[uint32]response{}
+		for i := 0; i < count; i++ {
+			tag, status, plen, err := wire.ReadElemHeader(br, wire.Limits{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := make([]byte, plen)
+			if _, err := io.ReadFull(br, payload); err != nil {
+				t.Fatal(err)
+			}
+			out[tag] = response{status: status, body: payload}
+		}
+		return out
+	}
+
+	proxied := exchange(router)
+	direct := exchange(backends[0].addr)
+	if len(proxied) != 4 || len(direct) != 4 {
+		t.Fatalf("proxied answered %d tags, direct %d, want 4", len(proxied), len(direct))
+	}
+	for tag, d := range direct {
+		p, ok := proxied[tag]
+		if !ok {
+			t.Fatalf("tag %d missing from proxied response", tag)
+		}
+		if p.status != d.status {
+			t.Errorf("tag %d: proxied status %d, direct %d", tag, p.status, d.status)
+		}
+		if !bytes.Equal(p.body, d.body) {
+			t.Errorf("tag %d: proxied payload differs from direct:\nproxied: %s\ndirect:  %s", tag, p.body, d.body)
+		}
+	}
+}
+
+// TestFleetRouterEndpoints: the router's own surface — health, readiness
+// through drain and fleet death, and the observability pages.
+func TestFleetRouterEndpoints(t *testing.T) {
+	backends, rt, router := startFleet(t, 2, func(c *fleet.Config) {
+		c.FailureThreshold = 1
+		c.Registry = obs.NewRegistry()
+		c.Recorder = obs.NewRecorder(obs.RecorderConfig{Entries: 16, Every: 1})
+	})
+	if r := get(t, router, "/healthz"); r.status != http.StatusOK || string(r.body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", r.status, r.body)
+	}
+	if r := get(t, router, "/readyz"); r.status != http.StatusOK || string(r.body) != "ready\n" {
+		t.Fatalf("readyz = %d %q", r.status, r.body)
+	}
+	// One proxied request so the recorder and histogram have something.
+	if r := post(t, router, "/v1/simulate", []byte(`{"workload":"cmp","model":"sentinel","width":4}`)); r.status != http.StatusOK {
+		t.Fatalf("proxied request = %d: %s", r.status, r.body)
+	}
+	if r := get(t, router, "/metrics"); r.status != http.StatusOK ||
+		!strings.Contains(string(r.body), "fleet_requests") {
+		t.Fatalf("metrics missing fleet_requests:\n%s", r.body)
+	}
+	if r := get(t, router, "/debug/requests"); r.status != http.StatusOK ||
+		!strings.Contains(string(r.body), "sentinelfront") {
+		t.Fatalf("debug/requests = %d, want the sentinelfront flight-recorder page", r.status)
+	}
+	if r := get(t, router, "/fleet/status"); r.status != http.StatusOK ||
+		!strings.Contains(string(r.body), backends[0].addr) {
+		t.Fatalf("fleet/status does not list backend %s:\n%s", backends[0].addr, r.body)
+	}
+
+	// Kill the whole fleet: readyz flips to "no ready backend" once probes
+	// notice, and proxied requests answer with the unavailable envelope.
+	for _, b := range backends {
+		b.httpSrv.Close()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if r := get(t, router, "/readyz"); r.status == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never noticed the whole fleet dying")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	r := post(t, router, "/v1/simulate", []byte(`{"workload":"cmp","model":"sentinel","width":4}`))
+	if r.status != http.StatusServiceUnavailable || !strings.Contains(string(r.body), "unavailable") {
+		t.Fatalf("fleet-wide death answered %d %q, want 503 unavailable envelope", r.status, r.body)
+	}
+
+	// Router drain: readyz reports draining, proxied requests refuse with
+	// the backends' own draining envelope.
+	rt.StartDrain()
+	if r := get(t, router, "/readyz"); r.status != http.StatusServiceUnavailable || string(r.body) != "draining\n" {
+		t.Fatalf("draining readyz = %d %q", r.status, r.body)
+	}
+	if r := post(t, router, "/v1/simulate", []byte(`{}`)); r.status != http.StatusServiceUnavailable ||
+		!strings.Contains(string(r.body), `"draining"`) {
+		t.Fatalf("draining proxied request = %d %q", r.status, r.body)
+	}
+}

@@ -1,0 +1,80 @@
+// Package fleet is the cluster layer over sentineld: a router that
+// terminates both HTTP/JSON and the binary wire protocol, fingerprints each
+// request with the same canonical serialization the backends key their
+// response-byte caches with (internal/fingerprint), and consistent-hashes
+// the fingerprint onto a ring of backends — so identical requests always
+// land where their compile artifacts, singleflight entries and response
+// bytes are already warm, making every per-process cache fleet-wide for
+// free.
+//
+// Around the ring: active /readyz probing with drain-aware removal (a
+// draining backend stops receiving new keys but finishes what it holds),
+// one bounded retry onto the ring successor when a backend cannot be
+// reached (every proxied op is idempotent — simulate, schedule and figures
+// are pure functions of the request), and a count-min sketch that detects
+// hot fingerprints and spills them round-robin across the whole fleet so
+// one hot cell warms every backend's cache instead of serializing its
+// owner.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle owned
+// by backend index idx.
+type ringPoint struct {
+	hash uint64
+	idx  uint16
+}
+
+// ring is a consistent-hash ring over the backend set. The backend set is
+// fixed at construction — membership changes are expressed through the
+// eligibility predicate at lookup time, not by rebuilding the ring, so a
+// backend that recovers gets its exact old keyspace back (and its still-warm
+// caches with it).
+type ring struct {
+	points []ringPoint
+}
+
+// newRing builds the ring: vnodes virtual nodes per backend, each placed at
+// sha256(addr + "#" + replica). Placement depends only on the configured
+// address strings, so every router instance over the same backend list
+// computes the same ring.
+func newRing(addrs []string, vnodes int) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(addrs)*vnodes)}
+	for i, addr := range addrs {
+		for v := 0; v < vnodes; v++ {
+			sum := sha256.Sum256([]byte(addr + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{
+				hash: binary.LittleEndian.Uint64(sum[:8]),
+				idx:  uint16(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// pick returns the first eligible backend at or clockwise from h, skipping
+// backend `skip` (pass -1 to skip none) — so pick(h, owner, eligible) is the
+// retry successor: the next distinct backend that would inherit h's keyspace
+// if the owner left the ring. Returns -1 when no backend qualifies.
+// Allocation-free: the walk visits at most every virtual node once.
+func (r *ring) pick(h uint64, skip int, eligible func(int) bool) int {
+	n := len(r.points)
+	if n == 0 {
+		return -1
+	}
+	i := sort.Search(n, func(j int) bool { return r.points[j].hash >= h })
+	for k := 0; k < n; k++ {
+		p := r.points[(i+k)%n]
+		if int(p.idx) != skip && eligible(int(p.idx)) {
+			return int(p.idx)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"sentinel/internal/fingerprint"
+)
+
+func allEligible(int) bool { return true }
+
+// testKeys returns n distinct fingerprints (raw-request keys over distinct
+// bodies — uniform, deterministic).
+func testKeys(n int) []fingerprint.Key {
+	keys := make([]fingerprint.Key, n)
+	for i := range keys {
+		keys[i] = fingerprint.RawRequest("/v1/simulate", "", []byte(fmt.Sprintf("key-%d", i)))
+	}
+	return keys
+}
+
+// TestRingDeterministic: placement depends only on the configured address
+// strings, so two rings over the same list agree on every key — the
+// property that lets any number of router instances front one fleet.
+func TestRingDeterministic(t *testing.T) {
+	addrs := []string{"a:1", "b:2", "c:3"}
+	r1, r2 := newRing(addrs, 64), newRing(addrs, 64)
+	for _, k := range testKeys(256) {
+		h := ringHash(k)
+		if got, want := r1.pick(h, -1, allEligible), r2.pick(h, -1, allEligible); got != want {
+			t.Fatalf("rings over identical addrs disagree: %d vs %d", got, want)
+		}
+	}
+}
+
+// TestRingEligibilityAtLookup: removing a backend moves only its keys (to
+// their ring successors), and restoring it returns exactly the old
+// placement — membership changes never rebuild the ring.
+func TestRingEligibilityAtLookup(t *testing.T) {
+	r := newRing([]string{"a:1", "b:2", "c:3"}, 64)
+	keys := testKeys(512)
+	owners := make([]int, len(keys))
+	for i, k := range keys {
+		owners[i] = r.pick(ringHash(k), -1, allEligible)
+		if owners[i] < 0 {
+			t.Fatalf("no owner for key %d with all eligible", i)
+		}
+	}
+	const down = 1
+	up := func(i int) bool { return i != down }
+	for i, k := range keys {
+		got := r.pick(ringHash(k), -1, up)
+		if got == down {
+			t.Fatalf("key %d routed to ineligible backend %d", i, down)
+		}
+		if owners[i] != down && got != owners[i] {
+			t.Fatalf("key %d moved %d -> %d though its owner stayed eligible", i, owners[i], got)
+		}
+		// The displaced keys land on the successor — which is what pick with
+		// skip=owner computes.
+		if owners[i] == down {
+			if want := r.pick(ringHash(k), down, allEligible); got != want {
+				t.Fatalf("key %d rerouted to %d, want ring successor %d", i, got, want)
+			}
+		}
+		// Recovery: the old owner gets its exact keyspace back.
+		if back := r.pick(ringHash(k), -1, allEligible); back != owners[i] {
+			t.Fatalf("key %d did not return to owner %d after recovery (got %d)", i, owners[i], back)
+		}
+	}
+}
+
+// TestRingDistribution: with the default vnode count no backend owns a
+// degenerate share of a uniform keyspace.
+func TestRingDistribution(t *testing.T) {
+	n := 4
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("backend-%d:8649", i)
+	}
+	r := newRing(addrs, 64)
+	counts := make([]int, n)
+	keys := testKeys(8000)
+	for _, k := range keys {
+		counts[r.pick(ringHash(k), -1, allEligible)]++
+	}
+	for i, c := range counts {
+		share := float64(c) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("backend %d owns %.1f%% of a uniform keyspace (counts %v)", i, 100*share, counts)
+		}
+	}
+}
+
+// TestRingNoEligible: pick degrades to -1, never loops or panics.
+func TestRingNoEligible(t *testing.T) {
+	r := newRing([]string{"a:1"}, 8)
+	if got := r.pick(42, -1, func(int) bool { return false }); got != -1 {
+		t.Fatalf("pick with nothing eligible = %d, want -1", got)
+	}
+	if got := r.pick(42, 0, allEligible); got != -1 {
+		t.Fatalf("pick skipping the only backend = %d, want -1", got)
+	}
+}
+
+// TestSketchEstimatesAndDecay: repeated touches of one key raise its
+// estimate past any threshold while a fresh key stays near zero, and the
+// decay window halves history so "hot" means hot recently.
+func TestSketchEstimatesAndDecay(t *testing.T) {
+	s := newSketch(0) // no decay for the counting half
+	hot := fingerprint.RawRequest("/v1/simulate", "", []byte("hot"))
+	var est uint32
+	for i := 0; i < 100; i++ {
+		est = s.touch(hot)
+	}
+	if est != 100 {
+		t.Fatalf("estimate after 100 touches = %d, want 100 (min-of-rows cannot undercount a lone key)", est)
+	}
+	if cold := s.touch(fingerprint.RawRequest("/v1/simulate", "", []byte("cold"))); cold > 2 {
+		t.Fatalf("cold key estimate = %d; collision across all 4 rows is wildly improbable", cold)
+	}
+
+	d := newSketch(64)
+	for i := 0; i < 64; i++ {
+		est = d.touch(hot)
+	}
+	// The 64th touch triggered the halving, so the next touch reads ~32.
+	if next := d.touch(hot); next > 40 {
+		t.Fatalf("estimate after decay window = %d, want roughly half of 64", next)
+	}
+}
+
+// TestRouteAllocFree pins the fast path: fingerprint-to-backend routing
+// (sketch touch + ring lookup) allocates nothing.
+func TestRouteAllocFree(t *testing.T) {
+	rt, err := New(Config{
+		Backends:      []string{"a:1", "b:2", "c:3"},
+		ProbeInterval: -1, // no prober; health is not under test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	keys := testKeys(64)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		rt.route(keys[i%len(keys)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("route allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// BenchmarkFleetRoute measures the routing decision itself — count-min
+// touch, hot check, ring binary search — the per-request overhead the
+// router adds before any proxying.
+func BenchmarkFleetRoute(b *testing.B) {
+	rt, err := New(Config{
+		Backends:      []string{"a:1", "b:2", "c:3"},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	keys := testKeys(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, _ := rt.route(keys[i&1023])
+		if idx < 0 {
+			b.Fatal("no backend")
+		}
+	}
+}

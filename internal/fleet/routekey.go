@@ -1,0 +1,171 @@
+package fleet
+
+// Routing keys: the router-side half of the canonical fingerprint contract.
+// For the decodable API shapes the router resolves the request exactly as
+// the backend will (shared machine.Resolve + shared fingerprint
+// serialization, pinned by internal/fingerprint's golden test), so textual
+// variants of one logical request — field order, whitespace, defaulted
+// width, model aliases — all hash to the backend whose caches that request
+// already warmed. Anything the router cannot decode falls back to the
+// raw-request fingerprint: still deterministic (the same bytes always land
+// on the same backend, so even malformed-request error envelopes get
+// response-cache affinity), just blind to textual variation.
+//
+// The router's decode is routing-only and deliberately lax — no
+// DisallowUnknownFields, no required-field policing beyond what the key
+// needs. The backend remains the sole authority on request validity; a
+// request the backend will reject still routes deterministically and comes
+// back with the backend's own envelope, byte-identical to a direct call.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net/url"
+
+	"sentinel/internal/fingerprint"
+	"sentinel/internal/machine"
+)
+
+// routeReq is the union of the simulate/schedule request fields the
+// canonical fingerprint depends on.
+type routeReq struct {
+	Workload   string `json:"workload"`
+	Source     string `json:"source"`
+	Model      string `json:"model"`
+	Predictor  string `json:"predictor"`
+	Width      int    `json:"width"`
+	Superblock *bool  `json:"superblock"`
+}
+
+// decodeRouteReq decodes body for routing. ok is false when the body does
+// not decode or does not resolve to one canonical (program, machine) pair.
+func decodeRouteReq(body []byte) (q routeReq, md machine.Desc, ok bool) {
+	if json.Unmarshal(body, &q) != nil {
+		return q, md, false
+	}
+	if (q.Workload == "") == (q.Source == "") {
+		return q, md, false // zero or both: the backend owns the error
+	}
+	md, err := machine.Resolve(q.Model, q.Width, q.Predictor)
+	if err != nil {
+		return q, md, false
+	}
+	return q, md, true
+}
+
+// simulateRouteKey fingerprints a simulate body canonically. Fault-injected
+// and Full runs share the plain run's key on purpose: they are uncacheable,
+// but their compile artifacts are the same, so owner affinity is still
+// exactly right.
+func simulateRouteKey(body []byte) (fingerprint.Key, bool) {
+	q, md, ok := decodeRouteReq(body)
+	if !ok {
+		return fingerprint.Key{}, false
+	}
+	return fingerprint.Simulate(q.Workload, q.Source, md), true
+}
+
+// scheduleRouteKey fingerprints a schedule body canonically.
+func scheduleRouteKey(body []byte) (fingerprint.Key, bool) {
+	q, md, ok := decodeRouteReq(body)
+	if !ok {
+		return fingerprint.Key{}, false
+	}
+	form := q.Superblock == nil || *q.Superblock
+	return fingerprint.Schedule(q.Workload, q.Source, md, form), true
+}
+
+// figuresRouteKey fingerprints a /v1/figures query by its resolved section
+// set, mirroring the endpoint's section vocabulary (eval.SectionByName). An
+// unknown section name falls back to raw-key routing; the backend owns the
+// error.
+func figuresRouteKey(rawQuery string) (fingerprint.Key, bool) {
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return fingerprint.Key{}, false
+	}
+	names := q["section"]
+	var fig4, fig5, table3, overhead, recovery, buffer, faults, sharing, boost, prediction bool
+	if len(names) == 0 {
+		fig4, fig5, table3, overhead = true, true, true, true
+		recovery, buffer, faults, sharing = true, true, true, true
+		boost, prediction = true, true
+	}
+	for _, name := range names {
+		switch name {
+		case "fig4":
+			fig4 = true
+		case "fig5":
+			fig5 = true
+		case "table3":
+			table3 = true
+		case "overhead":
+			overhead = true
+		case "recovery":
+			recovery = true
+		case "buffer":
+			buffer = true
+		case "faults":
+			faults = true
+		case "sharing":
+			sharing = true
+		case "boosting", "boost":
+			boost = true
+		case "prediction":
+			prediction = true
+		case "all":
+			fig4, fig5, table3, overhead = true, true, true, true
+			recovery, buffer, faults, sharing = true, true, true, true
+			boost, prediction = true, true
+		default:
+			return fingerprint.Key{}, false
+		}
+	}
+	return fingerprint.Figures(fig4, fig5, table3, overhead, recovery,
+		buffer, faults, sharing, boost, prediction), true
+}
+
+// httpRouteKey fingerprints one HTTP request for routing: canonical for the
+// decodable endpoint shapes, raw otherwise. /v1/batch routes whole by its
+// raw bytes (the wire entry point splits batches per element; the JSON one
+// keeps a frame's elements together so its stream order is one backend's
+// completion order).
+func httpRouteKey(method, path, rawQuery string, body []byte) fingerprint.Key {
+	switch {
+	case method == "POST" && path == "/v1/simulate":
+		if k, ok := simulateRouteKey(body); ok {
+			return k
+		}
+	case method == "POST" && path == "/v1/schedule":
+		if k, ok := scheduleRouteKey(body); ok {
+			return k
+		}
+	case method == "GET" && path == "/v1/figures":
+		if k, ok := figuresRouteKey(rawQuery); ok {
+			return k
+		}
+	}
+	return fingerprint.RawRequest(path, rawQuery, body)
+}
+
+// wireRouteKey fingerprints one wire batch element. The raw fallback uses
+// the element's HTTP-twin path, so an undecodable payload still lands on
+// the same backend whether it arrives framed or as a single POST.
+func wireRouteKey(op byte, payload []byte) fingerprint.Key {
+	if op == opScheduleByte {
+		if k, ok := scheduleRouteKey(payload); ok {
+			return k
+		}
+		return fingerprint.RawRequest("/v1/schedule", "", payload)
+	}
+	if k, ok := simulateRouteKey(payload); ok {
+		return k
+	}
+	return fingerprint.RawRequest("/v1/simulate", "", payload)
+}
+
+// ringHash is the point on the hash circle a key routes from: any 8 bytes
+// of the sha256 fingerprint are uniform, same as the backend's shard pick.
+func ringHash(k fingerprint.Key) uint64 {
+	return binary.LittleEndian.Uint64(k[:8])
+}

@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"testing"
+
+	"sentinel/internal/eval"
+	"sentinel/internal/wire"
+)
+
+// TestHTTPRouteKeyCanonical: textual variants of one logical request —
+// field order, whitespace, defaulted width, model aliases — hash to the
+// same key, and actually-different requests do not. This is the property
+// that makes the fleet's caches converge instead of splitting per spelling.
+func TestHTTPRouteKeyCanonical(t *testing.T) {
+	base := httpRouteKey("POST", "/v1/simulate", "",
+		[]byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`))
+	for _, variant := range []string{
+		`{"width":8,"model":"sentinel+stores","workload":"cmp"}`,        // field order
+		` { "workload" : "cmp" , "model":"sentinel+stores","width":8 }`, // whitespace
+		`{"workload":"cmp","model":"sentinel+stores"}`,                  // width defaults to 8
+	} {
+		if got := httpRouteKey("POST", "/v1/simulate", "", []byte(variant)); got != base {
+			t.Errorf("variant %s hashed differently from the canonical spelling", variant)
+		}
+	}
+	for _, different := range []string{
+		`{"workload":"wc","model":"sentinel+stores","width":8}`,  // other workload
+		`{"workload":"cmp","model":"sentinel","width":8}`,        // other model
+		`{"workload":"cmp","model":"sentinel+stores","width":4}`, // other width
+	} {
+		if got := httpRouteKey("POST", "/v1/simulate", "", []byte(different)); got == base {
+			t.Errorf("distinct request %s collided with the base key", different)
+		}
+	}
+	// Same body, different endpoint: schedule and simulate must not collide.
+	if got := httpRouteKey("POST", "/v1/schedule", "",
+		[]byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)); got == base {
+		t.Error("schedule and simulate keys collided for the same body")
+	}
+}
+
+// TestHTTPRouteKeyRawFallback: undecodable bodies still route
+// deterministically (same bytes, same backend) without colliding with
+// canonical keys.
+func TestHTTPRouteKeyRawFallback(t *testing.T) {
+	bad := []byte(`{"workload":`)
+	k1 := httpRouteKey("POST", "/v1/simulate", "", bad)
+	k2 := httpRouteKey("POST", "/v1/simulate", "", bad)
+	if k1 != k2 {
+		t.Fatal("raw fallback is not deterministic")
+	}
+	if k1 == httpRouteKey("POST", "/v1/simulate", "", []byte(`{"workload":"x`)) {
+		t.Fatal("distinct malformed bodies collided")
+	}
+}
+
+// TestWireRouteKeyMatchesHTTPTwin: a wire element routes exactly like the
+// single POST carrying the same payload, decodable or not — so a request
+// lands on one backend no matter how it arrives.
+func TestWireRouteKeyMatchesHTTPTwin(t *testing.T) {
+	good := []byte(`{"workload":"grep","model":"sentinel","width":4}`)
+	bad := []byte(`not json`)
+	cases := []struct {
+		op   byte
+		path string
+		body []byte
+	}{
+		{byte(wire.OpSimulate), "/v1/simulate", good},
+		{byte(wire.OpSchedule), "/v1/schedule", good},
+		{byte(wire.OpSimulate), "/v1/simulate", bad},
+		{byte(wire.OpSchedule), "/v1/schedule", bad},
+	}
+	for _, tc := range cases {
+		if wireRouteKey(tc.op, tc.body) != httpRouteKey("POST", tc.path, "", tc.body) {
+			t.Errorf("wire op %d and POST %s disagree on %q", tc.op, tc.path, tc.body)
+		}
+	}
+	if wireRouteKey(byte(wire.OpSimulate), good) == wireRouteKey(byte(wire.OpSchedule), good) {
+		t.Error("simulate and schedule wire keys collided for the same payload")
+	}
+}
+
+// TestFiguresRouteKeyVocabulary: the router's section vocabulary mirrors
+// the endpoint's (eval.SectionByName) name for name, so every request the
+// backend can decode routes canonically and everything else falls back to
+// raw — never a silent split between router and backend interpretation.
+func TestFiguresRouteKeyVocabulary(t *testing.T) {
+	names := []string{"fig4", "fig5", "table3", "overhead", "recovery",
+		"buffer", "faults", "sharing", "boosting", "boost", "prediction",
+		"all", "bogus", "figures", ""}
+	for _, name := range names {
+		var s eval.Sections
+		backendKnows := s.SectionByName(name)
+		_, routerKnows := figuresRouteKey("section=" + name)
+		if backendKnows != routerKnows {
+			t.Errorf("section %q: backend knows=%v, router knows=%v — vocabulary skew", name, backendKnows, routerKnows)
+		}
+	}
+	// Alias and default equivalences the endpoint resolves must collapse to
+	// one key: boosting == boost, no-section == all.
+	boosting, ok1 := figuresRouteKey("section=boosting")
+	boost, ok2 := figuresRouteKey("section=boost")
+	if !ok1 || !ok2 || boosting != boost {
+		t.Error("boosting/boost alias did not collapse to one key")
+	}
+	def, ok1 := figuresRouteKey("")
+	all, ok2 := figuresRouteKey("section=all")
+	if !ok1 || !ok2 || def != all {
+		t.Error("defaulted section set did not collapse onto 'all'")
+	}
+	if fig4, _ := figuresRouteKey("section=fig4"); fig4 == all {
+		t.Error("fig4 collided with all")
+	}
+	// Repeated sections are a set, not a list.
+	a, _ := figuresRouteKey("section=fig4&section=fig5")
+	b, _ := figuresRouteKey("section=fig5&section=fig4")
+	if a != b {
+		t.Error("section order changed the key")
+	}
+}

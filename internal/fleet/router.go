@@ -1,0 +1,678 @@
+package fleet
+
+// The Router: HTTP termination, the routing decision, the proxied hop with
+// bounded retry, and the router's own observability surface.
+//
+// Endpoints the router answers itself: /healthz, /readyz (503 once draining
+// or when no backend is eligible), /fleet/status (the per-backend health
+// and routing view), /metrics, /debug/requests[.json], /debug/vars and
+// /debug/pprof. Everything else — the /v1 API — is fingerprinted, routed
+// and proxied; the backend's status, content type and body pass through
+// byte-for-byte, plus an X-Fleet-Backend header naming the backend that
+// answered (the affinity tests read it; bodies stay untouched).
+//
+// Error discipline: the router only synthesizes an envelope when it cannot
+// obtain one from a backend — no backend eligible, or the proxied hop
+// failed after the one permitted retry. Synthesized envelopes use the
+// backends' own JSON shape with status 503, so a load client's retry logic
+// treats a router-local refusal exactly like a backend's draining refusal.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sentinel/internal/fingerprint"
+	"sentinel/internal/obs"
+	"sentinel/internal/wire"
+)
+
+// Config sizes the router. Zero values select defaults.
+type Config struct {
+	// Backends are the sentineld addresses (host:port) forming the ring.
+	// At least one is required; order does not affect ring placement.
+	Backends []string
+	// VNodes is the virtual-node count per backend (default 64).
+	VNodes int
+	// HotThreshold is the sketch estimate at which a fingerprint spills
+	// across the fleet (default 64; negative disables spilling).
+	HotThreshold int
+	// HotWindow is how many sketch touches between counter halvings
+	// (default 4096).
+	HotWindow int
+	// ProbeInterval is the /readyz polling period (default 500ms; negative
+	// disables the prober — tests drive health directly).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round-trip (default 2s).
+	ProbeTimeout time.Duration
+	// FailureThreshold is how many consecutive probe failures mark a
+	// backend unhealthy (default 2; connect failures on the proxy path
+	// mark it immediately).
+	FailureThreshold int
+	// DialTimeout bounds connection establishment to a backend (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds one proxied wire exchange (default 30s; the
+	// HTTP hop inherits the client's context instead).
+	RequestTimeout time.Duration
+	// WirePoolSize is the idle wire-connection pool per backend (default 4).
+	WirePoolSize int
+	// MaxBodyBytes bounds a proxied request body (default 4 MiB, matching
+	// the backends' own limit).
+	MaxBodyBytes int
+	// Registry receives router metrics; nil disables them (the obs nil path).
+	Registry *obs.Registry
+	// Recorder is the router's flight recorder; nil disables records.
+	Recorder *obs.Recorder
+	// Logf receives health transitions and drain progress (default: drop).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes == 0 {
+		c.VNodes = 64
+	}
+	if c.HotThreshold == 0 {
+		c.HotThreshold = 64
+	}
+	if c.HotWindow == 0 {
+		c.HotWindow = 4096
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 2
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.WirePoolSize == 0 {
+		c.WirePoolSize = 4
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 4 << 20
+	}
+	return c
+}
+
+// Router consistent-hashes requests onto the backend ring. Construct with
+// New; safe for concurrent use; Close when done.
+type Router struct {
+	cfg      Config
+	ring     *ring
+	sketch   *sketch // nil when spilling is disabled
+	backends []*backend
+	mux      *http.ServeMux
+	rec      *obs.Recorder
+	eligible func(int) bool // precomputed predicate; alloc-free routing
+
+	rr        atomic.Uint64 // spill round-robin cursor
+	draining  atomic.Bool
+	inflight  atomic.Int64
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+
+	// Metrics, nil (discarding) without a registry.
+	reqTime    *obs.Histogram // wall time per proxied HTTP request, ns
+	reqs       *obs.Counter   // proxied HTTP requests
+	retries    *obs.Counter   // reroutes after a failed first hop
+	proxyErrs  *obs.Counter   // synthesized envelopes (no backend answered)
+	hashes     *obs.Counter   // routing decisions that used the ring owner
+	spills     *obs.Counter   // routing decisions that spilled a hot key
+	wireFrames *obs.Counter   // wire frames terminated
+	wireElems  *obs.Counter   // wire elements routed
+}
+
+// New builds a Router over cfg.Backends and starts its health prober.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("fleet: at least one backend is required")
+	}
+	if len(cfg.Backends) > 1<<16-1 {
+		return nil, fmt.Errorf("fleet: %d backends exceeds the ring's capacity", len(cfg.Backends))
+	}
+	rt := &Router{
+		cfg:       cfg,
+		ring:      newRing(cfg.Backends, cfg.VNodes),
+		rec:       cfg.Recorder,
+		stopProbe: make(chan struct{}),
+	}
+	if cfg.HotThreshold > 0 {
+		rt.sketch = newSketch(cfg.HotWindow)
+	}
+	for _, addr := range cfg.Backends {
+		rt.backends = append(rt.backends, newBackend(addr, cfg.DialTimeout, cfg.WirePoolSize))
+	}
+	rt.eligible = func(i int) bool { return rt.backends[i].eligible() }
+
+	if reg := cfg.Registry; reg != nil {
+		rt.reqTime = reg.Histogram("fleet.request_ns")
+		rt.reqs = reg.Counter("fleet.requests")
+		rt.retries = reg.Counter("fleet.retries")
+		rt.proxyErrs = reg.Counter("fleet.proxy_errors")
+		rt.hashes = reg.Counter("fleet.hashed")
+		rt.spills = reg.Counter("fleet.spilled")
+		rt.wireFrames = reg.Counter("fleet.wire_frames")
+		rt.wireElems = reg.Counter("fleet.wire_elements")
+		reg.Gauge("fleet.inflight", rt.inflight.Load)
+		reg.Gauge("fleet.backends", func() int64 { return int64(len(rt.backends)) })
+		reg.Gauge("fleet.backends_eligible", func() int64 {
+			n := int64(0)
+			for _, b := range rt.backends {
+				if b.eligible() {
+					n++
+				}
+			}
+			return n
+		})
+		reg.Gauge("fleet.draining", func() int64 {
+			if rt.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+		for _, b := range rt.backends {
+			b := b
+			name := "fleet.backend." + b.addr
+			b.hashed = reg.Counter(name + ".hashed")
+			b.spilled = reg.Counter(name + ".spilled")
+			reg.Gauge(name+".inflight", b.inflight.Load)
+			reg.Gauge(name+".healthy", func() int64 {
+				if b.eligible() {
+					return 1
+				}
+				return 0
+			})
+		}
+		if rt.rec != nil {
+			reg.Gauge("fleet.recorder.retained", rt.rec.Retained)
+		}
+	}
+	rt.routes()
+	if cfg.ProbeInterval > 0 {
+		rt.probeWG.Add(1)
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// Handler returns the root handler serving every router endpoint.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// SniffWire splits l between the two protocols: wire-magic connections are
+// terminated by the router's wire proxy, everything else flows through the
+// returned listener to the HTTP server — the same single-port deployment as
+// sentineld itself.
+func (rt *Router) SniffWire(l net.Listener) net.Listener {
+	return wire.SplitListener(l, rt.serveWire)
+}
+
+// StartDrain makes /readyz report 503 and refuses new proxied work while
+// in-flight hops complete. Idempotent.
+func (rt *Router) StartDrain() { rt.draining.Store(true) }
+
+// Drain starts draining and blocks until no proxied work is in flight or
+// ctx expires.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.StartDrain()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for rt.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// InFlight reports proxied requests and wire exchanges currently running.
+func (rt *Router) InFlight() int64 { return rt.inflight.Load() }
+
+// Close stops the prober and tears down every backend's connection pools.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() {
+		close(rt.stopProbe)
+		rt.probeWG.Wait()
+		for _, b := range rt.backends {
+			b.close()
+		}
+	})
+}
+
+func (rt *Router) routes() {
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n")) //nolint:errcheck
+	})
+	rt.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch {
+		case rt.draining.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n")) //nolint:errcheck
+		case rt.eligibleCount() == 0:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("no ready backend\n")) //nolint:errcheck
+		default:
+			w.Write([]byte("ready\n")) //nolint:errcheck
+		}
+	})
+	rt.mux.HandleFunc("GET /fleet/status", rt.handleStatus)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /debug/requests", rt.handleDebugRequests)
+	rt.mux.HandleFunc("GET /debug/requests.json", rt.handleDebugRequestsJSON)
+	rt.mux.Handle("GET /debug/vars", expvar.Handler())
+	rt.mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+	rt.mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+	rt.mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+	rt.mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+	rt.mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	// Everything else is the backends' API: fingerprint, route, proxy.
+	rt.mux.HandleFunc("/", rt.proxy)
+}
+
+func (rt *Router) eligibleCount() int {
+	n := 0
+	for _, b := range rt.backends {
+		if b.eligible() {
+			n++
+		}
+	}
+	return n
+}
+
+// route picks the backend for key k: the ring owner normally, or — when the
+// sketch marks k hot and at least two backends are eligible — the next
+// round-robin backend, replicating the hot key's response bytes across the
+// fleet. Allocation-free.
+func (rt *Router) route(k fingerprint.Key) (idx int, spilled bool) {
+	if rt.sketch != nil && int(rt.sketch.touch(k)) >= rt.cfg.HotThreshold {
+		if i := rt.pickSpill(-1); i >= 0 {
+			return i, true
+		}
+	}
+	return rt.ring.pick(ringHash(k), -1, rt.eligible), false
+}
+
+// Route reports which backend address a request with fingerprint k would be
+// sent to and whether hot-key spill overrode ring ownership, without
+// proxying anything. The proxy paths use the same decision; this is the
+// entry point for benchmarks and tooling. addr is "" when no backend is
+// eligible. Allocation-free.
+func (rt *Router) Route(k fingerprint.Key) (addr string, spilled bool) {
+	idx, spilled := rt.route(k)
+	if idx < 0 {
+		return "", false
+	}
+	return rt.backends[idx].addr, spilled
+}
+
+// pickSpill returns the next round-robin eligible backend (excluding skip),
+// or -1 when fewer than two backends are eligible — with one backend,
+// spilling is meaningless and the ring owner wins.
+func (rt *Router) pickSpill(skip int) int {
+	n := len(rt.backends)
+	if n < 2 {
+		return -1
+	}
+	eligible := 0
+	for i := 0; i < n; i++ {
+		if i != skip && rt.eligible(i) {
+			eligible++
+		}
+	}
+	if eligible < 2 && skip < 0 {
+		return -1
+	}
+	if eligible == 0 {
+		return -1
+	}
+	start := int(rt.rr.Add(1) % uint64(n))
+	for i := 0; i < n; i++ {
+		j := (start + i) % n
+		if j != skip && rt.eligible(j) {
+			return j
+		}
+	}
+	return -1
+}
+
+// reroute picks the retry target after backend `failed` could not be
+// reached: the ring successor for owner-routed keys, the next round-robin
+// backend for spilled ones.
+func (rt *Router) reroute(k fingerprint.Key, spilled bool, failed int) int {
+	if spilled {
+		return rt.pickSpill(failed)
+	}
+	return rt.ring.pick(ringHash(k), failed, rt.eligible)
+}
+
+// hopHeaders are the HTTP/1.1 connection-scoped headers that must not cross
+// the proxied hop.
+var hopHeaders = [...]string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// fleetBackendHeader names the backend that answered a proxied request.
+const fleetBackendHeader = "X-Fleet-Backend"
+
+// writeEnvelope synthesizes a backend-shaped JSON error envelope (the
+// trailing newline matches the backends' json.Encoder output).
+func writeEnvelope(w http.ResponseWriter, status int, kind, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":{\"kind\":%q,\"message\":%q}}\n", kind, msg)
+}
+
+// envelopeBody is writeEnvelope's body bytes, for the wire proxy's
+// element-level synthesis.
+func envelopeBody(kind, msg string) []byte {
+	return []byte(fmt.Sprintf("{\"error\":{\"kind\":%q,\"message\":%q}}\n", kind, msg))
+}
+
+// proxy is the catch-all handler: fingerprint, route, proxied hop with one
+// bounded retry, byte-faithful relay of whatever the backend answered.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	var t0 time.Time
+	if rt.reqTime != nil {
+		t0 = time.Now()
+	}
+	if rt.draining.Load() {
+		writeEnvelope(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+	rt.inflight.Add(1)
+	defer rt.inflight.Add(-1)
+	rt.reqs.Inc()
+
+	rd := rt.rec.Begin(r.URL.Path)
+	status := http.StatusOK
+	defer func() { rd.Finish(status) }()
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		rd.SetID(id)
+	}
+
+	// Slurp the body: the fingerprint needs its bytes, and the retry needs
+	// to replay them. A body over the limit is forwarded as a spliced
+	// stream — the backend's own MaxBytesReader produces the canonical
+	// refusal — but cannot be retried.
+	var body []byte
+	var overflow io.Reader
+	if r.Body != nil && r.Body != http.NoBody {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, int64(rt.cfg.MaxBodyBytes)+1))
+		if err != nil {
+			status = http.StatusBadRequest
+			writeEnvelope(w, status, "bad_request", "fleet: reading request body: "+err.Error())
+			return
+		}
+		if len(body) > rt.cfg.MaxBodyBytes {
+			overflow = r.Body
+		}
+	}
+
+	rd.Start(obs.StageRoute, obs.ArgNone)
+	key := httpRouteKey(r.Method, r.URL.Path, r.URL.RawQuery, body)
+	rd.SetFingerprint(key[:8])
+	idx, spilled := rt.route(key)
+	rd.End()
+	if idx < 0 {
+		status = http.StatusServiceUnavailable
+		rt.proxyErrs.Inc()
+		writeEnvelope(w, status, "unavailable", "fleet: no ready backend")
+		return
+	}
+	rt.countRoute(idx, spilled)
+
+	arg := obs.ArgHashed
+	if spilled {
+		arg = obs.ArgSpilled
+	}
+	const maxAttempts = 2 // first hop + one reroute
+	for attempt := 0; ; attempt++ {
+		b := rt.backends[idx]
+		b.inflight.Add(1)
+		rd.Start(obs.StageProxy, arg)
+		resp, err := rt.send(b, r, body, overflow)
+		if err != nil {
+			rd.End()
+			b.inflight.Add(-1)
+			rt.noteDialFailure(b)
+			// Reroute once: safe because every proxied op is idempotent and
+			// replayable from the slurped body (an overflowing body already
+			// fed its stream to the dead hop, so it cannot be replayed).
+			if attempt+1 < maxAttempts && overflow == nil {
+				if next := rt.reroute(key, spilled, idx); next >= 0 {
+					rt.retries.Inc()
+					rt.countRoute(next, spilled)
+					idx = next
+					continue
+				}
+			}
+			status = http.StatusServiceUnavailable
+			rt.proxyErrs.Inc()
+			writeEnvelope(w, status, "unavailable",
+				fmt.Sprintf("fleet: backend %s unreachable: %v", b.addr, err))
+			return
+		}
+		// A draining backend refused after the probe window: treat its 503
+		// envelope like a connect failure and reroute, once.
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt+1 < maxAttempts && overflow == nil {
+			refusal, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			rd.End()
+			b.inflight.Add(-1)
+			if bytes.Contains(refusal, []byte(`"draining"`)) {
+				if !b.draining.Swap(true) {
+					rt.logf("fleet: backend %s draining; rerouting new keys", b.addr)
+				}
+				if next := rt.reroute(key, spilled, idx); next >= 0 {
+					rt.retries.Inc()
+					rt.countRoute(next, spilled)
+					idx = next
+					continue
+				}
+			}
+			// Not draining (or nowhere to go): relay the refusal verbatim.
+			status = resp.StatusCode
+			relayHead(w, resp, b.addr, int64(len(refusal)))
+			w.Write(refusal) //nolint:errcheck
+			if rt.reqTime != nil {
+				rt.reqTime.Observe(time.Since(t0).Nanoseconds())
+			}
+			return
+		}
+		status = resp.StatusCode
+		relayHead(w, resp, b.addr, resp.ContentLength)
+		flushCopy(w, resp.Body)
+		resp.Body.Close()
+		rd.End()
+		b.inflight.Add(-1)
+		if rt.reqTime != nil {
+			rt.reqTime.Observe(time.Since(t0).Nanoseconds())
+		}
+		return
+	}
+}
+
+// countRoute attributes one routing decision to its backend.
+func (rt *Router) countRoute(idx int, spilled bool) {
+	if spilled {
+		rt.spills.Inc()
+		rt.backends[idx].spilled.Inc()
+	} else {
+		rt.hashes.Inc()
+		rt.backends[idx].hashed.Inc()
+	}
+}
+
+// send performs one proxied hop. The body is replayed from the slurped
+// bytes; an overflowing body splices the unread remainder onto the stream.
+func (rt *Router) send(b *backend, r *http.Request, body []byte, overflow io.Reader) (*http.Response, error) {
+	var rdr io.Reader = bytes.NewReader(body)
+	if overflow != nil {
+		rdr = io.MultiReader(bytes.NewReader(body), overflow)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.base+r.URL.RequestURI(), rdr)
+	if err != nil {
+		return nil, err
+	}
+	if overflow == nil {
+		req.ContentLength = int64(len(body))
+	} else {
+		req.ContentLength = -1
+	}
+	for name, vals := range r.Header {
+		if isHopHeader(name) {
+			continue
+		}
+		req.Header[name] = vals
+	}
+	return b.client.Do(req)
+}
+
+func isHopHeader(name string) bool {
+	for _, h := range hopHeaders {
+		if strings.EqualFold(name, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// relayHead copies the backend response's headers and status to the client,
+// tagging the answering backend. An explicit Content-Length (when known)
+// keeps the relayed framing identical to the direct one.
+func relayHead(w http.ResponseWriter, resp *http.Response, addr string, clen int64) {
+	h := w.Header()
+	for name, vals := range resp.Header {
+		if isHopHeader(name) || name == "Content-Length" {
+			continue
+		}
+		h[name] = vals
+	}
+	h.Set(fleetBackendHeader, addr)
+	if clen >= 0 {
+		h.Set("Content-Length", fmt.Sprintf("%d", clen))
+	}
+	w.WriteHeader(resp.StatusCode)
+}
+
+// flushCopy streams src to w, flushing after every read so streamed batch
+// responses keep their element-by-element progress through the router.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			rc.Flush() //nolint:errcheck // best-effort streaming
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// backendStatus is one backend's row in /fleet/status.
+type backendStatus struct {
+	Addr     string `json:"addr"`
+	Ready    bool   `json:"ready"`
+	Draining bool   `json:"draining"`
+	Failures int    `json:"probe_failures"`
+	Inflight int64  `json:"inflight"`
+	Hashed   int64  `json:"hashed"`
+	Spilled  int64  `json:"spilled"`
+}
+
+// handleStatus reports the router's health and routing view as JSON.
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Draining bool            `json:"draining"`
+		VNodes   int             `json:"vnodes_per_backend"`
+		Backends []backendStatus `json:"backends"`
+	}{
+		Draining: rt.draining.Load(),
+		VNodes:   rt.cfg.VNodes,
+	}
+	for _, b := range rt.backends {
+		out.Backends = append(out.Backends, backendStatus{
+			Addr:     b.addr,
+			Ready:    b.ready.Load(),
+			Draining: b.draining.Load(),
+			Failures: int(b.failures.Load()),
+			Inflight: b.inflight.Load(),
+			Hashed:   b.hashed.Value(),
+			Spilled:  b.spilled.Value(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if rt.cfg.Registry == nil {
+		http.Error(w, "metrics registry disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.cfg.Registry.WritePrometheus(w) //nolint:errcheck
+}
+
+func (rt *Router) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if rt.rec == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	obs.WriteRequestsHTML(w, "sentinelfront", rt.rec.Snapshot(), rt.rec.Retained()) //nolint:errcheck
+}
+
+func (rt *Router) handleDebugRequestsJSON(w http.ResponseWriter, r *http.Request) {
+	if rt.rec == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	views := rt.rec.Snapshot()
+	if views == nil {
+		views = []*obs.RecordView{}
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(views) //nolint:errcheck
+}

@@ -1,0 +1,81 @@
+package fleet
+
+// Hot-key detection: a count-min sketch over request fingerprints. Routing
+// purely by ring owner has one failure mode — a single fingerprint hot
+// enough to saturate its owner serializes the whole fleet behind one
+// backend while the others idle. The sketch estimates each key's recent
+// frequency in constant space; keys whose estimate crosses the spill
+// threshold are routed round-robin across every eligible backend instead,
+// replicating their response bytes fleet-wide (each backend's response
+// cache warms the key on its first spilled hit, so the replication costs
+// one cold miss per backend, ever).
+//
+// Counters decay by halving every windowAdds touches, so "hot" means hot
+// recently — a key that was hot an hour ago ages back to ring-owner routing
+// and single-copy residency. The sketch is approximate by design:
+// collisions can only overestimate (spilling a lukewarm key early is
+// harmless — it just warms more caches), never underestimate past the
+// usual count-min bound.
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"sentinel/internal/fingerprint"
+)
+
+const (
+	// sketchRows/sketchCols size the sketch: 4 rows × 1024 counters = 16 KiB,
+	// enough that at the default 4096-add decay window the collision error
+	// stays far below any sane spill threshold.
+	sketchRows = 4
+	sketchCols = 1024 // must stay a power of two (indices are masked)
+)
+
+// sketch is the count-min estimator. All updates are plain atomics; the
+// decay halving races benignly with concurrent touches (the structure is
+// approximate either way).
+type sketch struct {
+	counts     [sketchRows * sketchCols]atomic.Uint32
+	adds       atomic.Uint32
+	windowAdds uint32
+}
+
+// newSketch builds a sketch that halves every counter after windowAdds
+// touches (0 disables decay).
+func newSketch(windowAdds int) *sketch {
+	s := &sketch{}
+	if windowAdds > 0 {
+		s.windowAdds = uint32(windowAdds)
+	}
+	return s
+}
+
+// touch counts one occurrence of k and returns the new frequency estimate:
+// the minimum across rows, each row indexed by an independent 64-bit window
+// of the sha256 fingerprint (no extra hashing needed — the key is already
+// uniform). Allocation-free.
+func (s *sketch) touch(k fingerprint.Key) uint32 {
+	est := ^uint32(0)
+	for row := 0; row < sketchRows; row++ {
+		col := binary.LittleEndian.Uint64(k[8*row:]) & (sketchCols - 1)
+		if v := s.counts[row*sketchCols+int(col)].Add(1); v < est {
+			est = v
+		}
+	}
+	if s.windowAdds > 0 && s.adds.Add(1)%s.windowAdds == 0 {
+		s.decay()
+	}
+	return est
+}
+
+// decay halves every counter — an exponential forgetting of old traffic.
+// Plain load/store per counter: a concurrently added increment may be lost
+// or survive unhalved, both within the sketch's error budget.
+func (s *sketch) decay() {
+	for i := range s.counts {
+		if v := s.counts[i].Load(); v > 0 {
+			s.counts[i].Store(v / 2)
+		}
+	}
+}

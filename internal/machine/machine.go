@@ -57,6 +57,52 @@ func (m Model) String() string {
 // UsesTags reports whether the model requires exception-tagged registers.
 func (m Model) UsesTags() bool { return m == Sentinel || m == SentinelStores }
 
+// ParseModel resolves a request-facing model name to its Model, folding the
+// aliases every entry point accepts ("" and "sentinel" are one model,
+// "stores" is shorthand for "sentinel+stores"). It is THE normalization —
+// the serving layer and the fleet router both resolve names through here,
+// so a request can never fingerprint differently on the two sides.
+func ParseModel(name string) (Model, error) {
+	switch name {
+	case "restricted":
+		return Restricted, nil
+	case "general":
+		return General, nil
+	case "", "sentinel":
+		return Sentinel, nil
+	case "sentinel+stores", "stores":
+		return SentinelStores, nil
+	case "boosting":
+		return Boosting, nil
+	default:
+		return 0, fmt.Errorf("unknown model %q (want restricted, general, sentinel, sentinel+stores, boosting)", name)
+	}
+}
+
+// Resolve normalizes a request's (model, width, predictor) triple into a
+// validated canonical Desc: aliases folded, width defaulted to 8, the
+// predictor's penalty filled in. Two textually different requests for the
+// same machine resolve to equal Descs — the property the shared request
+// fingerprint (internal/fingerprint) depends on.
+func Resolve(model string, width int, predictor string) (Desc, error) {
+	if width == 0 {
+		width = 8
+	}
+	m, err := ParseModel(model)
+	if err != nil {
+		return Desc{}, err
+	}
+	p, err := ParsePredictor(predictor)
+	if err != nil {
+		return Desc{}, fmt.Errorf("unknown predictor %q (want perfect, static, tage)", predictor)
+	}
+	md := Base(width, m).WithPredictor(p)
+	if err := md.Validate(); err != nil {
+		return Desc{}, err
+	}
+	return md, nil
+}
+
 // Predictor selects the branch-prediction frontend of the simulated
 // machine. The paper's machine resolves every branch at the end of its
 // 1-cycle latency and charges only the fixed taken-branch bubble — an

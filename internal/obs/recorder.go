@@ -48,12 +48,15 @@ const (
 	StageSimulate               // cycle-level simulation
 	StageEncode                 // response encoding + cache fill
 	StageBatch                  // batch fan-out across the worker pool
+	StageRoute                  // fleet router: fingerprint + ring/spill decision
+	StageProxy                  // fleet router: proxied hop to the chosen backend
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"admission", "respcache", "sfwait", "sfown",
 	"compile", "schedule", "simulate", "encode", "batch",
+	"route", "proxy",
 }
 
 func (s Stage) String() string {
@@ -75,11 +78,14 @@ const (
 	ArgSources     // compiled-source singleflight
 	ArgRaw         // raw-fingerprint response cache
 	ArgCanon       // canonical-fingerprint response cache
+	ArgHashed      // fleet: routed to the fingerprint's ring owner
+	ArgSpilled     // fleet: hot key spilled across the whole fleet
 	numArgs
 )
 
 var argNames = [numArgs]string{
 	"", "builds", "forms", "scheds", "cells", "sources", "raw", "canon",
+	"hashed", "spilled",
 }
 
 func (a Arg) String() string {

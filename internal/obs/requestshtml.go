@@ -1,0 +1,93 @@
+package obs
+
+// The flight recorder's human-readable debug page: one header line per
+// retained request plus an indented span waterfall. Shared by every binary
+// that carries a Recorder (sentineld's /debug/requests and sentinelfront's),
+// so the two pages cannot drift.
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteRequestsHTML renders views (newest first, as Recorder.Snapshot
+// returns them) as the flight-recorder page. Request IDs and labels are
+// client-influenced, so everything is HTML-escaped into a <pre>.
+func WriteRequestsHTML(w io.Writer, title string, views []*RecordView, retained int64) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html><html><head><title>%s flight recorder</title></head><body>\n",
+		html.EscapeString(title))
+	fmt.Fprintf(&b, "<h1>flight recorder</h1><p>%d retained records (%d total retained since start), newest first</p>\n<pre>\n",
+		len(views), retained)
+	for _, v := range views {
+		writeRequestWaterfall(&b, v)
+	}
+	b.WriteString("</pre></body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// waterfallWidth is the character width of a record's full duration in the
+// waterfall bars.
+const waterfallWidth = 40
+
+func writeRequestWaterfall(b *strings.Builder, v *RecordView) {
+	fmt.Fprintf(b, "%s  %-13s %3d  %-6s %-8s %-7s %10s  id=%s",
+		html.EscapeString(v.Time), html.EscapeString(v.Endpoint), v.Status,
+		html.EscapeString(v.Tier), html.EscapeString(v.Predictor),
+		v.Sampled, time.Duration(v.DurNs), html.EscapeString(v.ID))
+	if v.FP != "" {
+		fmt.Fprintf(b, " fp=%s", html.EscapeString(v.FP))
+	}
+	b.WriteByte('\n')
+	if len(v.Spans) == 0 {
+		return
+	}
+	// Depth of each span by walking parents; the arena guarantees a parent
+	// index precedes its children.
+	depth := make([]int, len(v.Spans))
+	for i, sp := range v.Spans {
+		if sp.Parent >= 0 && sp.Parent < i {
+			depth[i] = depth[sp.Parent] + 1
+		}
+	}
+	for i, sp := range v.Spans {
+		label := sp.Stage
+		if sp.Arg != "" {
+			label += "/" + sp.Arg
+		}
+		fmt.Fprintf(b, "    %-24s %10s  |%s|\n",
+			strings.Repeat("  ", depth[i])+html.EscapeString(label),
+			time.Duration(sp.DurNs), waterfallBar(sp.StartNs, sp.DurNs, v.DurNs))
+	}
+	b.WriteByte('\n')
+}
+
+// waterfallBar draws a span's position within the request as a fixed-width
+// bar: spaces before the span starts, '#' while it runs (at least one), and
+// spaces after it ends.
+func waterfallBar(startNs, durNs, totalNs int64) string {
+	if totalNs <= 0 {
+		return strings.Repeat(" ", waterfallWidth)
+	}
+	lead := int(startNs * waterfallWidth / totalNs)
+	span := int(durNs * waterfallWidth / totalNs)
+	if span < 1 {
+		span = 1
+	}
+	if lead > waterfallWidth-1 {
+		lead = waterfallWidth - 1
+	}
+	if lead+span > waterfallWidth {
+		span = waterfallWidth - lead
+	}
+	var bar strings.Builder
+	bar.Grow(waterfallWidth)
+	bar.WriteString(strings.Repeat(" ", lead))
+	bar.WriteString(strings.Repeat("#", span))
+	bar.WriteString(strings.Repeat(" ", waterfallWidth-lead-span))
+	return bar.String()
+}

@@ -2,15 +2,12 @@ package server
 
 // The observability endpoints: Prometheus text exposition over the metrics
 // registry, and the flight recorder's retained request records as both a
-// human-readable waterfall page and JSON.
+// human-readable waterfall page (rendered by obs.WriteRequestsHTML, shared
+// with the fleet router) and JSON.
 
 import (
 	"encoding/json"
-	"fmt"
-	"html"
 	"net/http"
-	"strings"
-	"time"
 
 	"sentinel/internal/obs"
 )
@@ -44,85 +41,12 @@ func (s *Server) handleDebugRequestsJSON(w http.ResponseWriter, r *http.Request)
 	enc.Encode(views) //nolint:errcheck // client gone; nothing left to do
 }
 
-// handleDebugRequests renders the retained records as a text page: one
-// header line per request plus an indented span waterfall. Request IDs and
-// labels are client-influenced, so everything is HTML-escaped into a <pre>.
+// handleDebugRequests renders the retained records as the waterfall page.
 func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	if s.rec == nil {
 		http.Error(w, "flight recorder disabled", http.StatusNotFound)
 		return
 	}
-	views := s.rec.Snapshot()
-	var b strings.Builder
-	b.WriteString("<!DOCTYPE html><html><head><title>sentineld flight recorder</title></head><body>\n")
-	fmt.Fprintf(&b, "<h1>flight recorder</h1><p>%d retained records (%d total retained since start), newest first</p>\n<pre>\n",
-		len(views), s.rec.Retained())
-	for _, v := range views {
-		writeRequestWaterfall(&b, v)
-	}
-	b.WriteString("</pre></body></html>\n")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	w.Write([]byte(b.String())) //nolint:errcheck // client gone; nothing left to do
-}
-
-// waterfallWidth is the character width of a record's full duration in the
-// waterfall bars.
-const waterfallWidth = 40
-
-func writeRequestWaterfall(b *strings.Builder, v *obs.RecordView) {
-	fmt.Fprintf(b, "%s  %-13s %3d  %-6s %-8s %-7s %10s  id=%s",
-		html.EscapeString(v.Time), html.EscapeString(v.Endpoint), v.Status,
-		html.EscapeString(v.Tier), html.EscapeString(v.Predictor),
-		v.Sampled, time.Duration(v.DurNs), html.EscapeString(v.ID))
-	if v.FP != "" {
-		fmt.Fprintf(b, " fp=%s", html.EscapeString(v.FP))
-	}
-	b.WriteByte('\n')
-	if len(v.Spans) == 0 {
-		return
-	}
-	// Depth of each span by walking parents; the arena guarantees a parent
-	// index precedes its children.
-	depth := make([]int, len(v.Spans))
-	for i, sp := range v.Spans {
-		if sp.Parent >= 0 && sp.Parent < i {
-			depth[i] = depth[sp.Parent] + 1
-		}
-	}
-	for i, sp := range v.Spans {
-		label := sp.Stage
-		if sp.Arg != "" {
-			label += "/" + sp.Arg
-		}
-		fmt.Fprintf(b, "    %-24s %10s  |%s|\n",
-			strings.Repeat("  ", depth[i])+html.EscapeString(label),
-			time.Duration(sp.DurNs), waterfallBar(sp.StartNs, sp.DurNs, v.DurNs))
-	}
-	b.WriteByte('\n')
-}
-
-// waterfallBar draws a span's position within the request as a fixed-width
-// bar: spaces before the span starts, '#' while it runs (at least one), and
-// spaces after it ends.
-func waterfallBar(startNs, durNs, totalNs int64) string {
-	if totalNs <= 0 {
-		return strings.Repeat(" ", waterfallWidth)
-	}
-	lead := int(startNs * waterfallWidth / totalNs)
-	span := int(durNs * waterfallWidth / totalNs)
-	if span < 1 {
-		span = 1
-	}
-	if lead > waterfallWidth-1 {
-		lead = waterfallWidth - 1
-	}
-	if lead+span > waterfallWidth {
-		span = waterfallWidth - lead
-	}
-	var bar strings.Builder
-	bar.Grow(waterfallWidth)
-	bar.WriteString(strings.Repeat(" ", lead))
-	bar.WriteString(strings.Repeat("#", span))
-	bar.WriteString(strings.Repeat(" ", waterfallWidth-lead-span))
-	return bar.String()
+	obs.WriteRequestsHTML(w, "sentineld", s.rec.Snapshot(), s.rec.Retained()) //nolint:errcheck // client gone
 }

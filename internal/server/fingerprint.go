@@ -1,160 +1,49 @@
 package server
 
-// Canonical request fingerprints for the response-byte cache. The key must
-// identify everything that can influence the response bytes and nothing
-// else: the normalized program spec (workload name, or the sha256 of inline
-// source), the fully resolved machine description (so "sentinel" and "" and
-// width 0 vs 8 land on one key), and the per-endpoint options. Requests
-// whose responses are not a pure function of these inputs — fault
-// injection, explicit Full runs — are never fingerprinted (see handlers.go).
+// Canonical request fingerprints for the response-byte cache. The
+// serialization itself lives in internal/fingerprint, shared with the fleet
+// router (internal/fleet) so the two sides can never skew: the router
+// consistent-hashes the same bytes this cache keys by, which is what makes
+// a backend's caches fleet-visible. This file only adapts the server's
+// request types onto that shared implementation. Requests whose responses
+// are not a pure function of these inputs — fault injection, explicit Full
+// runs — are never fingerprinted (see handlers.go).
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-
 	"sentinel/internal/eval"
+	"sentinel/internal/fingerprint"
 	"sentinel/internal/machine"
 )
 
-// Endpoint tags keep the keyspaces disjoint: a schedule and a simulate of
-// the same program must never collide.
-const (
-	fpSimulate = byte(1)
-	fpSchedule = byte(2)
-	fpFigures  = byte(3)
-	fpRaw      = byte(4)
-)
+// respKey is the canonical request fingerprint keying the response cache.
+type respKey = fingerprint.Key
 
-// fpBuf accumulates the canonical serialization on the stack — sized so a
-// workload-cell request (the warm path) never allocates on its way to the
-// sha256. Inline source is folded in as its own sha256, so source length
-// does not matter.
-type fpBuf struct {
-	b []byte
-	a [96]byte
-}
-
-func newFpBuf(tag byte) fpBuf {
-	var f fpBuf
-	f.b = append(f.a[:0], tag)
-	return f
-}
-
-func (f *fpBuf) str(s string) {
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
-	f.b = append(f.b, n[:]...) // length-prefixed: "ab"+"c" != "a"+"bc"
-	f.b = append(f.b, s...)
-}
-
-func (f *fpBuf) u64(v uint64) {
-	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], v)
-	f.b = append(f.b, n[:]...)
-}
-
-func (f *fpBuf) bool(v bool) {
-	if v {
-		f.b = append(f.b, 1)
-	} else {
-		f.b = append(f.b, 0)
-	}
-}
-
-func (f *fpBuf) bytes(p []byte) { f.b = append(f.b, p...) }
-
-func (f *fpBuf) sum() respKey { return sha256.Sum256(f.b) }
-
-// machineDesc folds every field of the resolved machine description in.
-// parseMachine already normalized aliases and defaults, so equivalent
-// requests share bytes here.
-func (f *fpBuf) machineDesc(md machine.Desc) {
-	f.u64(uint64(md.IssueWidth))
-	f.u64(uint64(md.StoreBuffer))
-	f.u64(uint64(md.Model))
-	f.bool(md.Recovery)
-	f.bool(md.NoSharedSentinels)
-	f.u64(uint64(md.BoostLevels))
-	f.u64(uint64(md.Predictor))
-	f.u64(uint64(md.MispredictPenalty))
-}
-
-// programSpec folds the normalized program identity in: the workload name,
-// or the content hash of inline source (never the source itself).
-func (f *fpBuf) programSpec(spec ProgramSpec) {
-	f.str(spec.Workload)
-	if spec.Source != "" {
-		sum := sha256.Sum256([]byte(spec.Source))
-		f.bytes(sum[:])
-	}
-}
-
-// rawRequestKey fingerprints the request exactly as received: path, query
-// and body bytes. Two requests with the same raw key are indistinguishable
-// on the wire, so serving the first one's cached bytes to the second is
-// trivially byte-identical — without decoding anything. Textual variants of
-// the same logical request (field order, whitespace, defaulted fields) miss
-// here and fall through to the canonical keys below.
+// rawRequestKey fingerprints the request exactly as received (see
+// fingerprint.RawRequest).
 func rawRequestKey(path, rawQuery string, body []byte) respKey {
-	f := newFpBuf(fpRaw)
-	f.str(path)
-	f.str(rawQuery)
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(body)))
-	f.b = append(f.b, n[:]...)
-	f.b = append(f.b, body...)
-	return f.sum()
+	return fingerprint.RawRequest(path, rawQuery, body)
 }
 
-// rawRequestKeyInto is rawRequestKey over caller-owned scratch, for callers
-// that fingerprint many requests back to back (the batch probe loop): the
-// accumulation buffer is reused across calls instead of escaping per call.
-// Returns the key and the (possibly grown) scratch to carry forward.
+// rawRequestKeyInto is rawRequestKey over caller-owned scratch (the batch
+// probe loop reuses one buffer across elements).
 func rawRequestKeyInto(scratch []byte, path, rawQuery string, body []byte) (respKey, []byte) {
-	b := append(scratch[:0], fpRaw)
-	var n [4]byte
-	binary.LittleEndian.PutUint32(n[:], uint32(len(path)))
-	b = append(b, n[:]...)
-	b = append(b, path...)
-	binary.LittleEndian.PutUint32(n[:], uint32(len(rawQuery)))
-	b = append(b, n[:]...)
-	b = append(b, rawQuery...)
-	binary.LittleEndian.PutUint32(n[:], uint32(len(body)))
-	b = append(b, n[:]...)
-	b = append(b, body...)
-	return sha256.Sum256(b), b
+	return fingerprint.RawRequestInto(scratch, path, rawQuery, body)
 }
 
 // simulateKey fingerprints a cacheable simulate request. Callers must have
 // ruled out fault injection and Full runs first.
 func simulateKey(req *SimulateRequest, md machine.Desc) respKey {
-	f := newFpBuf(fpSimulate)
-	f.programSpec(req.ProgramSpec)
-	f.machineDesc(md)
-	return f.sum()
+	return fingerprint.Simulate(req.Workload, req.Source, md)
 }
 
 // scheduleKey fingerprints a schedule request (always deterministic).
 func scheduleKey(req *ScheduleRequest, md machine.Desc, form bool) respKey {
-	f := newFpBuf(fpSchedule)
-	f.programSpec(req.ProgramSpec)
-	f.machineDesc(md)
-	f.bool(form)
-	return f.sum()
+	return fingerprint.Schedule(req.Workload, req.Source, md, form)
 }
 
 // figuresKey fingerprints a figures request by its resolved section set.
 func figuresKey(secs eval.Sections) respKey {
-	f := newFpBuf(fpFigures)
-	f.bool(secs.Fig4)
-	f.bool(secs.Fig5)
-	f.bool(secs.Table3)
-	f.bool(secs.Overhead)
-	f.bool(secs.Recovery)
-	f.bool(secs.Buffer)
-	f.bool(secs.Faults)
-	f.bool(secs.Sharing)
-	f.bool(secs.Boost)
-	f.bool(secs.Prediction)
-	return f.sum()
+	return fingerprint.Figures(secs.Fig4, secs.Fig5, secs.Table3, secs.Overhead,
+		secs.Recovery, secs.Buffer, secs.Faults, secs.Sharing, secs.Boost,
+		secs.Prediction)
 }

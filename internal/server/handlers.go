@@ -51,33 +51,13 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
 	return nil
 }
 
+// parseMachine normalizes the request's machine triple through the shared
+// machine.Resolve — the same resolution the fleet router applies before
+// fingerprinting, so a request can never hash one way at the router and
+// key another way here.
 func parseMachine(model string, width int, predictor string) (machine.Desc, error) {
-	if width == 0 {
-		width = 8
-	}
-	var m machine.Model
-	switch model {
-	case "restricted":
-		m = machine.Restricted
-	case "general":
-		m = machine.General
-	case "", "sentinel":
-		m = machine.Sentinel
-	case "sentinel+stores", "stores":
-		m = machine.SentinelStores
-	case "boosting":
-		m = machine.Boosting
-	default:
-		return machine.Desc{}, apiErrorf(http.StatusBadRequest, KindBadRequest,
-			"unknown model %q (want restricted, general, sentinel, sentinel+stores, boosting)", model)
-	}
-	p, err := machine.ParsePredictor(predictor)
+	md, err := machine.Resolve(model, width, predictor)
 	if err != nil {
-		return machine.Desc{}, apiErrorf(http.StatusBadRequest, KindBadRequest,
-			"unknown predictor %q (want perfect, static, tage)", predictor)
-	}
-	md := machine.Base(width, m).WithPredictor(p)
-	if err := md.Validate(); err != nil {
 		return machine.Desc{}, apiErrorf(http.StatusBadRequest, KindBadRequest, "%v", err)
 	}
 	return md, nil

@@ -17,15 +17,11 @@ package server
 // can only ever return what the uncached path would have written.
 
 import (
-	"crypto/sha256"
 	"encoding/binary"
 	"net/http"
 	"sync"
 	"sync/atomic"
 )
-
-// respKey is the canonical request fingerprint (see fingerprint.go).
-type respKey [sha256.Size]byte
 
 // respEntry is one cached response: the serialized body and its content
 // type, threaded on the owning shard's LRU list. Immutable after insert.

@@ -26,7 +26,6 @@ import (
 	"errors"
 	"net"
 	"net/http"
-	"sync"
 	"time"
 
 	"sentinel/internal/obs"
@@ -36,10 +35,6 @@ import (
 // wireBufSize sizes the per-connection read and write buffers: large enough
 // that a typical 64-element request frame arrives in one read.
 const wireBufSize = 32 << 10
-
-// sniffTimeout bounds how long a fresh connection may sit silent before the
-// sniffer gives up on it — a slot-exhaustion guard, not a request deadline.
-const sniffTimeout = 30 * time.Second
 
 // wireLimits mirrors the HTTP endpoints' bounds: same element ceiling as
 // /v1/batch, same per-payload cap as the JSON body limit.
@@ -173,82 +168,9 @@ func wireRefusal(err error) (code int, keepOpen bool) {
 
 // SniffWire splits l between the two protocols: connections whose first
 // byte is the wire magic are served by s's wire handler on their own
-// goroutines; everything else (HTTP can only start with an ASCII method
-// letter) is delivered through the returned listener, which the caller
-// hands to its http.Server. Closing the returned listener closes l.
+// goroutines; everything else is delivered through the returned listener,
+// which the caller hands to its http.Server (see wire.SplitListener — the
+// fleet router shares the same splitter with its own wire handler).
 func (s *Server) SniffWire(l net.Listener) net.Listener {
-	sl := &sniffListener{inner: l, conns: make(chan net.Conn), done: make(chan struct{})}
-	go sl.accept(s)
-	return sl
+	return wire.SplitListener(l, s.serveWireBuffered)
 }
-
-// sniffListener adapts the sniffing accept loop to the net.Listener
-// contract the HTTP server expects.
-type sniffListener struct {
-	inner net.Listener
-	conns chan net.Conn
-	done  chan struct{}
-	err   error // Accept error from inner; written before done closes
-	once  sync.Once
-}
-
-func (l *sniffListener) accept(s *Server) {
-	for {
-		conn, err := l.inner.Accept()
-		if err != nil {
-			l.err = err
-			l.once.Do(func() { close(l.done) })
-			return
-		}
-		go func() {
-			// The peek is bounded so an idle connection cannot pin its
-			// goroutine forever; the deadline is lifted before serving.
-			br := bufio.NewReaderSize(conn, wireBufSize)
-			conn.SetReadDeadline(time.Now().Add(sniffTimeout)) //nolint:errcheck
-			first, err := br.Peek(1)
-			if err != nil {
-				conn.Close()
-				return
-			}
-			conn.SetReadDeadline(time.Time{}) //nolint:errcheck
-			if first[0] == wire.MagicByte0 {
-				s.serveWireBuffered(br, conn)
-				return
-			}
-			select {
-			case l.conns <- &sniffedConn{Conn: conn, br: br}:
-			case <-l.done:
-				conn.Close()
-			}
-		}()
-	}
-}
-
-func (l *sniffListener) Accept() (net.Conn, error) {
-	select {
-	case c := <-l.conns:
-		return c, nil
-	case <-l.done:
-		if l.err != nil {
-			return nil, l.err
-		}
-		return nil, net.ErrClosed
-	}
-}
-
-func (l *sniffListener) Close() error {
-	err := l.inner.Close()
-	l.once.Do(func() { close(l.done) })
-	return err
-}
-
-func (l *sniffListener) Addr() net.Addr { return l.inner.Addr() }
-
-// sniffedConn replays the peeked byte(s): reads drain the sniffer's buffer
-// before touching the socket.
-type sniffedConn struct {
-	net.Conn
-	br *bufio.Reader
-}
-
-func (c *sniffedConn) Read(p []byte) (int, error) { return c.br.Read(p) }
