@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -267,6 +268,86 @@ func benchFleetRoute() (benchRecord, error) {
 	return record("FleetRoute", r), nil
 }
 
+// benchFleetServe measures the router's two serving paths over one live
+// in-process backend on a real TCP listener:
+//
+//	FleetServeWarm:  a raw-lane front-cache hit — slurp, fingerprint, one
+//	                 shard lookup, one Write, no backend traffic. Benchgate
+//	                 pins it at <= 4 allocs/op (--max-allocs).
+//	FleetProxyMiss:  the same request with caching disabled, so every serve
+//	                 crosses the raw pooled-connection HTTP/1.1 hop to a
+//	                 warm backend — the per-request cost of the cold path.
+func benchFleetServe() ([]benchRecord, error) {
+	backend := server.New(server.Config{Workers: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: backend.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck
+	defer httpSrv.Close()
+
+	body := []byte(`{"workload":"cmp","model":"sentinel+stores","width":8}`)
+	cases := []struct {
+		name    string
+		entries int // RespCacheEntries: 0 = default cache on, -1 = off
+	}{
+		{"FleetServeWarm", 0},
+		{"FleetProxyMiss", -1},
+	}
+	var recs []benchRecord
+	for _, c := range cases {
+		rt, err := fleet.New(fleet.Config{
+			Backends:         []string{ln.Addr().String()},
+			ProbeInterval:    -1, // static health: the serve path, not the prober
+			RespCacheEntries: c.entries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := rt.Handler()
+		req, err := http.NewRequest(http.MethodPost, "http://bench/v1/simulate", nil)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		rb := &reusableBody{}
+		attach := func() {
+			rb.Reset(body)
+			req.Body = rb
+			req.ContentLength = int64(len(body))
+		}
+		w := &discardWriter{h: make(http.Header, 8)}
+		attach()
+		h.ServeHTTP(w, req) // prime: fills the front cache when enabled
+		if w.status != 0 && w.status != http.StatusOK {
+			rt.Close()
+			return nil, fmt.Errorf("benchjson: warm %s = %d", c.name, w.status)
+		}
+		var bad int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clear(w.h) // the miss relay Adds headers; a reused map must not accumulate
+				w.status = 0
+				attach()
+				h.ServeHTTP(w, req)
+				if w.status != 0 && w.status != http.StatusOK {
+					bad = w.status
+					b.FailNow()
+				}
+			}
+		})
+		rt.Close()
+		if bad != 0 {
+			return nil, fmt.Errorf("benchjson: %s returned status %d mid-benchmark", c.name, bad)
+		}
+		recs = append(recs, record(c.name, r))
+	}
+	return recs, nil
+}
+
 // writeBenchJSON measures the two dense-index hot paths — list scheduling
 // and the simulator inner loop — on the kernels with the largest superblocks
 // and writes BENCH_schedule.json and BENCH_sim.json into dir. The files are
@@ -393,6 +474,11 @@ func writeBenchJSON(dir string) error {
 		return err
 	}
 	serveRecs = append(serveRecs, fleetRec)
+	fleetServeRecs, err := benchFleetServe()
+	if err != nil {
+		return err
+	}
+	serveRecs = append(serveRecs, fleetServeRecs...)
 
 	for _, f := range []struct {
 		name string

@@ -45,7 +45,8 @@ func main() {
 	hotWindow := flag.Int("hot-window", 0, "sketch touches between counter halvings (0 = default 4096)")
 	probeInterval := flag.Duration("probe-interval", 0, "backend /readyz polling period (0 = default 500ms)")
 	probeTimeout := flag.Duration("probe-timeout", 0, "per-probe deadline (0 = default 2s)")
-	timeout := flag.Duration("timeout", 0, "per-exchange ceiling on the wire hop (0 = default 30s)")
+	timeout := flag.Duration("timeout", 0, "per-exchange ceiling on the wire and raw proxied hops (0 = default 30s)")
+	respcacheEntries := flag.Int("respcache-entries", 0, "front response-cache entries (0 = default 4096, negative disables caching)")
 	drain := flag.Duration("drain", 30*time.Second, "maximum time to wait for in-flight requests on shutdown")
 	recEntries := flag.Int("recorder-entries", 256, "flight-recorder retained request records (0 disables the recorder)")
 	recEvery := flag.Int("recorder-every", 16, "tail-sample 1 in N ordinary requests (errors and slow requests always sample; <0 samples only errors/slow)")
@@ -92,16 +93,17 @@ func main() {
 
 	reg := obs.NewRegistry()
 	rt, err := fleet.New(fleet.Config{
-		Backends:       addrs,
-		VNodes:         *vnodes,
-		HotThreshold:   *hotThreshold,
-		HotWindow:      *hotWindow,
-		ProbeInterval:  *probeInterval,
-		ProbeTimeout:   *probeTimeout,
-		RequestTimeout: *timeout,
-		Registry:       reg,
-		Recorder:       rec,
-		Logf:           log.Printf,
+		Backends:         addrs,
+		VNodes:           *vnodes,
+		HotThreshold:     *hotThreshold,
+		HotWindow:        *hotWindow,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		RequestTimeout:   *timeout,
+		RespCacheEntries: *respcacheEntries,
+		Registry:         reg,
+		Recorder:         rec,
+		Logf:             log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

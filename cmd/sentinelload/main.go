@@ -260,6 +260,27 @@ type worker struct {
 	timeout time.Duration
 	wid     int
 	seq     int
+
+	// Per-worker X-Fleet-Backend tally (who actually answered when driving a
+	// router: backend addresses, or "cache" for front-cache hits). A linear
+	// scan over a handful of names, compared without allocating; merged into
+	// the summary after the clock stops.
+	fleetNames  []string
+	fleetCounts []int
+}
+
+// tallyBackend attributes one response to the X-Fleet-Backend value it
+// carried. string(v) == name compiles to an allocation-free comparison; the
+// only allocation is the first sighting of each distinct backend.
+func (w *worker) tallyBackend(v []byte) {
+	for i, name := range w.fleetNames {
+		if string(v) == name {
+			w.fleetCounts[i]++
+			return
+		}
+	}
+	w.fleetNames = append(w.fleetNames, string(v))
+	w.fleetCounts = append(w.fleetCounts, 1)
 }
 
 func newWorker(host, path string, wid int, bodies [][]byte, timeout time.Duration) *worker {
@@ -401,6 +422,8 @@ func (w *worker) readResponse() (int, error) {
 				return 0, fmt.Errorf("malformed Content-Length %q", v)
 			}
 			clen = n
+		} else if v, ok := headerValue(h, "x-fleet-backend"); ok {
+			w.tallyBackend(v)
 		} else if v, ok := headerValue(h, "transfer-encoding"); ok {
 			if bytes.EqualFold(v, []byte("chunked")) {
 				chunked = true
@@ -635,6 +658,7 @@ func run(cfg config, out, errOut io.Writer) int {
 	defer cancel()
 
 	var results []result
+	backendTally := map[string]int{}
 	start := time.Now()
 	var wg sync.WaitGroup
 	targets := resolveTargets(cfg)
@@ -694,6 +718,9 @@ func run(cfg config, out, errOut io.Writer) int {
 		wg.Wait()
 		for _, wk := range workers {
 			results = append(results, wk.results...)
+			for i, name := range wk.fleetNames {
+				backendTally[name] += wk.fleetCounts[i]
+			}
 		}
 	} else {
 		// Open loop: fixed arrival schedule, capped at conc in flight
@@ -813,6 +840,7 @@ func run(cfg config, out, errOut io.Writer) int {
 		}
 	}
 	report(results, elapsed, cfg.rps, cfg.conc, cfg.batch, dispPath, out)
+	reportBackends(backendTally, out)
 	if cfg.slowest > 0 {
 		reportSlowest(results, cfg.slowest, out)
 	}
@@ -886,6 +914,32 @@ func report(results []result, elapsed time.Duration, rps float64, conc, batch in
 	fmt.Fprintf(w, "latency:    mean=%s p50=%s p90=%s p95=%s p99=%s max=%s\n",
 		round(sum/time.Duration(len(lats))), round(q(0.50)), round(q(0.90)),
 		round(q(0.95)), round(q(0.99)), round(lats[len(lats)-1]))
+}
+
+// reportBackends summarizes who answered when the target was a
+// sentinelfront router: per-backend response counts from the X-Fleet-Backend
+// header, with front-cache hits ("cache") broken out as a hit ratio. Silent
+// when the header never appeared (a plain sentineld target).
+func reportBackends(tally map[string]int, w io.Writer) {
+	if len(tally) == 0 {
+		return
+	}
+	var names []string
+	total := 0
+	for name, n := range tally {
+		names = append(names, name)
+		total += n
+	}
+	sort.Strings(names)
+	var parts []string
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, tally[name]))
+	}
+	fmt.Fprintf(w, "backends:   %s\n", strings.Join(parts, " "))
+	if hits := tally["cache"]; hits > 0 {
+		fmt.Fprintf(w, "cache:      %d of %d router answers from the front cache (%.1f%% hit ratio)\n",
+			hits, total, 100*float64(hits)/float64(total))
+	}
 }
 
 // reportSlowest lists the n slowest completed requests with the request IDs

@@ -78,6 +78,70 @@ func TestClosedLoopKeepAlive(t *testing.T) {
 	}
 }
 
+// TestClosedLoopBackendTally: responses carrying X-Fleet-Backend (a router
+// target) are tallied per backend in the summary, with front-cache hits
+// broken out as a hit ratio.
+func TestClosedLoopBackendTally(t *testing.T) {
+	var n atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		// First answer "from a backend", every repeat "from the cache" — the
+		// shape a warmed router produces.
+		if n.Add(1) == 1 {
+			w.Header().Set("X-Fleet-Backend", "127.0.0.1:9999")
+		} else {
+			w.Header().Set("X-Fleet-Backend", "cache")
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write([]byte(`{"cycles":1}` + "\n")) //nolint:errcheck
+	}))
+	t.Cleanup(stub.Close)
+	cfg := config{
+		addr:      stub.URL,
+		duration:  300 * time.Millisecond,
+		conc:      1,
+		workloads: "cmp",
+		model:     "sentinel",
+		width:     4,
+		endpoint:  "simulate",
+		timeout:   10 * time.Second,
+	}
+	var out strings.Builder
+	if code := run(cfg, &out, &out); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "backends:") || !strings.Contains(report, "127.0.0.1:9999:1") {
+		t.Fatalf("report missing the per-backend tally:\n%s", report)
+	}
+	if !strings.Contains(report, "cache:") || !strings.Contains(report, "hit ratio") {
+		t.Fatalf("report missing the cache hit ratio:\n%s", report)
+	}
+}
+
+// TestBackendTallySilentWithoutHeader: a plain sentineld target (no
+// X-Fleet-Backend header) keeps the summary unchanged.
+func TestBackendTallySilentWithoutHeader(t *testing.T) {
+	addr, _ := startServer(t)
+	cfg := config{
+		addr:      addr,
+		duration:  200 * time.Millisecond,
+		conc:      1,
+		workloads: "cmp",
+		model:     "sentinel",
+		width:     4,
+		endpoint:  "simulate",
+		timeout:   10 * time.Second,
+	}
+	var out strings.Builder
+	if code := run(cfg, &out, &out); code != 0 {
+		t.Fatalf("run exited %d:\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "backends:") {
+		t.Fatalf("plain sentineld run printed a backend tally:\n%s", out.String())
+	}
+}
+
 // TestOpenLoopRuns exercises the rate-limited path end to end.
 func TestOpenLoopRuns(t *testing.T) {
 	addr, _ := startServer(t)

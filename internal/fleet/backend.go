@@ -33,8 +33,9 @@ type backend struct {
 	addr string // host:port, as configured (ring placement hashes this)
 	base string // "http://" + addr
 
-	client   *http.Client   // proxied-hop client; per-backend keep-alive pool
+	client   *http.Client   // probe + streaming-hop client (net/http)
 	wirePool chan *wireConn // idle wire-protocol connections
+	httpPool chan *wireConn // idle raw HTTP/1.1 connections (cache-miss hop)
 
 	ready    atomic.Bool  // last probe (or reactive edge) verdict
 	draining atomic.Bool  // /readyz said "draining"
@@ -49,11 +50,12 @@ type backend struct {
 }
 
 // newBackend builds the backend handle and its connection pools.
-func newBackend(addr string, dialTimeout time.Duration, wirePoolSize int) *backend {
+func newBackend(addr string, dialTimeout time.Duration, wirePoolSize, httpPoolSize int) *backend {
 	b := &backend{
 		addr:     addr,
 		base:     "http://" + addr,
 		wirePool: make(chan *wireConn, wirePoolSize),
+		httpPool: make(chan *wireConn, httpPoolSize),
 		hashed:   new(obs.Counter),
 		spilled:  new(obs.Counter),
 	}
@@ -73,15 +75,18 @@ func newBackend(addr string, dialTimeout time.Duration, wirePoolSize int) *backe
 // eligible reports whether new keys may route here.
 func (b *backend) eligible() bool { return b.ready.Load() && !b.draining.Load() }
 
-// close tears down both pools.
+// close tears down all three pools.
 func (b *backend) close() {
 	b.client.CloseIdleConnections()
-	for {
-		select {
-		case wc := <-b.wirePool:
-			wc.conn.Close()
-		default:
-			return
+	for _, pool := range []chan *wireConn{b.wirePool, b.httpPool} {
+	drain:
+		for {
+			select {
+			case wc := <-pool:
+				wc.conn.Close()
+			default:
+				break drain
+			}
 		}
 	}
 }
@@ -118,6 +123,32 @@ func (b *backend) putWire(wc *wireConn) {
 	case b.wirePool <- wc:
 	default:
 		wc.conn.Close()
+	}
+}
+
+// getHTTP returns an idle raw HTTP/1.1 connection or dials a fresh one —
+// the cache-miss hop's analogue of getWire, with the same pooled-vs-fresh
+// distinction driving stale-keep-alive retries.
+func (b *backend) getHTTP(dialTimeout time.Duration) (hc *wireConn, pooled bool, err error) {
+	select {
+	case hc := <-b.httpPool:
+		return hc, true, nil
+	default:
+	}
+	conn, err := net.DialTimeout("tcp", b.addr, dialTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	return &wireConn{conn: conn, br: bufio.NewReaderSize(conn, 8<<10)}, false, nil
+}
+
+// putHTTP returns a healthy raw connection to the pool (closing when full).
+func (b *backend) putHTTP(hc *wireConn) {
+	hc.conn.SetDeadline(time.Time{}) //nolint:errcheck
+	select {
+	case b.httpPool <- hc:
+	default:
+		hc.conn.Close()
 	}
 }
 
@@ -161,7 +192,7 @@ func (rt *Router) probe(b *backend) {
 		}
 		return
 	}
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64))
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, drainSniffBytes))
 	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
@@ -170,7 +201,7 @@ func (rt *Router) probe(b *backend) {
 		if !b.ready.Swap(true) || wasDraining {
 			rt.logf("fleet: backend %s ready", b.addr)
 		}
-	case bytes.HasPrefix(body, []byte("draining")):
+	case isDrainingBody(body):
 		// Alive but going away: stop sending new keys, let it finish.
 		b.failures.Store(0)
 		if !b.draining.Swap(true) {
@@ -185,6 +216,21 @@ func (rt *Router) probe(b *backend) {
 				bytes.TrimSpace(body))
 		}
 	}
+}
+
+// drainSniffBytes bounds how much of a refusal body the draining sniff
+// reads — comfortably past any envelope the backends synthesize, so the
+// marker cannot be truncated away (the old 64-byte limit could miss it in
+// a padded envelope).
+const drainSniffBytes = 4096
+
+// isDrainingBody reports whether a /readyz or refusal body marks a
+// draining backend: the plain-text "draining" readiness body, or the
+// quoted "draining" kind wherever it sits inside a JSON envelope — not
+// just in the first 64 bytes.
+func isDrainingBody(body []byte) bool {
+	return bytes.HasPrefix(bytes.TrimSpace(body), []byte("draining")) ||
+		bytes.Contains(body, []byte(`"draining"`))
 }
 
 // noteDialFailure is the reactive unhealthy edge: a proxied hop that could

@@ -41,7 +41,7 @@ type testBackend struct {
 	addr    string
 }
 
-func startBackend(t *testing.T) *testBackend {
+func startBackend(t testing.TB) *testBackend {
 	t.Helper()
 	reg := obs.NewRegistry()
 	srv := server.New(server.Config{Workers: 2, Registry: reg})
@@ -61,7 +61,7 @@ func startBackend(t *testing.T) *testBackend {
 }
 
 // promValue scrapes one metric value out of a registry's Prometheus text.
-func promValue(t *testing.T, reg *obs.Registry, metric string) int64 {
+func promValue(t testing.TB, reg *obs.Registry, metric string) int64 {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
@@ -80,7 +80,7 @@ func promValue(t *testing.T, reg *obs.Registry, metric string) int64 {
 
 // startFleet launches n backends and a router over them, returning the
 // router's base URL and raw address alongside the pieces.
-func startFleet(t *testing.T, n int, tweak func(*fleet.Config)) ([]*testBackend, *fleet.Router, string) {
+func startFleet(t testing.TB, n int, tweak func(*fleet.Config)) ([]*testBackend, *fleet.Router, string) {
 	t.Helper()
 	backends := make([]*testBackend, n)
 	addrs := make([]string, n)
@@ -162,7 +162,9 @@ func get(t *testing.T, base, path string) response {
 // byte-identically to a direct backend call, repeats land on the owner, and
 // error envelopes relay untouched.
 func TestFleetByteIdentityAndAffinity(t *testing.T) {
-	backends, _, router := startFleet(t, 3, nil)
+	// Front cache off: this test pins the *proxied* path (repeats must reach
+	// the ring owner); TestFleetRouterCacheByteIdentity pins the cached one.
+	backends, _, router := startFleet(t, 3, func(c *fleet.Config) { c.RespCacheEntries = -1 })
 	byAddr := map[string]*testBackend{}
 	for _, b := range backends {
 		byAddr[b.addr] = b
@@ -231,7 +233,8 @@ func TestFleetByteIdentityAndAffinity(t *testing.T) {
 // warms exactly one backend's response-byte cache — the cache-affinity the
 // whole subsystem exists to buy.
 func TestFleetRespcacheConcentration(t *testing.T) {
-	backends, _, router := startFleet(t, 3, nil)
+	// Front cache off so every repeat reaches the owner's own cache.
+	backends, _, router := startFleet(t, 3, func(c *fleet.Config) { c.RespCacheEntries = -1 })
 	body := []byte(`{"workload":"wc","model":"sentinel","width":4}`)
 	const n = 20
 	owner := ""
@@ -272,6 +275,7 @@ func TestFleetRespcacheConcentration(t *testing.T) {
 func TestFleetRebalanceOnDeath(t *testing.T) {
 	backends, _, router := startFleet(t, 3, func(c *fleet.Config) {
 		c.FailureThreshold = 1
+		c.RespCacheEntries = -1 // repeats must re-route, not hit the front cache
 	})
 	// Find bodies owned by two different backends so we can watch one move
 	// and one stay.
@@ -455,6 +459,7 @@ func TestFleetDrainMidLoad(t *testing.T) {
 func TestFleetHotKeySpill(t *testing.T) {
 	_, _, router := startFleet(t, 3, func(c *fleet.Config) {
 		c.HotThreshold = 10
+		c.RespCacheEntries = -1 // the spill path serves misses; pin it in isolation
 	})
 	body := []byte(`{"workload":"cmp","model":"sentinel","width":4}`)
 	hit := map[string]int{}
@@ -555,6 +560,7 @@ func TestFleetWireByteIdentity(t *testing.T) {
 func TestFleetRouterEndpoints(t *testing.T) {
 	backends, rt, router := startFleet(t, 2, func(c *fleet.Config) {
 		c.FailureThreshold = 1
+		c.RespCacheEntries = -1 // the fleet-death repeat below must reach the dead ring
 		c.Registry = obs.NewRegistry()
 		c.Recorder = obs.NewRecorder(obs.RecorderConfig{Entries: 16, Every: 1})
 	})

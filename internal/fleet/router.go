@@ -35,6 +35,7 @@ import (
 
 	"sentinel/internal/fingerprint"
 	"sentinel/internal/obs"
+	"sentinel/internal/server"
 	"sentinel/internal/wire"
 )
 
@@ -62,14 +63,23 @@ type Config struct {
 	FailureThreshold int
 	// DialTimeout bounds connection establishment to a backend (default 2s).
 	DialTimeout time.Duration
-	// RequestTimeout bounds one proxied wire exchange (default 30s; the
-	// HTTP hop inherits the client's context instead).
+	// RequestTimeout bounds one proxied wire exchange and one raw
+	// cache-miss hop (default 30s; the streaming net/http hop inherits the
+	// client's context instead).
 	RequestTimeout time.Duration
 	// WirePoolSize is the idle wire-connection pool per backend (default 4).
 	WirePoolSize int
+	// HTTPPoolSize is the idle raw HTTP/1.1 connection pool per backend for
+	// the cache-miss proxied hop (default 64, matching the old net/http
+	// transport's per-host cap).
+	HTTPPoolSize int
 	// MaxBodyBytes bounds a proxied request body (default 4 MiB, matching
 	// the backends' own limit).
 	MaxBodyBytes int
+	// RespCacheEntries bounds the router's front response cache (0 selects
+	// the default 4096, matching the backends; negative disables caching so
+	// every request crosses the proxied hop).
+	RespCacheEntries int
 	// Registry receives router metrics; nil disables them (the obs nil path).
 	Registry *obs.Registry
 	// Recorder is the router's flight recorder; nil disables records.
@@ -106,6 +116,9 @@ func (c Config) withDefaults() Config {
 	if c.WirePoolSize == 0 {
 		c.WirePoolSize = 4
 	}
+	if c.HTTPPoolSize == 0 {
+		c.HTTPPoolSize = 64
+	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 4 << 20
 	}
@@ -122,6 +135,11 @@ type Router struct {
 	mux      *http.ServeMux
 	rec      *obs.Recorder
 	eligible func(int) bool // precomputed predicate; alloc-free routing
+
+	// Front response cache + its singleflight fill; both nil when
+	// RespCacheEntries is negative (every request then crosses the hop).
+	resp   *server.RespCache
+	flight *fillGroup
 
 	rr        atomic.Uint64 // spill round-robin cursor
 	draining  atomic.Bool
@@ -159,8 +177,11 @@ func New(cfg Config) (*Router, error) {
 	if cfg.HotThreshold > 0 {
 		rt.sketch = newSketch(cfg.HotWindow)
 	}
+	if rt.resp = server.NewRespCache(cfg.RespCacheEntries); rt.resp != nil {
+		rt.flight = newFillGroup()
+	}
 	for _, addr := range cfg.Backends {
-		rt.backends = append(rt.backends, newBackend(addr, cfg.DialTimeout, cfg.WirePoolSize))
+		rt.backends = append(rt.backends, newBackend(addr, cfg.DialTimeout, cfg.WirePoolSize, cfg.HTTPPoolSize))
 	}
 	rt.eligible = func(i int) bool { return rt.backends[i].eligible() }
 
@@ -190,6 +211,11 @@ func New(cfg Config) (*Router, error) {
 			}
 			return 0
 		})
+		reg.Gauge("fleet.cache.size", func() int64 { return int64(rt.resp.Len()) })
+		reg.Gauge("fleet.cache.hits", rt.resp.Hits)
+		reg.Gauge("fleet.cache.misses", rt.resp.Misses)
+		reg.Gauge("fleet.cache.evicts", rt.resp.Evicts)
+		reg.Gauge("fleet.cache_hit_permille", rt.cacheHitPermille)
 		for _, b := range rt.backends {
 			b := b
 			name := "fleet.backend." + b.addr
@@ -221,8 +247,19 @@ func (rt *Router) logf(format string, args ...any) {
 	}
 }
 
-// Handler returns the root handler serving every router endpoint.
-func (rt *Router) Handler() http.Handler { return rt.mux }
+// Handler returns the root handler serving every router endpoint. The API
+// paths dispatch straight to the proxy: ServeMux's catch-all pattern runs
+// its wildcard matcher on every request (three allocations), which the warm
+// path's budget cannot afford.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			rt.proxy(w, r)
+			return
+		}
+		rt.mux.ServeHTTP(w, r)
+	})
+}
 
 // SniffWire splits l between the two protocols: wire-magic connections are
 // terminated by the router's wire proxy, everything else flows through the
@@ -385,6 +422,10 @@ var hopHeaders = [...]string{
 // fleetBackendHeader names the backend that answered a proxied request.
 const fleetBackendHeader = "X-Fleet-Backend"
 
+// requestIDHeader echoes a client-supplied request ID on cache-served
+// responses, exactly as a backend would have.
+const requestIDHeader = "X-Request-Id"
+
 // writeEnvelope synthesizes a backend-shaped JSON error envelope (the
 // trailing newline matches the backends' json.Encoder output).
 func writeEnvelope(w http.ResponseWriter, status int, kind, msg string) {
@@ -399,8 +440,26 @@ func envelopeBody(kind, msg string) []byte {
 	return []byte(fmt.Sprintf("{\"error\":{\"kind\":%q,\"message\":%q}}\n", kind, msg))
 }
 
-// proxy is the catch-all handler: fingerprint, route, proxied hop with one
-// bounded retry, byte-faithful relay of whatever the backend answered.
+// rawProxyable reports whether the cache-miss hop may use the raw pooled
+// HTTP/1.1 client: the three deterministic API endpoints, whose responses
+// are bounded and replayable. /v1/batch must stream element by element —
+// exactly what response buffering forbids — and unknown paths are rare
+// enough not to matter; both keep the net/http hop.
+func rawProxyable(method, path string) bool {
+	switch path {
+	case "/v1/simulate", "/v1/schedule":
+		return method == http.MethodPost
+	case "/v1/figures":
+		return method == http.MethodGet
+	}
+	return false
+}
+
+// proxy is the catch-all handler: front-cache probe, fingerprint, route,
+// proxied hop with one bounded retry, byte-faithful relay of whatever the
+// backend answered. Warm repeats never reach a backend; cacheable misses
+// fill the cache under a per-fingerprint singleflight so a cold storm costs
+// one hop.
 func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	var t0 time.Time
 	if rt.reqTime != nil {
@@ -413,35 +472,134 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	rt.inflight.Add(1)
 	defer rt.inflight.Add(-1)
 	rt.reqs.Inc()
+	clientID := r.Header.Get(requestIDHeader)
 
-	rd := rt.rec.Begin(r.URL.Path)
-	status := http.StatusOK
-	defer func() { rd.Finish(status) }()
-	if id := r.Header.Get("X-Request-Id"); id != "" {
-		rd.SetID(id)
-	}
-
-	// Slurp the body: the fingerprint needs its bytes, and the retry needs
-	// to replay them. A body over the limit is forwarded as a spliced
-	// stream — the backend's own MaxBytesReader produces the canonical
-	// refusal — but cannot be retried.
+	// Slurp the body into pooled scratch: the fingerprint needs its bytes,
+	// and the retry needs to replay them. A body over the limit is forwarded
+	// as a spliced stream — the backend's own MaxBytesReader produces the
+	// canonical refusal — but cannot be retried or cached.
 	var body []byte
 	var overflow io.Reader
 	if r.Body != nil && r.Body != http.NoBody {
-		var err error
-		body, err = io.ReadAll(io.LimitReader(r.Body, int64(rt.cfg.MaxBodyBytes)+1))
-		if err != nil {
-			status = http.StatusBadRequest
-			writeEnvelope(w, status, "bad_request", "fleet: reading request body: "+err.Error())
+		bb := getBodyBuf()
+		defer putBodyBuf(bb)
+		bb.lim = io.LimitedReader{R: r.Body, N: int64(rt.cfg.MaxBodyBytes) + 1}
+		if _, err := bb.buf.ReadFrom(&bb.lim); err != nil {
+			writeEnvelope(w, http.StatusBadRequest, "bad_request", "fleet: reading request body: "+err.Error())
 			return
 		}
+		body = bb.buf.Bytes()
 		if len(body) > rt.cfg.MaxBodyBytes {
 			overflow = r.Body
 		}
 	}
 
+	// Warm fast path: a byte-identical repeat of an already-proxied request
+	// is answered from the front cache with one Write — before routing, the
+	// timeout context, or any backend traffic. Head-sampled like the
+	// backends' own warm path: an unsampled hit records nothing.
+	probeable := overflow == nil && rt.resp != nil && cacheProbeable(r.Method, r.URL.Path, body)
+	var rd *obs.Record
+	var rawK fingerprint.Key
+	if probeable {
+		rawK = rawRequestKey(r.URL.Path, r.URL.RawQuery, body)
+		if rt.rec.SampleWarm() {
+			rd = rt.rec.Begin(r.URL.Path)
+			rd.SetID(clientID)
+			rd.SetFingerprint(rawK[:8])
+			rd.Start(obs.StageFleetCache, obs.ArgRaw)
+		}
+		if rt.serveCached(w, rawK, clientID) {
+			if rt.reqTime != nil {
+				rt.reqTime.Observe(time.Since(t0).Nanoseconds())
+			}
+			if rd != nil {
+				rd.End()
+				rd.MarkWarm()
+				rd.SetTier(tierRaw)
+				rd.Finish(http.StatusOK)
+			}
+			return
+		}
+		rd.End() // nil-safe: closes the lookup span on a sampled miss
+	}
+
+	// Missed path: every request gets a record; a record carried over from a
+	// sampled warm miss is kept.
+	if rd == nil && rt.rec != nil {
+		rd = rt.rec.Begin(r.URL.Path)
+		rd.SetID(clientID)
+	}
+	status := http.StatusOK
+	defer func() { rd.Finish(status) }()
+
+	// Canonical probe: a textual variant of a cached request (field order,
+	// whitespace, defaulted width, model aliases) hits under the strict
+	// canonical key — only when the backend would demonstrably accept the
+	// body (see canonCacheKey).
+	var canonK fingerprint.Key
+	var canonOK bool
+	if probeable {
+		rd.Start(obs.StageFleetCache, obs.ArgCanon)
+		canonK, canonOK = canonCacheKey(r.Method, r.URL.Path, r.URL.RawQuery, body)
+		hit := canonOK && rt.serveCached(w, canonK, clientID)
+		rd.End()
+		if hit {
+			rd.SetTier(tierCanon)
+			if rt.reqTime != nil {
+				rt.reqTime.Observe(time.Since(t0).Nanoseconds())
+			}
+			return
+		}
+	}
+
+	// Singleflight the fill: one hop per cold fingerprint; waiters are handed
+	// the owner's bytes. An owner that fails or proves uncacheable resolves
+	// empty-handed (the deferred abandon is idempotent against the success
+	// path's resolve) and waiters take their own hop — a failed fill is
+	// never shared.
+	var fill *fillCall
+	if canonOK {
+		var owner bool
+		fill, owner = rt.flight.begin(canonK)
+		if owner {
+			defer func() { rt.flight.resolve(canonK, fill, nil, "", false) }()
+		} else {
+			rd.Start(obs.StageSFWait, obs.ArgCanon)
+			select {
+			case <-fill.done:
+				rd.End()
+				if fill.ok {
+					h := w.Header()
+					h.Set("Content-Type", fill.ctype)
+					h.Set(fleetBackendHeader, cacheBackendName)
+					if clientID != "" {
+						h.Set(requestIDHeader, clientID)
+					}
+					w.Write(fill.body) //nolint:errcheck
+					rd.SetTier(tierCanon)
+					if rt.reqTime != nil {
+						rt.reqTime.Observe(time.Since(t0).Nanoseconds())
+					}
+					return
+				}
+			case <-r.Context().Done():
+				rd.End()
+				status = http.StatusGatewayTimeout
+				writeEnvelope(w, status, "timeout",
+					"fleet: timed out waiting for an identical in-flight request")
+				return
+			}
+		}
+	}
+
 	rd.Start(obs.StageRoute, obs.ArgNone)
-	key := httpRouteKey(r.Method, r.URL.Path, r.URL.RawQuery, body)
+	var key fingerprint.Key
+	if canonOK {
+		key = canonK // the strict cache key doubles as the routing key
+	} else {
+		key = httpRouteKey(r.Method, r.URL.Path, r.URL.RawQuery, body)
+	}
 	rd.SetFingerprint(key[:8])
 	idx, spilled := rt.route(key)
 	rd.End()
@@ -457,6 +615,92 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	if spilled {
 		arg = obs.ArgSpilled
 	}
+	if overflow == nil && rawProxyable(r.Method, r.URL.Path) {
+		status = rt.proxyRaw(w, r, rd, arg, key, rawK, canonK, canonOK, fill, body, idx, spilled)
+	} else {
+		// The net/http transport's write loop may still be draining the
+		// request reader after Do returns; hand it a private copy so the
+		// pooled slurp can be recycled safely.
+		status = rt.proxyStream(w, r, rd, arg, key, append([]byte(nil), body...), overflow, idx, spilled)
+	}
+	if rt.reqTime != nil {
+		rt.reqTime.Observe(time.Since(t0).Nanoseconds())
+	}
+}
+
+// proxyRaw is the cache-miss hop for the deterministic API endpoints: one
+// raw HTTP/1.1 exchange over the per-backend keep-alive pool, the whole
+// response buffered before relay so the bounded retry stays simple (nothing
+// reaches the client until a hop has fully succeeded). A 200 under a trusted
+// canonical key fills the front cache and resolves the singleflight.
+func (rt *Router) proxyRaw(w http.ResponseWriter, r *http.Request, rd *obs.Record, arg obs.Arg,
+	key, rawK, canonK fingerprint.Key, canonOK bool, fill *fillCall, body []byte, idx int, spilled bool) int {
+	ps := getRawScratch()
+	defer putRawScratch(ps)
+	const maxAttempts = 2 // first hop + one reroute
+	for attempt := 0; ; attempt++ {
+		b := rt.backends[idx]
+		b.inflight.Add(1)
+		rd.Start(obs.StageProxy, arg)
+		buildRawRequest(ps, r, b.addr, body)
+		res, err := rt.rawSend(b, r, ps)
+		rd.End()
+		b.inflight.Add(-1)
+		if err != nil {
+			// Only a fresh dial failure marks the backend down (a stale pooled
+			// connection already redialed inside rawSend); any hop failure may
+			// reroute once — nothing has been written to the client.
+			var dial *rawDialError
+			if errors.As(err, &dial) {
+				rt.noteDialFailure(b)
+			}
+			if attempt+1 < maxAttempts {
+				if next := rt.reroute(key, spilled, idx); next >= 0 {
+					rt.retries.Inc()
+					rt.countRoute(next, spilled)
+					idx = next
+					continue
+				}
+			}
+			rt.proxyErrs.Inc()
+			writeEnvelope(w, http.StatusServiceUnavailable, "unavailable",
+				fmt.Sprintf("fleet: backend %s unreachable: %v", b.addr, err))
+			return http.StatusServiceUnavailable
+		}
+		// A draining backend refused after the probe window: treat its 503
+		// envelope like a connect failure and reroute, once. Not draining (or
+		// nowhere to go): the refusal relays verbatim below.
+		if res.status == http.StatusServiceUnavailable && attempt+1 < maxAttempts && isDrainingBody(res.body) {
+			if !b.draining.Swap(true) {
+				rt.logf("fleet: backend %s draining; rerouting new keys", b.addr)
+			}
+			if next := rt.reroute(key, spilled, idx); next >= 0 {
+				rt.retries.Inc()
+				rt.countRoute(next, spilled)
+				idx = next
+				continue
+			}
+		}
+		if canonOK && res.status == http.StatusOK {
+			// Fill both lanes with one immutable copy (the scratch bytes are
+			// recycled); the singleflight hands waiters the same copy. Only
+			// 200 envelopes are stored — a refusal is never memoized.
+			cbody := append([]byte(nil), res.body...)
+			ctype := ps.findHeader("content-type")
+			rt.resp.Put(canonK, cbody, ctype)
+			rt.resp.Put(rawK, cbody, ctype)
+			rt.flight.resolve(canonK, fill, cbody, ctype, true)
+		}
+		relayRaw(w, ps, res, b.addr)
+		return res.status
+	}
+}
+
+// proxyStream is the net/http hop for everything the raw path cannot carry:
+// /v1/batch (flushed element by element), over-limit spliced bodies, and
+// unknown paths. Semantics are unchanged from before the raw hop existed.
+func (rt *Router) proxyStream(w http.ResponseWriter, r *http.Request, rd *obs.Record, arg obs.Arg,
+	key fingerprint.Key, body []byte, overflow io.Reader, idx int, spilled bool) int {
 	const maxAttempts = 2 // first hop + one reroute
 	for attempt := 0; ; attempt++ {
 		b := rt.backends[idx]
@@ -478,20 +722,19 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 			}
-			status = http.StatusServiceUnavailable
 			rt.proxyErrs.Inc()
-			writeEnvelope(w, status, "unavailable",
+			writeEnvelope(w, http.StatusServiceUnavailable, "unavailable",
 				fmt.Sprintf("fleet: backend %s unreachable: %v", b.addr, err))
-			return
+			return http.StatusServiceUnavailable
 		}
 		// A draining backend refused after the probe window: treat its 503
 		// envelope like a connect failure and reroute, once.
 		if resp.StatusCode == http.StatusServiceUnavailable && attempt+1 < maxAttempts && overflow == nil {
-			refusal, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			refusal, _ := io.ReadAll(io.LimitReader(resp.Body, drainSniffBytes))
 			resp.Body.Close()
 			rd.End()
 			b.inflight.Add(-1)
-			if bytes.Contains(refusal, []byte(`"draining"`)) {
+			if isDrainingBody(refusal) {
 				if !b.draining.Swap(true) {
 					rt.logf("fleet: backend %s draining; rerouting new keys", b.addr)
 				}
@@ -503,26 +746,33 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			// Not draining (or nowhere to go): relay the refusal verbatim.
-			status = resp.StatusCode
 			relayHead(w, resp, b.addr, int64(len(refusal)))
 			w.Write(refusal) //nolint:errcheck
-			if rt.reqTime != nil {
-				rt.reqTime.Observe(time.Since(t0).Nanoseconds())
-			}
-			return
+			return resp.StatusCode
 		}
-		status = resp.StatusCode
 		relayHead(w, resp, b.addr, resp.ContentLength)
 		flushCopy(w, resp.Body)
 		resp.Body.Close()
 		rd.End()
 		b.inflight.Add(-1)
-		if rt.reqTime != nil {
-			rt.reqTime.Observe(time.Since(t0).Nanoseconds())
-		}
-		return
+		return resp.StatusCode
 	}
 }
+
+// cacheHitPermille reports front-cache hits per thousand lookups (0 before
+// any traffic); the CI fleet gate reads it from /metrics as
+// fleet_cache_hit_permille.
+func (rt *Router) cacheHitPermille() int64 {
+	h, m := rt.resp.Hits(), rt.resp.Misses()
+	if h+m == 0 {
+		return 0
+	}
+	return h * 1000 / (h + m)
+}
+
+// CacheLen reports the front response cache's current entry count (0 when
+// caching is disabled).
+func (rt *Router) CacheLen() int { return rt.resp.Len() }
 
 // countRoute attributes one routing decision to its backend.
 func (rt *Router) countRoute(idx int, spilled bool) {

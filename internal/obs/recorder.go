@@ -39,24 +39,25 @@ import (
 type Stage uint8
 
 const (
-	StageAdmission Stage = iota // waiting for an admission slot
-	StageRespCache              // response-byte cache lookup/serve
-	StageSFWait                 // waiting on another request's singleflight
-	StageSFOwn                  // owning (computing) a singleflight entry
-	StageCompile                // build + profile + superblock formation
-	StageSchedule               // list scheduling
-	StageSimulate               // cycle-level simulation
-	StageEncode                 // response encoding + cache fill
-	StageBatch                  // batch fan-out across the worker pool
-	StageRoute                  // fleet router: fingerprint + ring/spill decision
-	StageProxy                  // fleet router: proxied hop to the chosen backend
+	StageAdmission  Stage = iota // waiting for an admission slot
+	StageRespCache               // response-byte cache lookup/serve
+	StageSFWait                  // waiting on another request's singleflight
+	StageSFOwn                   // owning (computing) a singleflight entry
+	StageCompile                 // build + profile + superblock formation
+	StageSchedule                // list scheduling
+	StageSimulate                // cycle-level simulation
+	StageEncode                  // response encoding + cache fill
+	StageBatch                   // batch fan-out across the worker pool
+	StageRoute                   // fleet router: fingerprint + ring/spill decision
+	StageProxy                   // fleet router: proxied hop to the chosen backend
+	StageFleetCache              // fleet router: front response-cache lookup/serve
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"admission", "respcache", "sfwait", "sfown",
 	"compile", "schedule", "simulate", "encode", "batch",
-	"route", "proxy",
+	"route", "proxy", "fcache",
 }
 
 func (s Stage) String() string {

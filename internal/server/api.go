@@ -185,9 +185,9 @@ func (s *Server) writeJSONCaching(w http.ResponseWriter, r *http.Request, key re
 	}
 	if cacheable {
 		body := append([]byte(nil), e.buf.Bytes()...)
-		s.resp.put(key, body, jsonContentType)
+		s.resp.Put(key, body, jsonContentType)
 		if rk, ok := rawKeyFrom(r.Context()); ok {
-			s.resp.put(rk, body, jsonContentType)
+			s.resp.Put(rk, body, jsonContentType)
 		}
 	}
 	w.Header().Set("Content-Type", jsonContentType)

@@ -51,6 +51,16 @@ var (
 	coalesceOptOutFault = []byte(`"fault_segment"`)
 )
 
+// CacheOptOut reports whether raw request-body bytes name one of the two
+// documented cache escape hatches — a "full" forced re-simulation or an
+// injected "fault_segment". Exported for the fleet router, whose response
+// cache must honor exactly the bypass discipline the backends do. The sniff
+// is conservative: a spelled-out "full":false merely forfeits caching, it
+// never causes a wrong answer.
+func CacheOptOut(body []byte) bool {
+	return bytes.Contains(body, coalesceOptOutFull) || bytes.Contains(body, coalesceOptOutFault)
+}
+
 // batchContentType marks the /v1/batch response stream: a sequence of
 // header-line + payload element frames, not one JSON document.
 const batchContentType = "application/x-sentinel-batch"
@@ -194,7 +204,7 @@ func (s *Server) runBatch(ctx context.Context, elems []batchElem, emit func(i, s
 	for i := range elems {
 		var k respKey
 		k, fp.b = rawRequestKeyInto(fp.b, elems[i].path(), "", elems[i].payload)
-		if body, _, ok := s.resp.get(k); ok {
+		if body, _, ok := s.resp.Get(k); ok {
 			emit(i, http.StatusOK, body)
 			continue
 		}
@@ -224,7 +234,7 @@ func (s *Server) runBatch(ctx context.Context, elems []batchElem, emit func(i, s
 		kb := getFrameBuf()
 		for _, i := range cold {
 			p := elems[i].payload
-			if bytes.Contains(p, coalesceOptOutFull) || bytes.Contains(p, coalesceOptOutFault) {
+			if CacheOptOut(p) {
 				runs = append(runs, i)
 				twins = append(twins, nil)
 				continue

@@ -401,7 +401,7 @@ func TestBatchCrossWarmsSingleEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("batch: %d %s", resp.StatusCode, out)
 	}
-	if s.resp.len() == 0 {
+	if s.resp.Len() == 0 {
 		t.Fatal("batched element did not fill the response cache")
 	}
 	hitsBefore := s.resp.hits.Load()

@@ -168,17 +168,17 @@ func BenchmarkServeFigures(b *testing.B) {
 // cache hit performs zero marshal work — the only allocation left is the
 // header value slice Set builds, well under the 2 allocs/op budget.
 func TestRespCacheServeAllocs(t *testing.T) {
-	c := newRespCache(64)
+	c := NewRespCache(64)
 	var k respKey
 	k[0] = 0xA5
-	c.put(k, []byte(`{"ok":true}`), jsonContentType)
+	c.Put(k, []byte(`{"ok":true}`), jsonContentType)
 	w := newBenchWriter()
 	avg := testing.AllocsPerRun(1000, func() {
-		if !c.serve(w, k) {
+		if !c.Serve(w, k) {
 			t.Fatal("unexpected cache miss")
 		}
 	})
 	if avg > 2 {
-		t.Fatalf("respCache.serve = %.2f allocs/op, want <= 2", avg)
+		t.Fatalf("RespCache.serve = %.2f allocs/op, want <= 2", avg)
 	}
 }

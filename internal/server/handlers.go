@@ -171,7 +171,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) error {
 	rd.SetFingerprint(key[:])
 	rd.SetPredictor(md.Predictor.String())
 	rd.Start(obs.StageRespCache, obs.ArgCanon)
-	hit := s.resp.serve(w, key)
+	hit := s.resp.Serve(w, key)
 	rd.End()
 	if hit {
 		rd.SetTier(tierCanon)
@@ -226,7 +226,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		key = simulateKey(req, md)
 		rd.SetFingerprint(key[:])
 		rd.Start(obs.StageRespCache, obs.ArgCanon)
-		hit := s.resp.serve(w, key)
+		hit := s.resp.Serve(w, key)
 		rd.End()
 		if hit {
 			rd.SetTier(tierCanon)
@@ -340,7 +340,7 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) error {
 	rd := obs.RecordFrom(r.Context())
 	rd.SetFingerprint(key[:])
 	rd.Start(obs.StageRespCache, obs.ArgCanon)
-	hit := s.resp.serve(w, key)
+	hit := s.resp.Serve(w, key)
 	rd.End()
 	if hit {
 		rd.SetTier(tierCanon)
@@ -360,9 +360,9 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) error {
 	}
 	rd.Start(obs.StageEncode, obs.ArgNone)
 	body := append([]byte(nil), buf.Bytes()...)
-	s.resp.put(key, body, figuresContentType)
+	s.resp.Put(key, body, figuresContentType)
 	if rk, ok := rawKeyFrom(r.Context()); ok {
-		s.resp.put(rk, body, figuresContentType)
+		s.resp.Put(rk, body, figuresContentType)
 	}
 	w.Header().Set("Content-Type", figuresContentType)
 	w.Write(buf.Bytes()) //nolint:errcheck

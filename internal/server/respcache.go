@@ -15,6 +15,10 @@ package server
 // sha256 over the normalized request (see fingerprint.go), so two requests
 // with the same key are guaranteed the same body byte-for-byte — the cache
 // can only ever return what the uncached path would have written.
+//
+// The type is exported because the fleet router (internal/fleet) memoizes
+// proxied responses with the exact same structure and keying discipline;
+// one implementation keeps the two caches from ever skewing.
 
 import (
 	"encoding/binary"
@@ -42,18 +46,18 @@ type respShard struct {
 	cap        int
 }
 
-// respCache is the sharded LRU. A nil respCache is valid and disabled:
+// RespCache is the sharded LRU. A nil RespCache is valid and disabled:
 // lookups miss, stores discard — the zero-configuration off switch.
-type respCache struct {
+type RespCache struct {
 	shards               []respShard
 	hits, misses, evicts atomic.Int64
 }
 
-// newRespCache builds a cache bounded to at most `entries` responses
+// NewRespCache builds a cache bounded to at most `entries` responses
 // (0 selects the default; negative disables by returning nil). The bound is
 // split over power-of-two shards; when entries is smaller than the shard
 // count a single shard keeps the bound exact.
-func newRespCache(entries int) *respCache {
+func NewRespCache(entries int) *RespCache {
 	const nshards = 16
 	if entries < 0 {
 		return nil
@@ -61,7 +65,7 @@ func newRespCache(entries int) *respCache {
 	if entries == 0 {
 		entries = 4096
 	}
-	c := &respCache{}
+	c := &RespCache{}
 	if entries < nshards {
 		c.shards = make([]respShard, 1)
 		c.shards[0].cap = entries
@@ -79,14 +83,14 @@ func newRespCache(entries int) *respCache {
 
 // shard picks the stripe for k. The key is a sha256, so any 8 bytes of it
 // are uniformly distributed — no second hash needed.
-func (c *respCache) shard(k respKey) *respShard {
+func (c *RespCache) shard(k respKey) *respShard {
 	h := binary.LittleEndian.Uint64(k[:8])
 	return &c.shards[h&uint64(len(c.shards)-1)]
 }
 
-// get returns the cached body and content type for k, refreshing its
+// Get returns the cached body and content type for k, refreshing its
 // recency. ok is false on a miss or a nil (disabled) cache.
-func (c *respCache) get(k respKey) (body []byte, ctype string, ok bool) {
+func (c *RespCache) Get(k respKey) (body []byte, ctype string, ok bool) {
 	if c == nil {
 		return nil, "", false
 	}
@@ -104,10 +108,10 @@ func (c *respCache) get(k respKey) (body []byte, ctype string, ok bool) {
 	return e.body, e.ctype, true
 }
 
-// put stores body (which the cache takes ownership of — callers must pass a
+// Put stores body (which the cache takes ownership of — callers must pass a
 // copy if they keep writing to the backing array) under k, evicting the
 // least-recently-used entry of k's shard when full. No-op on nil.
-func (c *respCache) put(k respKey, body []byte, ctype string) {
+func (c *RespCache) Put(k respKey, body []byte, ctype string) {
 	if c == nil {
 		return
 	}
@@ -136,11 +140,11 @@ func (c *respCache) put(k respKey, body []byte, ctype string) {
 	s.mu.Unlock()
 }
 
-// serve writes the cached response for k to w, reporting whether it did.
+// Serve writes the cached response for k to w, reporting whether it did.
 // This is the entire warm hot path after fingerprinting: one shard lookup,
 // one header set, one Write.
-func (c *respCache) serve(w http.ResponseWriter, k respKey) bool {
-	body, ctype, ok := c.get(k)
+func (c *RespCache) Serve(w http.ResponseWriter, k respKey) bool {
+	body, ctype, ok := c.Get(k)
 	if !ok {
 		return false
 	}
@@ -149,9 +153,9 @@ func (c *respCache) serve(w http.ResponseWriter, k respKey) bool {
 	return true
 }
 
-// reset drops every entry (hit/miss/evict counters persist). Runs on
+// Reset drops every entry (hit/miss/evict counters persist). Runs on
 // Runner.OnReset so response bytes never outlive their source artifacts.
-func (c *respCache) reset() {
+func (c *RespCache) Reset() {
 	if c == nil {
 		return
 	}
@@ -164,8 +168,8 @@ func (c *respCache) reset() {
 	}
 }
 
-// len reports the cached entry count.
-func (c *respCache) len() int {
+// Len reports the cached entry count.
+func (c *RespCache) Len() int {
 	if c == nil {
 		return 0
 	}
@@ -177,6 +181,30 @@ func (c *respCache) len() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// Hits reports lifetime cache hits (0 on a nil cache).
+func (c *RespCache) Hits() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.hits.Load()
+}
+
+// Misses reports lifetime cache misses (0 on a nil cache).
+func (c *RespCache) Misses() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.misses.Load()
+}
+
+// Evicts reports lifetime LRU evictions (0 on a nil cache).
+func (c *RespCache) Evicts() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evicts.Load()
 }
 
 // Intrusive LRU list plumbing; callers hold the shard mutex.

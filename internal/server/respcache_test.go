@@ -81,7 +81,7 @@ func TestRespCacheByteIdentity(t *testing.T) {
 func TestRespCacheLRUBound(t *testing.T) {
 	for _, entries := range []int{5, 128} {
 		t.Run(fmt.Sprintf("entries=%d", entries), func(t *testing.T) {
-			c := newRespCache(entries)
+			c := NewRespCache(entries)
 			var wg sync.WaitGroup
 			for g := 0; g < 8; g++ {
 				wg.Add(1)
@@ -92,14 +92,14 @@ func TestRespCacheLRUBound(t *testing.T) {
 					for i := 0; i < 2000; i++ {
 						rng.Read(k[:]) //nolint:errcheck
 						if rng.Intn(3) == 0 {
-							c.get(k) //nolint:errcheck // racing misses are the point
+							c.Get(k) //nolint:errcheck // racing misses are the point
 						}
-						c.put(k, []byte("body"), "text/plain")
+						c.Put(k, []byte("body"), "text/plain")
 					}
 				}(g)
 			}
 			wg.Wait()
-			if got := c.len(); got > entries {
+			if got := c.Len(); got > entries {
 				t.Fatalf("cache holds %d entries, configured bound %d", got, entries)
 			}
 			if c.evicts.Load() == 0 {
@@ -108,8 +108,8 @@ func TestRespCacheLRUBound(t *testing.T) {
 			// After the dust settles the LRU still serves what it stores.
 			var k respKey
 			k[0] = 0xFF
-			c.put(k, []byte("fresh"), "text/plain")
-			if body, _, ok := c.get(k); !ok || string(body) != "fresh" {
+			c.Put(k, []byte("fresh"), "text/plain")
+			if body, _, ok := c.Get(k); !ok || string(body) != "fresh" {
 				t.Fatalf("get after storm = %q, %v; want \"fresh\", true", body, ok)
 			}
 		})
@@ -128,13 +128,13 @@ func TestRespCacheResetWithRunner(t *testing.T) {
 	}
 	// One success registers two entries: the canonical key and the raw
 	// request-bytes key the v1 wrapper fingerprinted.
-	if got := s.resp.len(); got != 2 {
+	if got := s.resp.Len(); got != 2 {
 		t.Fatalf("respcache len = %d after one success, want 2 (canonical + raw)", got)
 	}
 
 	missesBefore := s.resp.misses.Load()
 	s.Runner().Reset()
-	if got := s.resp.len(); got != 0 {
+	if got := s.resp.Len(); got != 0 {
 		t.Fatalf("respcache len = %d after Runner.Reset, want 0 (stale bytes survived)", got)
 	}
 
@@ -190,12 +190,12 @@ func TestRespCacheBypasses(t *testing.T) {
 		`{"workload":"cmp","model":"sentinel","width":8,"full":true}`,
 		`{"workload":"cmp","model":"sentinel","width":8,"fault_segment":"a"}`,
 	} {
-		before := s.resp.len()
+		before := s.resp.Len()
 		rec := postRaw(t, s.Handler(), "/v1/simulate", body)
 		if rec.Code != http.StatusOK && rec.Code != http.StatusUnprocessableEntity {
 			t.Fatalf("%s = %d: %s", body, rec.Code, rec.Body.String())
 		}
-		if got := s.resp.len(); got != before {
+		if got := s.resp.Len(); got != before {
 			t.Errorf("%s changed respcache len %d -> %d; escape hatch leaked into the cache", body, before, got)
 		}
 	}

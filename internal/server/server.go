@@ -84,7 +84,7 @@ type Server struct {
 	runner  *eval.Runner
 	adm     *admission
 	sources *sourceCache
-	resp    *respCache
+	resp    *RespCache
 	mux     *http.ServeMux
 	rec     *obs.Recorder
 	ready   atomic.Bool
@@ -116,12 +116,12 @@ func New(cfg Config) *Server {
 		runner:  eval.NewRunner(cfg.Workers),
 		adm:     newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		sources: newSourceCache(cfg.MaxSourcePrograms),
-		resp:    newRespCache(cfg.RespCacheEntries),
+		resp:    NewRespCache(cfg.RespCacheEntries),
 		rec:     cfg.Recorder,
 	}
 	// Response bytes are rendered from Runner artifacts; dropping the
 	// artifacts must drop the bytes memoized on top of them.
-	s.runner.OnReset(s.resp.reset)
+	s.runner.OnReset(s.resp.Reset)
 	s.ready.Store(true)
 	if reg := cfg.Registry; reg != nil {
 		s.runner.SetMetrics(reg)
@@ -143,7 +143,7 @@ func New(cfg Config) *Server {
 			return 0
 		})
 		reg.Gauge("server.cache_hit_permille", s.cacheHitPermille)
-		reg.Gauge("server.respcache.size", func() int64 { return int64(s.resp.len()) })
+		reg.Gauge("server.respcache.size", func() int64 { return int64(s.resp.Len()) })
 		reg.Gauge("server.respcache.hits", func() int64 {
 			if s.resp == nil {
 				return 0
@@ -312,7 +312,7 @@ func (s *Server) v1(endpoint string, h func(w http.ResponseWriter, r *http.Reque
 					}
 					rd.Start(obs.StageRespCache, obs.ArgRaw)
 				}
-				if s.resp.serve(w, rawK) {
+				if s.resp.Serve(w, rawK) {
 					s.reqs.Inc()
 					if s.reqTime != nil {
 						s.reqTime.Observe(time.Since(t0).Nanoseconds())

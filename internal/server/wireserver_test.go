@@ -147,7 +147,7 @@ func TestWireKeepAlive(t *testing.T) {
 			t.Fatalf("round %d bytes differ from round 0", round)
 		}
 	}
-	if s.resp.len() == 0 {
+	if s.resp.Len() == 0 {
 		t.Fatal("response cache untouched after repeated frames")
 	}
 }

@@ -15,8 +15,14 @@ gate: it means a benchmark was deleted or broke, and warning alone would
 let that pass silently forever. Pass --allow-missing during an intentional
 rename/removal, then refresh the baseline.
 
+Hard allocation bounds are opt-in per benchmark: --max-allocs Name=N
+(repeatable) fails the gate when the current run's allocs_per_op exceeds N.
+Unlike ns_per_op, allocation counts are deterministic, so a bound violation
+is a real code change, never runner noise — it gates even benchmarks that
+have no baseline entry yet.
+
 Usage: benchgate.py BASELINE.json CURRENT.json [--threshold 0.20]
-       [--allow-missing]
+       [--allow-missing] [--max-allocs Name=N ...]
 """
 
 import argparse
@@ -39,7 +45,19 @@ def main():
                     help="warn instead of fail when a baseline benchmark is "
                          "missing from the current run (intentional rename "
                          "or removal, pending a baseline refresh)")
+    ap.add_argument("--max-allocs", action="append", default=[],
+                    metavar="NAME=N",
+                    help="fail when NAME's current allocs_per_op exceeds N "
+                         "(repeatable; alloc counts are deterministic, so "
+                         "this is a hard bound, not a tolerance)")
     args = ap.parse_args()
+
+    alloc_bounds = {}
+    for spec in args.max_allocs:
+        name, sep, bound = spec.partition("=")
+        if not sep or not bound.isdigit():
+            ap.error(f"--max-allocs wants NAME=N, got {spec!r}")
+        alloc_bounds[name] = int(bound)
 
     base = load(args.baseline)
     cur = load(args.current)
@@ -76,6 +94,19 @@ def main():
         if name not in base:
             print(f"WARNING: {name}: new benchmark with no baseline; skipped "
                   f"(add it to the baseline)", file=sys.stderr)
+
+    for name, bound in sorted(alloc_bounds.items()):
+        c = cur.get(name)
+        if c is None:
+            failed.append(f"{name}: --max-allocs bound set but the benchmark "
+                          f"is missing from the current run")
+            continue
+        allocs = c["allocs_per_op"]
+        verdict = "ok" if allocs <= bound else "FAIL"
+        print(f"{name:<28} allocs/op {allocs} (bound {bound}): {verdict}")
+        if allocs > bound:
+            failed.append(
+                f"{name}: {allocs} allocs/op exceeds the hard bound of {bound}")
 
     if failed:
         print("\nbenchmark gate FAILED:", file=sys.stderr)
