@@ -1,0 +1,89 @@
+package fleet_test
+
+// Raw-hop edge contracts against real backends: a client that asks for the
+// 100-continue handshake must not derail the pooled raw hop (the regression:
+// a relayed Expect made Go backends emit an interim 100, which the parser
+// took for an unframed final response and blocked on the keep-alive
+// connection until the request deadline), and ResetCache actually drops the
+// front cache so post-reset requests cross the hop again.
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+	"time"
+
+	"sentinel/internal/fleet"
+)
+
+// TestFleetRawHopExpectContinue: a POST carrying Expect: 100-continue (what
+// curl sends by default for bodies over 1KB) is answered promptly and
+// byte-identically to a direct backend call. The short RequestTimeout makes
+// a regression fail as a quick 503 instead of a half-minute hang.
+func TestFleetRawHopExpectContinue(t *testing.T) {
+	_, _, router := startFleet(t, 2, func(cfg *fleet.Config) {
+		cfg.RequestTimeout = 2 * time.Second
+	})
+
+	body := []byte(`{"workload":"cmp","model":"sentinel","width":4}`)
+	req, err := http.NewRequest(http.MethodPost, "http://"+router+"/v1/simulate", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Expect", "100-continue")
+
+	client := &http.Client{Timeout: 15 * time.Second}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("POST with Expect: 100-continue: %v", err)
+	}
+	defer resp.Body.Close()
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after %v, want 200: %s", resp.StatusCode, time.Since(start), got.Bytes())
+	}
+	if b := resp.Header.Get("X-Fleet-Backend"); b == "" || b == "cache" {
+		t.Fatalf("answered by %q, want a backend", b)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("request took %v; an Expect header must not stall the raw hop", elapsed)
+	}
+
+	direct := post(t, resp.Header.Get("X-Fleet-Backend"), "/v1/simulate", body)
+	if direct.status != http.StatusOK || !bytes.Equal(direct.body, got.Bytes()) {
+		t.Fatalf("proxied-with-Expect differs from direct:\nproxied: %s\ndirect:  %s", got.Bytes(), direct.body)
+	}
+}
+
+// TestFleetResetCache: the documented operator hook — after ResetCache a
+// previously warm request crosses the hop again instead of serving
+// pre-reset bytes, then re-warms as usual.
+func TestFleetResetCache(t *testing.T) {
+	_, rt, router := startFleet(t, 2, nil)
+	body := []byte(`{"workload":"cmp","model":"sentinel","width":4}`)
+
+	cold := post(t, router, "/v1/simulate", body)
+	if cold.status != http.StatusOK || cold.backend == "cache" {
+		t.Fatalf("cold: status %d backend %q, want 200 from a backend", cold.status, cold.backend)
+	}
+	if warm := post(t, router, "/v1/simulate", body); warm.backend != "cache" {
+		t.Fatalf("warm repeat answered by %q, want the front cache", warm.backend)
+	}
+
+	rt.ResetCache()
+	refill := post(t, router, "/v1/simulate", body)
+	if refill.backend == "cache" || refill.backend == "" {
+		t.Fatalf("post-reset request answered by %q, want a backend (cache must be empty)", refill.backend)
+	}
+	if !bytes.Equal(refill.body, cold.body) {
+		t.Fatal("post-reset backend answer differs from the original")
+	}
+	if rewarm := post(t, router, "/v1/simulate", body); rewarm.backend != "cache" {
+		t.Fatalf("re-warmed repeat answered by %q, want the front cache", rewarm.backend)
+	}
+}

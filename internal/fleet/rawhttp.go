@@ -81,7 +81,9 @@ func (e *rawDialError) Unwrap() error { return e.err }
 // buildRawRequest serializes r (with the already-slurped body) into ps.req:
 // the exact request net/http would have sent, minus per-request allocation.
 // Hop-by-hop headers stay behind; Host and Content-Length are the hop's
-// own.
+// own. Expect stays behind too: the body is already fully buffered and
+// written in the same frame, so a relayed 100-continue handshake buys
+// nothing and provokes an interim response the relay has no use for.
 func buildRawRequest(ps *rawScratch, r *http.Request, host string, body []byte) {
 	b := append(ps.req[:0], r.Method...)
 	b = append(b, ' ')
@@ -94,7 +96,7 @@ func buildRawRequest(ps *rawScratch, r *http.Request, host string, body []byte) 
 	b = append(b, host...)
 	b = append(b, '\r', '\n')
 	for name, vals := range r.Header {
-		if isHopHeader(name) || name == "Host" || name == "Content-Length" {
+		if isHopHeader(name) || name == "Host" || name == "Content-Length" || name == "Expect" {
 			continue
 		}
 		for _, v := range vals {
@@ -150,91 +152,113 @@ func (rt *Router) rawSend(b *backend, r *http.Request, ps *rawScratch) (rawResul
 	}
 }
 
-// readRawResponse consumes exactly one HTTP/1.1 response from br into ps.
-// began reports whether any response byte arrived before a failure — false
-// means the caller may treat a pooled connection as stale and retry.
+// readRawResponse consumes one final HTTP/1.1 response from br into ps.
+// Interim 1xx responses (a 100 Continue from a backend that honored an
+// Expect header, say) are parsed and discarded — only the final response is
+// returned, so a 100 can never be mistaken for an unframed answer that
+// blocks reading to EOF on a keep-alive connection. began reports whether
+// any response byte arrived before a failure — false means the caller may
+// treat a pooled connection as stale and retry.
 func readRawResponse(br *bufio.Reader, ps *rawScratch) (res rawResult, began bool, err error) {
-	line, err := br.ReadSlice('\n')
-	began = len(line) > 0 || err == nil
-	if err != nil {
-		return res, began, err
-	}
-	if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.")) {
-		return res, true, fmt.Errorf("malformed status line %q", trimLine(line))
-	}
-	res.closeAfter = line[7] == '0' // HTTP/1.0: no keep-alive by default
-	for _, c := range line[9:12] {
-		if c < '0' || c > '9' {
+	const maxInterim = 8 // backends send at most one 1xx; anything more is broken
+	for interim := 0; ; interim++ {
+		line, err := br.ReadSlice('\n')
+		if !began {
+			began = len(line) > 0 || err == nil
+		}
+		if err != nil {
+			return res, began, err
+		}
+		began = true
+		if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.")) {
 			return res, true, fmt.Errorf("malformed status line %q", trimLine(line))
 		}
-		res.status = res.status*10 + int(c-'0')
-	}
-	clen, chunked := -1, false
-	ps.hdr = ps.hdr[:0]
-	ps.pairs = ps.pairs[:0]
-	for {
-		h, err := br.ReadSlice('\n')
-		if err != nil {
-			return res, true, err
+		res = rawResult{closeAfter: line[7] == '0'} // HTTP/1.0: no keep-alive by default
+		for _, c := range line[9:12] {
+			if c < '0' || c > '9' {
+				return res, true, fmt.Errorf("malformed status line %q", trimLine(line))
+			}
+			res.status = res.status*10 + int(c-'0')
 		}
-		h = trimLine(h)
-		if len(h) == 0 {
-			break
+		clen, chunked := -1, false
+		ps.hdr = ps.hdr[:0]
+		ps.pairs = ps.pairs[:0]
+		for {
+			h, err := br.ReadSlice('\n')
+			if err != nil {
+				return res, true, err
+			}
+			h = trimLine(h)
+			if len(h) == 0 {
+				break
+			}
+			colon := bytes.IndexByte(h, ':')
+			if colon < 0 {
+				return res, true, fmt.Errorf("malformed header line %q", h)
+			}
+			name, val := h[:colon], bytes.TrimSpace(h[colon+1:])
+			switch {
+			case asciiFold(name, "content-length"):
+				n, ok := parseDec(val)
+				if !ok {
+					return res, true, fmt.Errorf("malformed Content-Length %q", val)
+				}
+				clen = n
+			case asciiFold(name, "transfer-encoding"):
+				chunked = bytes.EqualFold(val, []byte("chunked"))
+			case asciiFold(name, "connection"):
+				if bytes.EqualFold(val, []byte("close")) {
+					res.closeAfter = true
+				}
+			case isHopHeaderBytes(name):
+			default:
+				n0 := len(ps.hdr)
+				ps.hdr = append(ps.hdr, name...)
+				v0 := len(ps.hdr)
+				ps.hdr = append(ps.hdr, val...)
+				ps.pairs = append(ps.pairs, hdrPair{n0, v0, v0, len(ps.hdr)})
+			}
 		}
-		colon := bytes.IndexByte(h, ':')
-		if colon < 0 {
-			return res, true, fmt.Errorf("malformed header line %q", h)
+		if res.status >= 100 && res.status < 200 {
+			// Interim response: its header block just ended; the real response
+			// follows on the same connection.
+			if interim+1 >= maxInterim {
+				return res, true, fmt.Errorf("%d interim 1xx responses without a final one", maxInterim)
+			}
+			continue
 		}
-		name, val := h[:colon], bytes.TrimSpace(h[colon+1:])
 		switch {
-		case asciiFold(name, "content-length"):
-			n, ok := parseDec(val)
-			if !ok {
-				return res, true, fmt.Errorf("malformed Content-Length %q", val)
+		case res.status == http.StatusNoContent || res.status == http.StatusNotModified:
+			// Bodyless by definition: any Content-Length on a 304 describes
+			// the representation, it does not frame bytes on this connection.
+			ps.body = ps.body[:0]
+		case chunked:
+			if err := readChunkedInto(br, ps); err != nil {
+				return res, true, err
 			}
-			clen = n
-		case asciiFold(name, "transfer-encoding"):
-			chunked = bytes.EqualFold(val, []byte("chunked"))
-		case asciiFold(name, "connection"):
-			if bytes.EqualFold(val, []byte("close")) {
-				res.closeAfter = true
+		case clen >= 0:
+			if clen > maxRawRespBytes {
+				return res, true, fmt.Errorf("response body %d bytes exceeds the %d relay bound", clen, maxRawRespBytes)
 			}
-		case isHopHeaderBytes(name):
+			if cap(ps.body) < clen {
+				ps.body = make([]byte, clen)
+			}
+			ps.body = ps.body[:clen]
+			if _, err := io.ReadFull(br, ps.body); err != nil {
+				return res, true, err
+			}
 		default:
-			n0 := len(ps.hdr)
-			ps.hdr = append(ps.hdr, name...)
-			v0 := len(ps.hdr)
-			ps.hdr = append(ps.hdr, val...)
-			ps.pairs = append(ps.pairs, hdrPair{n0, v0, v0, len(ps.hdr)})
+			// No framing: the body runs to connection close.
+			res.closeAfter = true
+			ps.body = ps.body[:0]
+			var err error
+			if ps.body, err = readToEOF(br, ps.body); err != nil {
+				return res, true, err
+			}
 		}
+		res.body = ps.body
+		return res, true, nil
 	}
-	switch {
-	case chunked:
-		if err := readChunkedInto(br, ps); err != nil {
-			return res, true, err
-		}
-	case clen >= 0:
-		if clen > maxRawRespBytes {
-			return res, true, fmt.Errorf("response body %d bytes exceeds the %d relay bound", clen, maxRawRespBytes)
-		}
-		if cap(ps.body) < clen {
-			ps.body = make([]byte, clen)
-		}
-		ps.body = ps.body[:clen]
-		if _, err := io.ReadFull(br, ps.body); err != nil {
-			return res, true, err
-		}
-	default:
-		// No framing: the body runs to connection close.
-		res.closeAfter = true
-		ps.body = ps.body[:0]
-		var err error
-		if ps.body, err = readToEOF(br, ps.body); err != nil {
-			return res, true, err
-		}
-	}
-	res.body = ps.body
-	return res, true, nil
 }
 
 // readChunkedInto de-chunks a body into ps.body: size line, chunk bytes +

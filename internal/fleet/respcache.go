@@ -26,6 +26,12 @@ package fleet
 // An owner whose hop fails or proves uncacheable resolves "no result" and
 // the waiters fall through to their own hop — a failed fill is never
 // shared, echoing the eval flight's poisoning rule.
+//
+// Lifetime. The front cache assumes backend artifacts are immutable for the
+// router's lifetime: the backends drop their own response caches on
+// Runner.OnReset, but no reset signal crosses the fleet. An operator who
+// resets or reloads backend state at runtime must call Router.ResetCache
+// (or restart the router) so pre-reset bytes cannot keep being served.
 
 import (
 	"bytes"
@@ -133,8 +139,13 @@ func strictDecode(body []byte, into any) bool {
 
 // validTimeoutQuery mirrors the backends' v1-wrapper timeout_ms check: a
 // present-but-invalid value is a 400 on the direct path, so it must never
-// be served from cache. A valid deadline is cacheable — a warm backend
-// serves its own cached bytes without consulting the deadline either.
+// be served from cache. Only plain positive decimal values pass: the
+// backend's queryValue unescapes '%' and '+' forms before its Atoi, so a
+// raw value like "+5" (which Atoi alone would accept) or "%35" (which the
+// backend would accept) must not be trusted here — an escaped value simply
+// forgoes the cache and takes the hop. A valid deadline is cacheable — a
+// warm backend serves its own cached bytes without consulting the deadline
+// either.
 func validTimeoutQuery(rawQuery string) bool {
 	for len(rawQuery) > 0 {
 		part := rawQuery
@@ -145,7 +156,13 @@ func validTimeoutQuery(rawQuery string) bool {
 		}
 		const key = "timeout_ms"
 		if len(part) > len(key)+1 && part[:len(key)] == key && part[len(key)] == '=' {
-			ms, err := strconv.Atoi(part[len(key)+1:])
+			v := part[len(key)+1:]
+			for i := 0; i < len(v); i++ {
+				if v[i] < '0' || v[i] > '9' {
+					return false
+				}
+			}
+			ms, err := strconv.Atoi(v)
 			if err != nil || ms < 1 {
 				return false
 			}

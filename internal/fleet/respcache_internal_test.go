@@ -85,6 +85,14 @@ func TestValidTimeoutQuery(t *testing.T) {
 		{"timeout_ms=-3", false},
 		{"timeout_ms=abc", false},
 		{"section=fig4", true},
+		// The backend unescapes '%' and '+' forms before its Atoi, so raw
+		// values Atoi alone would misjudge must not pass: "+5" is " 5" (a
+		// 400) there, "%35" is "5" (accepted, but forgoing the cache for an
+		// escaped value is the safe direction).
+		{"timeout_ms=+5", false},
+		{"timeout_ms=%35", false},
+		{"timeout_ms=5%", false},
+		{"timeout_ms=1e2", false},
 	}
 	for _, tc := range cases {
 		if got := validTimeoutQuery(tc.q); got != tc.want {

@@ -292,6 +292,14 @@ func (rt *Router) Drain(ctx context.Context) error {
 // InFlight reports proxied requests and wire exchanges currently running.
 func (rt *Router) InFlight() int64 { return rt.inflight.Load() }
 
+// ResetCache drops every entry in the front response cache (no-op when
+// caching is disabled). The cache assumes backend artifacts are immutable
+// for the router's lifetime — the backends drop their own response caches
+// on Runner.OnReset, but no reset signal crosses the fleet, so an operator
+// who resets or reloads backend state at runtime must call this (or restart
+// the router) to keep pre-reset bytes from being served.
+func (rt *Router) ResetCache() { rt.resp.Reset() }
+
 // Close stops the prober and tears down every backend's connection pools.
 func (rt *Router) Close() {
 	rt.closeOnce.Do(func() {
